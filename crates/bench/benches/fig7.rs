@@ -1,0 +1,52 @@
+//! Criterion benchmark mirroring Figure 7: GraphBolt refinement cost as
+//! the mutation batch size sweeps from a single edge upward (PageRank).
+//! The expected shape: cost grows with batch size but stays below the
+//! GB-Reset restart until batches approach the graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use graphbolt_algorithms::PageRank;
+use graphbolt_bench::experiments::common::bench_options;
+use graphbolt_bench::experiments::suite::{draw_batches, BENCH_TOLERANCE};
+use graphbolt_bench::workloads::{standard_stream, GraphSpec};
+use graphbolt_core::StreamingEngine;
+use graphbolt_graph::WorkloadBias;
+
+const SCALE: u32 = 12;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/PR_refine_vs_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &size in &[1usize, 8, 64, 512] {
+        let mut stream = standard_stream(GraphSpec::at_scale(SCALE), WorkloadBias::Uniform);
+        let g0 = stream.initial_snapshot();
+        let Some(batch) = draw_batches(&mut stream, &g0, &[size]).into_iter().next() else {
+            continue;
+        };
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &batch, |b, batch| {
+            b.iter_batched(
+                || {
+                    let mut engine = StreamingEngine::new(
+                        g0.clone(),
+                        PageRank::with_tolerance(BENCH_TOLERANCE),
+                        bench_options(),
+                    );
+                    engine.run_initial();
+                    engine
+                },
+                |mut engine| {
+                    engine.apply_batch(batch).expect("batch validates");
+                    engine
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7, benches);
+criterion_main!(fig7);

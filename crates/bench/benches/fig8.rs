@@ -1,0 +1,79 @@
+//! Criterion benchmark mirroring Figure 8: PageRank on GraphBolt vs
+//! GraphBolt-RP vs the mini differential dataflow, single mutation epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use graphbolt_algorithms::PageRank;
+use graphbolt_bench::experiments::common::{bench_options, ITERS};
+use graphbolt_bench::experiments::suite::{draw_batches, BENCH_TOLERANCE};
+use graphbolt_bench::workloads::{standard_stream, GraphSpec};
+use graphbolt_core::StreamingEngine;
+use graphbolt_graph::WorkloadBias;
+use graphbolt_minidd::DdPageRank;
+
+const SCALE: u32 = 11;
+const BATCH: usize = 16;
+
+fn benches(c: &mut Criterion) {
+    let mut stream = standard_stream(GraphSpec::at_scale(SCALE), WorkloadBias::Uniform);
+    let g0 = stream.initial_snapshot();
+    let batch = draw_batches(&mut stream, &g0, &[BATCH])
+        .into_iter()
+        .next()
+        .expect("stream capacity");
+
+    let mut group = c.benchmark_group("fig8/PR_one_epoch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("graphbolt", |b| {
+        b.iter_batched(
+            || {
+                let mut e = StreamingEngine::new(
+                    g0.clone(),
+                    PageRank::with_tolerance(BENCH_TOLERANCE),
+                    bench_options(),
+                );
+                e.run_initial();
+                e
+            },
+            |mut e| {
+                e.apply_batch(&batch).expect("batch validates");
+                e
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("graphbolt_rp", |b| {
+        b.iter_batched(
+            || {
+                let mut e = StreamingEngine::new(
+                    g0.clone(),
+                    PageRank::with_tolerance(BENCH_TOLERANCE),
+                    bench_options().fused(false),
+                );
+                e.run_initial();
+                e
+            },
+            |mut e| {
+                e.apply_batch(&batch).expect("batch validates");
+                e
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("differential_dataflow", |b| {
+        b.iter_batched(
+            || DdPageRank::new(&g0, ITERS),
+            |mut dd| {
+                dd.apply_batch(&batch);
+                dd
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(fig8, benches);
+criterion_main!(fig8);

@@ -1,0 +1,81 @@
+//! Criterion benchmark mirroring Figure 9: streaming SSSP on KickStarter
+//! vs GraphBolt vs the mini differential dataflow, one mixed
+//! addition/deletion epoch. Expected shape: KickStarter fastest (it
+//! exploits monotonicity and asynchrony), GraphBolt next, mini-DD last.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use graphbolt_algorithms::ShortestPaths;
+use graphbolt_bench::experiments::common::{bench_options, ITERS};
+use graphbolt_bench::experiments::suite::draw_batches;
+use graphbolt_bench::workloads::GraphSpec;
+use graphbolt_core::StreamingEngine;
+use graphbolt_graph::{MutationStream, StreamConfig, WorkloadBias};
+use graphbolt_kickstarter::KickStarterSssp;
+use graphbolt_minidd::DdSssp;
+
+const SCALE: u32 = 11;
+const BATCH: usize = 16;
+
+fn benches(c: &mut Criterion) {
+    let spec = GraphSpec::at_scale(SCALE);
+    let cfg = StreamConfig {
+        deletion_fraction: 0.5,
+        bias: WorkloadBias::Uniform,
+        ..StreamConfig::default()
+    };
+    let mut stream = MutationStream::new(spec.edges(), cfg);
+    let g0 = stream.initial_snapshot();
+    let batch = draw_batches(&mut stream, &g0, &[BATCH])
+        .into_iter()
+        .next()
+        .expect("stream capacity");
+    let g1 = g0.apply(&batch).expect("batch validates");
+    let source = (0..g0.num_vertices() as u32)
+        .max_by_key(|&v| g0.out_degree(v))
+        .unwrap_or(0);
+
+    let mut group = c.benchmark_group("fig9/SSSP_one_epoch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("kickstarter", |b| {
+        b.iter_batched(
+            || KickStarterSssp::new(&g0, source),
+            |mut ks| {
+                ks.apply_batch(&g1, &batch);
+                ks
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("graphbolt", |b| {
+        b.iter_batched(
+            || {
+                let mut e =
+                    StreamingEngine::new(g0.clone(), ShortestPaths::new(source), bench_options());
+                e.run_initial();
+                e
+            },
+            |mut e| {
+                e.apply_batch(&batch).expect("batch validates");
+                e
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("differential_dataflow", |b| {
+        b.iter_batched(
+            || DdSssp::new(&g0, source, ITERS),
+            |mut dd| {
+                dd.apply_batch(&batch);
+                dd
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(fig9, benches);
+criterion_main!(fig9);

@@ -1,0 +1,103 @@
+//! Criterion benchmark mirroring Table 5: one group per algorithm, one
+//! benchmark per strategy (Ligra restart / GB-Reset restart / GraphBolt
+//! refinement) at a fixed mutation batch size.
+//!
+//! Absolute numbers are machine-local; the paper-relevant signal is the
+//! ordering GraphBolt < GB-Reset ≤ Ligra per group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use graphbolt_algorithms::{LabelPropagation, PageRank, TriangleCounter};
+use graphbolt_bench::experiments::common::bench_options;
+use graphbolt_bench::experiments::suite::{draw_batches, BENCH_TOLERANCE};
+use graphbolt_bench::workloads::{standard_stream, GraphSpec};
+use graphbolt_core::{run_bsp, Algorithm, EngineStats, ExecutionMode, StreamingEngine};
+use graphbolt_graph::{GraphSnapshot, MutationBatch, WorkloadBias};
+
+const SCALE: u32 = 12;
+const BATCH: usize = 64;
+
+fn fixture() -> (GraphSnapshot, MutationBatch) {
+    let mut stream = standard_stream(GraphSpec::at_scale(SCALE), WorkloadBias::Uniform);
+    let g0 = stream.initial_snapshot();
+    let batch = draw_batches(&mut stream, &g0, &[BATCH])
+        .into_iter()
+        .next()
+        .expect("stream capacity");
+    (g0, batch)
+}
+
+fn bench_algorithm<A: Algorithm + Clone + 'static>(c: &mut Criterion, name: &str, alg: A) {
+    let (g0, batch) = fixture();
+    let g1 = g0.apply(&batch).expect("batch validates");
+    let opts = bench_options();
+
+    let mut group = c.benchmark_group(format!("table5/{name}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("ligra_restart", |b| {
+        b.iter(|| run_bsp(&alg, &g1, &opts, ExecutionMode::Full, &EngineStats::new()))
+    });
+    group.bench_function("gb_reset_restart", |b| {
+        b.iter(|| {
+            run_bsp(
+                &alg,
+                &g1,
+                &opts,
+                ExecutionMode::Incremental,
+                &EngineStats::new(),
+            )
+        })
+    });
+    group.bench_function("graphbolt_refine", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = StreamingEngine::new(g0.clone(), alg.clone(), opts);
+                engine.run_initial();
+                engine
+            },
+            |mut engine| {
+                engine.apply_batch(&batch).expect("batch validates");
+                engine
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tc(c: &mut Criterion) {
+    let (g0, batch) = fixture();
+    let g1 = g0.apply(&batch).expect("batch validates");
+    let mut group = c.benchmark_group("table5/TC");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("recount", |b| {
+        b.iter(|| graphbolt_algorithms::count_full(&g1))
+    });
+    group.bench_function("graphbolt_adjust", |b| {
+        b.iter_batched(
+            || TriangleCounter::new(&g0),
+            |mut tc| {
+                tc.apply_batch(&batch);
+                tc
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let n = 1usize << SCALE;
+    bench_algorithm(c, "PR", PageRank::with_tolerance(BENCH_TOLERANCE));
+    let mut lp = LabelPropagation::with_synthetic_seeds(4, n, 10);
+    lp.tolerance = BENCH_TOLERANCE;
+    bench_algorithm(c, "LP", lp);
+    bench_tc(c);
+}
+
+criterion_group!(table5, benches);
+criterion_main!(table5);

@@ -1,0 +1,27 @@
+//! Scratch profiling binary (not part of the published harness).
+use graphbolt_bench::experiments::perf::run_perf;
+use graphbolt_bench::workloads::GraphSpec;
+use graphbolt_graph::WorkloadBias;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let batch: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let m = run_perf(GraphSpec::at_scale(scale), &[batch], WorkloadBias::Uniform);
+    for (name, costs) in &m.results {
+        let c = &costs[0];
+        println!(
+            "{name:5} ratio {:.3}  ligra {:.1}ms reset {:.1}ms gb {:.1}ms  (x_reset {:.2})",
+            c.edge_ratio(),
+            c.ligra_secs * 1e3,
+            c.gb_reset_secs * 1e3,
+            c.graphbolt_secs * 1e3,
+            c.speedup_vs_gb_reset()
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 8: PageRank — GraphBolt vs GraphBolt-RP vs (mini) Differential
+//! Dataflow, across batch sizes (8a) and over 100 single-edge mutations
+//! (8b).
+
+use graphbolt_algorithms::PageRank;
+use graphbolt_core::StreamingEngine;
+use graphbolt_graph::WorkloadBias;
+use graphbolt_minidd::DdPageRank;
+
+use super::common::bench_options;
+use super::suite::draw_batches;
+use crate::harness::{std_dev, time};
+use crate::report::{fmt_secs, Table};
+use crate::workloads::{standard_stream, GraphSpec};
+
+/// Figure 8a: execution time per batch size for the three systems.
+pub fn fig8a(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Figure 8a: PR — Differential Dataflow vs GraphBolt-RP vs GraphBolt",
+        vec!["batch", "DiffDataflow", "GraphBolt-RP", "GraphBolt"],
+    );
+    for &size in batch_sizes {
+        let mut stream = standard_stream(spec, WorkloadBias::Uniform);
+        let g0 = stream.initial_snapshot();
+        let Some(batch) = draw_batches(&mut stream, &g0, &[size]).into_iter().next() else {
+            continue;
+        };
+
+        // Mini differential dataflow.
+        let mut dd = DdPageRank::new(&g0, super::common::ITERS);
+        let dd_t = time(|| dd.apply_batch(&batch));
+
+        // GraphBolt-RP: explicit retract + propagate (fused deltas off).
+        let opts_rp = bench_options().fused(false);
+        let mut rp = StreamingEngine::new(g0.clone(), PageRank::default(), opts_rp);
+        rp.run_initial();
+        let rp_t = time(|| rp.apply_batch(&batch).unwrap());
+
+        // GraphBolt: fused propagateDelta.
+        let opts = bench_options();
+        let mut gb = StreamingEngine::new(g0.clone(), PageRank::default(), opts);
+        gb.run_initial();
+        let gb_t = time(|| gb.apply_batch(&batch).unwrap());
+
+        t.row(vec![
+            format!("{}", batch.len()),
+            fmt_secs(dd_t.secs()),
+            fmt_secs(rp_t.secs()),
+            fmt_secs(gb_t.secs()),
+        ]);
+    }
+    t
+}
+
+/// Figure 8b: per-mutation latency over `count` consecutive single-edge
+/// mutations — the paper highlights DD's high variance here.
+pub fn fig8b(spec: GraphSpec, count: usize) -> Table {
+    let mut stream = standard_stream(spec, WorkloadBias::Uniform);
+    let g0 = stream.initial_snapshot();
+    let mut g = g0.clone();
+    let mut batches = Vec::new();
+    while batches.len() < count {
+        match stream.next_batch(&g, 1) {
+            Some(b) => {
+                g = g.apply(&b).unwrap();
+                batches.push(b);
+            }
+            None => break,
+        }
+    }
+
+    let mut dd = DdPageRank::new(&g0, super::common::ITERS);
+    let dd_times: Vec<f64> = batches
+        .iter()
+        .map(|b| time(|| dd.apply_batch(b)).secs())
+        .collect();
+
+    let mut gb = StreamingEngine::new(g0, PageRank::default(), bench_options());
+    gb.run_initial();
+    let gb_times: Vec<f64> = batches
+        .iter()
+        .map(|b| time(|| gb.apply_batch(b).unwrap()).secs())
+        .collect();
+
+    let mut t = Table::new(
+        format!(
+            "Figure 8b: {} single-edge mutations — latency distribution",
+            batches.len()
+        ),
+        vec!["system", "total", "mean", "std dev", "min", "max"],
+    );
+    for (name, times) in [("DiffDataflow", dd_times), ("GraphBolt", gb_times)] {
+        let total: f64 = times.iter().sum();
+        let mean = total / times.len().max(1) as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        t.row(vec![
+            name.to_string(),
+            fmt_secs(total),
+            fmt_secs(mean),
+            fmt_secs(std_dev(&times)),
+            fmt_secs(min),
+            fmt_secs(max),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8a_measures_three_systems() {
+        let t = fig8a(GraphSpec::at_scale(7), &[5]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("DiffDataflow"));
+    }
+
+    #[test]
+    fn fig8b_reports_distribution() {
+        let t = fig8b(GraphSpec::at_scale(7), 5);
+        assert_eq!(t.len(), 2);
+    }
+}

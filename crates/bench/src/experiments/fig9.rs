@@ -1,0 +1,118 @@
+//! Figure 9: SSSP — KickStarter vs GraphBolt vs (mini) Differential
+//! Dataflow, with mixed mutations (9a) and additions only (9b).
+
+use graphbolt_algorithms::{ShortestPaths, ShortestPathsMultiset};
+use graphbolt_core::StreamingEngine;
+use graphbolt_graph::{StreamConfig, WorkloadBias};
+use graphbolt_kickstarter::KickStarterSssp;
+use graphbolt_minidd::DdSssp;
+
+use super::common::bench_options;
+use super::suite::draw_batches;
+use crate::harness::time;
+use crate::report::{fmt_secs, Table};
+use crate::workloads::GraphSpec;
+
+fn run(spec: GraphSpec, batch_sizes: &[usize], deletions: bool) -> Table {
+    let title = if deletions {
+        "Figure 9a: SSSP — edge additions & deletions"
+    } else {
+        "Figure 9b: SSSP — edge additions only"
+    };
+    let mut t = Table::new(
+        title,
+        vec![
+            "batch",
+            "KickStarter",
+            "GraphBolt",
+            "GraphBolt-OM",
+            "DiffDataflow",
+        ],
+    );
+    for &size in batch_sizes {
+        let cfg = StreamConfig {
+            deletion_fraction: if deletions { 0.5 } else { 0.0 },
+            bias: WorkloadBias::Uniform,
+            ..StreamConfig::default()
+        };
+        let mut stream = graphbolt_graph::MutationStream::new(spec.edges(), cfg);
+        let g0 = stream.initial_snapshot();
+        let Some(batch) = draw_batches(&mut stream, &g0, &[size]).into_iter().next() else {
+            continue;
+        };
+        let g1 = g0.apply(&batch).unwrap();
+        let source = pick_source(&g0);
+
+        let mut ks = KickStarterSssp::new(&g0, source);
+        let ks_t = time(|| ks.apply_batch(&g1, &batch));
+
+        let mut gb = StreamingEngine::new(g0.clone(), ShortestPaths::new(source), bench_options());
+        gb.run_initial();
+        let gb_t = time(|| gb.apply_batch(&batch).unwrap());
+
+        // The §5.4 extension: min as an ordered map of values and counts.
+        let mut om = StreamingEngine::new(
+            g0.clone(),
+            ShortestPathsMultiset::new(source),
+            bench_options(),
+        );
+        om.run_initial();
+        let om_t = time(|| om.apply_batch(&batch).unwrap());
+
+        let mut dd = DdSssp::new(&g0, source, super::common::ITERS);
+        let dd_t = time(|| dd.apply_batch(&batch));
+
+        // Cross-validate within the common horizon: GraphBolt and DD run
+        // the same fixed iteration count, so their distances agree.
+        debug_assert!(gb
+            .values()
+            .iter()
+            .zip(dd.distances())
+            .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9));
+
+        debug_assert!(gb
+            .values()
+            .iter()
+            .zip(om.values())
+            .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9));
+        t.row(vec![
+            format!("{}", batch.len()),
+            fmt_secs(ks_t.secs()),
+            fmt_secs(gb_t.secs()),
+            fmt_secs(om_t.secs()),
+            fmt_secs(dd_t.secs()),
+        ]);
+    }
+    t
+}
+
+/// Picks a well-connected source (highest out-degree) so paths reach a
+/// large fraction of the graph.
+fn pick_source(g: &graphbolt_graph::GraphSnapshot) -> u32 {
+    (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0)
+}
+
+/// Figure 9a: additions and deletions mixed 50/50.
+pub fn fig9a(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    run(spec, batch_sizes, true)
+}
+
+/// Figure 9b: additions only (no `min` re-evaluation needed).
+pub fn fig9b(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    run(spec, batch_sizes, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_measures_three_systems() {
+        let a = fig9a(GraphSpec::at_scale(7), &[5]);
+        assert_eq!(a.len(), 1);
+        let b = fig9b(GraphSpec::at_scale(7), &[5]);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Per-table / per-figure experiment drivers (see DESIGN.md §5 for the
+//! full index).
+
+pub mod ablation;
+pub mod common;
+pub mod fig8;
+pub mod fig9;
+pub mod motivation;
+pub mod perf;
+pub mod structure;
+pub mod suite;
+pub mod table9;
+pub mod tables;

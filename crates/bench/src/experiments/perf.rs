@@ -1,0 +1,85 @@
+//! The core performance matrix: every suite algorithm × batch size ×
+//! strategy. Tables 5–7 and Figures 6–7 are formattings of this
+//! measurement.
+
+use graphbolt_graph::WorkloadBias;
+
+use super::suite::{draw_batches, suite};
+use crate::workloads::{standard_stream, GraphSpec};
+
+pub use super::common::StrategyCosts;
+
+/// Measurement matrix: per algorithm, one [`StrategyCosts`] per batch
+/// size.
+#[derive(Debug, Clone)]
+pub struct PerfMatrix {
+    /// Batch sizes actually measured (clamped to stream capacity).
+    pub batch_sizes: Vec<usize>,
+    /// `(algorithm name, costs per batch size)`.
+    pub results: Vec<(String, Vec<StrategyCosts>)>,
+}
+
+/// Runs the full matrix. Every `(algorithm, batch size)` cell starts from
+/// the same loaded snapshot and measures one pending batch of the given
+/// size, per the paper's methodology.
+pub fn run_perf(spec: GraphSpec, batch_sizes: &[usize], bias: WorkloadBias) -> PerfMatrix {
+    let mut results: Vec<(String, Vec<StrategyCosts>)> = Vec::new();
+    let mut measured_sizes = Vec::new();
+    for (si, &size) in batch_sizes.iter().enumerate() {
+        let mut stream = standard_stream(spec, bias);
+        let g0 = stream.initial_snapshot();
+        let batches = draw_batches(&mut stream, &g0, &[size]);
+        let Some(batch) = batches.into_iter().next() else {
+            continue;
+        };
+        measured_sizes.push(batch.len());
+        let n = g0.num_vertices();
+        for (ai, (name, runner)) in suite(n).into_iter().enumerate() {
+            let costs = runner(&g0, std::slice::from_ref(&batch));
+            if si == 0 {
+                results.push((name.to_string(), Vec::new()));
+            }
+            debug_assert_eq!(results[ai].0, name);
+            results[ai].1.push(costs[0]);
+        }
+    }
+    PerfMatrix {
+        batch_sizes: measured_sizes,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_matrix_covers_suite_and_sizes() {
+        let m = run_perf(GraphSpec::at_scale(7), &[5, 20], WorkloadBias::Uniform);
+        assert_eq!(m.results.len(), 6);
+        for (name, costs) in &m.results {
+            assert_eq!(costs.len(), m.batch_sizes.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn graphbolt_beats_restart_on_small_batches() {
+        // The headline claim at miniature scale: a small batch refines
+        // with far fewer edge computations than a restart for most of the
+        // suite.
+        let m = run_perf(GraphSpec::at_scale(10), &[10], WorkloadBias::Uniform);
+        let wins = m
+            .results
+            .iter()
+            .filter(|(_, c)| c[0].edge_ratio() < 0.9)
+            .count();
+        assert!(
+            wins >= 4,
+            "expected most algorithms to save edge work, got {wins}/6: {:?}",
+            m.results
+                .iter()
+                .map(|(n, c)| (n.clone(), c[0].edge_ratio()))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Formatting of the perf matrix into the paper's tables and figures
+//! (Table 5, Figure 6, Table 6, Table 7) plus the batch-size sweep
+//! (Figure 7) and Hi/Lo workloads (Table 8).
+
+use graphbolt_engine::parallel;
+use graphbolt_graph::WorkloadBias;
+
+use super::perf::{run_perf, PerfMatrix};
+use super::suite::{draw_batches, suite};
+use crate::report::{fmt_count, fmt_secs, fmt_speedup, Table};
+use crate::workloads::{standard_stream, GraphSpec};
+
+/// Table 5: execution times for Ligra / GB-Reset / GraphBolt across
+/// batch sizes, with speedup rows.
+pub fn table5(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    let m = run_perf(spec, batch_sizes, WorkloadBias::Uniform);
+    render_times(
+        &m,
+        "Table 5: execution times (Ligra vs GB-Reset vs GraphBolt)",
+    )
+}
+
+pub(crate) fn render_times(m: &PerfMatrix, title: &str) -> Table {
+    let mut header = vec!["algorithm".to_string(), "strategy".to_string()];
+    header.extend(m.batch_sizes.iter().map(|s| format!("{s} muts")));
+    let mut t = Table::new(title, header);
+    for (name, costs) in &m.results {
+        let mut row = |strategy: &str, f: &dyn Fn(&super::perf::StrategyCosts) -> String| {
+            let mut cells = vec![name.clone(), strategy.to_string()];
+            cells.extend(costs.iter().map(f));
+            t.row(cells);
+        };
+        row("Ligra", &|c| fmt_secs(c.ligra_secs));
+        row("GB-Reset", &|c| fmt_secs(c.gb_reset_secs));
+        row("GraphBolt", &|c| fmt_secs(c.graphbolt_secs));
+        row("x Ligra", &|c| fmt_speedup(c.speedup_vs_ligra()));
+        row("x GB-Reset", &|c| fmt_speedup(c.speedup_vs_gb_reset()));
+    }
+    t
+}
+
+/// Figure 6: ratio of edge computations GraphBolt / GB-Reset.
+pub fn fig6(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    let m = run_perf(spec, batch_sizes, WorkloadBias::Uniform);
+    let mut header = vec!["algorithm".to_string()];
+    header.extend(m.batch_sizes.iter().map(|s| format!("{s} muts")));
+    let mut t = Table::new(
+        "Figure 6: edge computations, GraphBolt / GB-Reset (lower is better)",
+        header,
+    );
+    for (name, costs) in &m.results {
+        let mut cells = vec![name.clone()];
+        cells.extend(costs.iter().map(|c| format!("{:.4}", c.edge_ratio())));
+        t.row(cells);
+    }
+    t
+}
+
+/// Table 6: thread-count sweep (stand-in for the paper's 32- vs 96-core
+/// machines) on a larger graph.
+pub fn table6(spec: GraphSpec, threads: &[usize], batch_size: usize) -> Vec<Table> {
+    threads
+        .iter()
+        .map(|&th| {
+            let m =
+                parallel::with_threads(th, || run_perf(spec, &[batch_size], WorkloadBias::Uniform));
+            render_times(
+                &m,
+                &format!("Table 6: execution times with {th} thread(s), {batch_size} mutations"),
+            )
+        })
+        .collect()
+}
+
+/// Table 7: absolute edge computations performed by GraphBolt and the
+/// percentage relative to GB-Reset.
+pub fn table7(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    let m = run_perf(spec, batch_sizes, WorkloadBias::Uniform);
+    let mut header = vec!["algorithm".to_string()];
+    header.extend(m.batch_sizes.iter().map(|s| format!("{s} muts")));
+    let mut t = Table::new(
+        "Table 7: GraphBolt edge computations (and % of GB-Reset)",
+        header,
+    );
+    for (name, costs) in &m.results {
+        let mut cells = vec![name.clone()];
+        cells.extend(costs.iter().map(|c| {
+            format!(
+                "{} ({:.3}%)",
+                fmt_count(c.graphbolt_edges),
+                100.0 * c.edge_ratio()
+            )
+        }));
+        t.row(cells);
+    }
+    t
+}
+
+/// Figure 7: batch-size sweep, GB-Reset vs GraphBolt execution time per
+/// algorithm.
+pub fn fig7(spec: GraphSpec, batch_sizes: &[usize]) -> Table {
+    let m = run_perf(spec, batch_sizes, WorkloadBias::Uniform);
+    let mut header = vec!["algorithm".to_string(), "strategy".to_string()];
+    header.extend(m.batch_sizes.iter().map(|s| format!("{s}")));
+    let mut t = Table::new("Figure 7: execution time vs mutation batch size", header);
+    for (name, costs) in &m.results {
+        let mut reset = vec![name.clone(), "GB-Reset".to_string()];
+        reset.extend(costs.iter().map(|c| fmt_secs(c.gb_reset_secs)));
+        t.row(reset);
+        let mut gb = vec![name.clone(), "GraphBolt".to_string()];
+        gb.extend(costs.iter().map(|c| fmt_secs(c.graphbolt_secs)));
+        t.row(gb);
+    }
+    t
+}
+
+/// Table 8: GraphBolt under high- vs low-degree-targeted mutation
+/// workloads.
+pub fn table8(spec: GraphSpec, batch_size: usize) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Table 8: GraphBolt times, Lo vs Hi degree-targeted workloads ({batch_size} mutations)"
+        ),
+        vec!["algorithm", "Lo", "Hi", "Hi/Lo"],
+    );
+    let run_bias = |bias: WorkloadBias| -> Vec<(String, f64)> {
+        let mut stream = standard_stream(spec, bias);
+        let g0 = stream.initial_snapshot();
+        let batches = draw_batches(&mut stream, &g0, &[batch_size]);
+        let batch = batches.into_iter().next().expect("stream has capacity");
+        suite(g0.num_vertices())
+            .into_iter()
+            .map(|(name, runner)| {
+                let costs = runner(&g0, std::slice::from_ref(&batch));
+                (name.to_string(), costs[0].graphbolt_secs)
+            })
+            .collect()
+    };
+    let lo = run_bias(WorkloadBias::LowDegree);
+    let hi = run_bias(WorkloadBias::HighDegree);
+    for ((name, lo_s), (_, hi_s)) in lo.into_iter().zip(hi) {
+        t.row(vec![
+            name,
+            fmt_secs(lo_s),
+            fmt_secs(hi_s),
+            format!("{:.2}", hi_s / lo_s.max(1e-12)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_renders_all_algorithms() {
+        let t = table5(GraphSpec::at_scale(7), &[10]);
+        assert_eq!(t.len(), 6 * 5);
+        assert!(t.render().contains("GraphBolt"));
+    }
+
+    #[test]
+    fn fig6_and_table7_render() {
+        assert_eq!(fig6(GraphSpec::at_scale(7), &[10]).len(), 6);
+        assert!(table7(GraphSpec::at_scale(7), &[10]).render().contains('%'));
+    }
+
+    #[test]
+    fn table8_compares_biases() {
+        let t = table8(GraphSpec::at_scale(7), 10);
+        assert_eq!(t.len(), 6);
+    }
+}

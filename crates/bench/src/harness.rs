@@ -1,0 +1,82 @@
+//! Timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// A value with the wall-clock time it took to produce.
+#[derive(Debug, Clone)]
+pub struct TimedResult<T> {
+    /// The computed value.
+    pub value: T,
+    /// Elapsed wall-clock time.
+    pub duration: Duration,
+}
+
+impl<T> TimedResult<T> {
+    /// Elapsed seconds as `f64`.
+    pub fn secs(&self) -> f64 {
+        self.duration.as_secs_f64()
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> TimedResult<T> {
+    let start = Instant::now();
+    let value = f();
+    TimedResult {
+        value,
+        duration: start.elapsed(),
+    }
+}
+
+/// Geometric mean of positive samples (used for speedup summaries).
+pub fn geomean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = samples.iter().map(|x| x.ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+/// Sample standard deviation (Figure 8b reports single-edge variance).
+pub fn std_dev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_and_returns() {
+        let r = time(|| 2 + 2);
+        assert_eq!(r.value, 4);
+        assert!(r.secs() >= 0.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixes_multiplicatively() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_case() {
+        let s = std_dev(&[2.0, 4.0]);
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

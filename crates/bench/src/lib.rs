@@ -1,0 +1,12 @@
+//! Shared benchmark-harness utilities: workload construction, timing,
+//! table rendering, and the per-experiment drivers used by both the
+//! `repro` CLI and the criterion benches.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+pub mod workloads;
+
+pub use harness::{time, TimedResult};
+pub use report::Table;
+pub use workloads::{standard_graph, standard_stream, GraphSpec};

@@ -1,0 +1,531 @@
+//! `gbolt` — command-line streaming graph analytics.
+//!
+//! ```text
+//! gbolt <algorithm> --graph <edges.{txt,bin}> [options]
+//!
+//! algorithms:
+//!   pagerank | labelprop | coem | cc | sssp | bfs | sswp | triangles
+//!
+//! options:
+//!   --graph PATH        edge list (text: "src dst [weight]"; binary: GBLT)
+//!   --stream PATH       mutation stream (GBMS) to replay after the
+//!                       initial run, one refinement per batch
+//!   --iterations N      BSP iterations per epoch            [10]
+//!   --source V          source vertex for sssp/bfs          [0]
+//!   --labels F          label count for labelprop           [4]
+//!   --seed-stride S     every S-th vertex is a seed          [10]
+//!   --tolerance X       selective-scheduling tolerance      [1e-6]
+//!   --cutoff K          horizontal-pruning cut-off          [track all]
+//!   --symmetric         mirror every edge on load
+//!   --output PATH       write final per-vertex values
+//! ```
+//!
+//! The binary is a thin wrapper over [`run`], which is exercised directly
+//! by the test suite.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use graphbolt_algorithms::{
+    CoEm, ConnectedComponents, LabelPropagation, PageRank, ShortestPaths, TriangleCounter,
+    WidestPaths,
+};
+use graphbolt_core::{Algorithm, EngineOptions, StreamingEngine};
+use graphbolt_graph::{io, GraphSnapshot, MutationBatch};
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Algorithm name (see module docs).
+    pub algorithm: String,
+    /// Path to the input edge list.
+    pub graph: String,
+    /// Optional mutation stream to replay.
+    pub stream: Option<String>,
+    /// BSP iterations per epoch.
+    pub iterations: usize,
+    /// Source vertex for path algorithms.
+    pub source: u32,
+    /// Label count for label propagation.
+    pub labels: usize,
+    /// Seed stride for labelprop/coem.
+    pub seed_stride: usize,
+    /// Scheduling tolerance.
+    pub tolerance: f64,
+    /// Horizontal-pruning cut-off.
+    pub cutoff: Option<usize>,
+    /// Mirror edges on load.
+    pub symmetric: bool,
+    /// Optional output path for final values.
+    pub output: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            algorithm: String::new(),
+            graph: String::new(),
+            stream: None,
+            iterations: 10,
+            source: 0,
+            labels: 4,
+            seed_stride: 10,
+            tolerance: 1e-6,
+            cutoff: None,
+            symmetric: false,
+            output: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parses argv-style arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        let Some(alg) = it.next() else {
+            return Err(usage());
+        };
+        opts.algorithm = alg;
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+            };
+            match arg.as_str() {
+                "--graph" => opts.graph = value("--graph")?,
+                "--stream" => opts.stream = Some(value("--stream")?),
+                "--iterations" => {
+                    opts.iterations = parse_num(&value("--iterations")?, "--iterations")?
+                }
+                "--source" => opts.source = parse_num(&value("--source")?, "--source")?,
+                "--labels" => opts.labels = parse_num(&value("--labels")?, "--labels")?,
+                "--seed-stride" => {
+                    opts.seed_stride = parse_num(&value("--seed-stride")?, "--seed-stride")?
+                }
+                "--tolerance" => opts.tolerance = parse_num(&value("--tolerance")?, "--tolerance")?,
+                "--cutoff" => opts.cutoff = Some(parse_num(&value("--cutoff")?, "--cutoff")?),
+                "--symmetric" => opts.symmetric = true,
+                "--output" => opts.output = Some(value("--output")?),
+                other => return Err(format!("unknown option {other}\n{}", usage())),
+            }
+        }
+        if opts.graph.is_empty() {
+            return Err(format!("--graph is required\n{}", usage()));
+        }
+        if opts.iterations == 0 {
+            return Err("--iterations must be positive".into());
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("cannot parse {s:?} for {flag}"))
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "usage: gbolt <pagerank|labelprop|coem|cc|sssp|bfs|sswp|triangles> --graph PATH \
+     [--stream PATH] [--iterations N] [--source V] [--labels F] [--seed-stride S] \
+     [--tolerance X] [--cutoff K] [--symmetric] [--output PATH]"
+        .to_string()
+}
+
+/// Loads the input graph, dispatching on the file extension.
+fn load_graph(opts: &Options) -> Result<GraphSnapshot, String> {
+    let path = Path::new(&opts.graph);
+    let mut edges = if path.extension().is_some_and(|e| e == "bin") {
+        io::read_binary(path).map_err(|e| e.to_string())?
+    } else {
+        io::read_edge_list(path).map_err(|e| e.to_string())?
+    };
+    if opts.symmetric {
+        let mirrored: Vec<_> = edges.iter().map(|e| e.reversed()).collect();
+        edges.extend(mirrored);
+    }
+    let n = graphbolt_graph::generators::vertex_count(&edges);
+    if n == 0 {
+        return Err("input graph is empty".into());
+    }
+    Ok(GraphSnapshot::from_edges(n, &edges))
+}
+
+fn load_stream(opts: &Options) -> Result<Vec<MutationBatch>, String> {
+    match &opts.stream {
+        Some(path) => io::read_batches(path).map_err(|e| e.to_string()),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Runs the CLI; returns the report text that `main` prints.
+///
+/// # Errors
+///
+/// Returns a human-readable message on bad arguments or I/O failure.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let graph = load_graph(opts)?;
+    let batches = load_stream(opts)?;
+    let engine_opts = {
+        let mut o = EngineOptions::with_iterations(opts.iterations);
+        o.horizontal_cutoff = opts.cutoff;
+        o
+    };
+    let n = graph.num_vertices();
+    if matches!(opts.algorithm.as_str(), "sssp" | "bfs" | "sswp") && (opts.source as usize) >= n {
+        return Err(format!(
+            "--source {} out of range: the graph has {n} vertices",
+            opts.source
+        ));
+    }
+    match opts.algorithm.as_str() {
+        "pagerank" => drive_scalar(
+            graph,
+            batches,
+            PageRank::with_tolerance(opts.tolerance),
+            engine_opts,
+            opts,
+        ),
+        "coem" => {
+            let mut alg = CoEm::with_synthetic_seeds(n, opts.seed_stride);
+            alg.tolerance = opts.tolerance;
+            drive_scalar(graph, batches, alg, engine_opts, opts)
+        }
+        "cc" => drive_scalar(
+            graph,
+            batches,
+            ConnectedComponents::new(),
+            engine_opts,
+            opts,
+        ),
+        "sssp" => drive_scalar(
+            graph,
+            batches,
+            ShortestPaths::new(opts.source),
+            engine_opts,
+            opts,
+        ),
+        "sswp" => drive_scalar(
+            graph,
+            batches,
+            WidestPaths::new(opts.source),
+            engine_opts,
+            opts,
+        ),
+        "bfs" => drive_scalar(
+            graph,
+            batches,
+            ShortestPaths::bfs(opts.source),
+            engine_opts,
+            opts,
+        ),
+        "labelprop" => {
+            let mut alg = LabelPropagation::with_synthetic_seeds(opts.labels, n, opts.seed_stride);
+            alg.tolerance = opts.tolerance;
+            drive_vector(graph, batches, alg, engine_opts, opts)
+        }
+        "triangles" => drive_triangles(graph, batches, opts),
+        other => Err(format!("unknown algorithm {other:?}\n{}", usage())),
+    }
+}
+
+fn header(g: &GraphSnapshot, batches: &[MutationBatch]) -> String {
+    let s = graphbolt_graph::stats(g);
+    format!(
+        "graph: {} vertices, {} edges (max out-degree {}, top-1% share {:.1}%)\nstream: {} batches\n",
+        s.vertices,
+        s.edges,
+        s.max_out_degree,
+        100.0 * s.top1pct_share,
+        batches.len()
+    )
+}
+
+fn drive_engine<A: Algorithm>(
+    graph: GraphSnapshot,
+    batches: Vec<MutationBatch>,
+    alg: A,
+    engine_opts: EngineOptions,
+    report: &mut String,
+) -> Result<StreamingEngine<A>, String> {
+    let mut engine = StreamingEngine::new(graph, alg, engine_opts);
+    let t = std::time::Instant::now();
+    engine.run_initial();
+    let _ = writeln!(report, "initial run: {:?}", t.elapsed());
+    for (i, raw) in batches.into_iter().enumerate() {
+        let batch = raw.normalize_against(engine.graph());
+        if batch.is_empty() {
+            let _ = writeln!(report, "batch {i}: empty after normalization, skipped");
+            continue;
+        }
+        let r = engine
+            .apply_batch(&batch)
+            .map_err(|e| format!("batch {i}: {e}"))?;
+        let _ = writeln!(
+            report,
+            "batch {i}: {} mutations refined {} vertices in {:?} ({} edge computations)",
+            batch.len(),
+            r.refined_vertices,
+            r.duration,
+            r.edge_computations
+        );
+    }
+    let _ = writeln!(
+        report,
+        "dependency store: {} aggregation values, {} bytes",
+        engine.stored_aggregations(),
+        engine.dependency_memory_bytes()
+    );
+    Ok(engine)
+}
+
+fn drive_scalar<A: Algorithm<Value = f64>>(
+    graph: GraphSnapshot,
+    batches: Vec<MutationBatch>,
+    alg: A,
+    engine_opts: EngineOptions,
+    opts: &Options,
+) -> Result<String, String> {
+    let mut report = header(&graph, &batches);
+    let engine = drive_engine(graph, batches, alg, engine_opts, &mut report)?;
+    maybe_write_values(opts, engine.values().iter().map(|v| format!("{v}")))?;
+    let (min, max) = min_max(engine.values());
+    let _ = writeln!(report, "values: min {min:.6}, max {max:.6}");
+    Ok(report)
+}
+
+fn drive_vector<A: Algorithm<Value = Vec<f64>>>(
+    graph: GraphSnapshot,
+    batches: Vec<MutationBatch>,
+    alg: A,
+    engine_opts: EngineOptions,
+    opts: &Options,
+) -> Result<String, String> {
+    let mut report = header(&graph, &batches);
+    let engine = drive_engine(graph, batches, alg, engine_opts, &mut report)?;
+    maybe_write_values(
+        opts,
+        engine
+            .values()
+            .iter()
+            .map(|dist| format!("{}", LabelPropagation::argmax(dist))),
+    )?;
+    let mut counts = std::collections::HashMap::new();
+    for dist in engine.values() {
+        *counts
+            .entry(LabelPropagation::argmax(dist))
+            .or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<_> = counts.into_iter().collect();
+    sizes.sort();
+    let _ = writeln!(report, "label sizes: {sizes:?}");
+    Ok(report)
+}
+
+fn drive_triangles(
+    graph: GraphSnapshot,
+    batches: Vec<MutationBatch>,
+    opts: &Options,
+) -> Result<String, String> {
+    let mut report = header(&graph, &batches);
+    let t = std::time::Instant::now();
+    let mut tc = TriangleCounter::new(&graph);
+    let _ = writeln!(report, "initial count: {:?}", t.elapsed());
+    let mut g = graph;
+    for (i, raw) in batches.into_iter().enumerate() {
+        let batch = raw.normalize_against(&g);
+        if batch.is_empty() {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        tc.apply_batch(&batch);
+        g = g.apply(&batch).map_err(|e| format!("batch {i}: {e}"))?;
+        let _ = writeln!(
+            report,
+            "batch {i}: {} mutations adjusted in {:?}, {} directed 3-cycles",
+            batch.len(),
+            t.elapsed(),
+            tc.directed_cycles()
+        );
+    }
+    let _ = writeln!(report, "directed 3-cycles: {}", tc.directed_cycles());
+    maybe_write_values(opts, std::iter::once(format!("{}", tc.directed_cycles())))?;
+    Ok(report)
+}
+
+fn min_max(vals: &[f64]) -> (f64, f64) {
+    let finite = vals.iter().copied().filter(|v| v.is_finite());
+    let min = finite.clone().fold(f64::INFINITY, f64::min);
+    let max = finite.fold(f64::NEG_INFINITY, f64::max);
+    (min, max)
+}
+
+fn maybe_write_values(opts: &Options, lines: impl Iterator<Item = String>) -> Result<(), String> {
+    let Some(path) = &opts.output else {
+        return Ok(());
+    };
+    use std::io::Write;
+    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut w = std::io::BufWriter::new(f);
+    for (v, line) in lines.enumerate() {
+        writeln!(w, "{v}\t{line}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbolt_graph::Edge;
+
+    fn write_sample_graph(dir: &Path) -> String {
+        let path = dir.join("g.txt");
+        io::write_edge_list(
+            &path,
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 0, 1.0),
+                Edge::new(2, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gbolt-test-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_requires_graph() {
+        let err = Options::parse(["pagerank".to_string()]).unwrap_err();
+        assert!(err.contains("--graph"));
+    }
+
+    #[test]
+    fn parse_full_command_line() {
+        let opts = Options::parse(
+            [
+                "sssp",
+                "--graph",
+                "g.txt",
+                "--source",
+                "3",
+                "--iterations",
+                "12",
+                "--cutoff",
+                "5",
+                "--symmetric",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.algorithm, "sssp");
+        assert_eq!(opts.source, 3);
+        assert_eq!(opts.iterations, 12);
+        assert_eq!(opts.cutoff, Some(5));
+        assert!(opts.symmetric);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        let err = Options::parse(["pagerank", "--graph", "g", "--frobnicate"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn pagerank_end_to_end_with_stream() {
+        let dir = tmpdir("pr");
+        let graph = write_sample_graph(&dir);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(3, 0, 1.0));
+        let stream_path = dir.join("s.gbms");
+        io::write_batches(&stream_path, &[batch]).unwrap();
+        let out_path = dir.join("out.tsv");
+
+        let opts = Options {
+            algorithm: "pagerank".into(),
+            graph,
+            stream: Some(stream_path.to_string_lossy().into_owned()),
+            output: Some(out_path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("batch 0"), "{report}");
+        let written = std::fs::read_to_string(out_path).unwrap();
+        assert_eq!(written.lines().count(), 4);
+    }
+
+    #[test]
+    fn triangles_end_to_end() {
+        let dir = tmpdir("tc");
+        let graph = write_sample_graph(&dir);
+        let opts = Options {
+            algorithm: "triangles".into(),
+            graph,
+            ..Options::default()
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("directed 3-cycles: 1"), "{report}");
+    }
+
+    #[test]
+    fn sssp_and_cc_run() {
+        let dir = tmpdir("paths");
+        let graph = write_sample_graph(&dir);
+        for alg in ["sssp", "bfs", "sswp", "cc", "labelprop", "coem"] {
+            let opts = Options {
+                algorithm: alg.into(),
+                graph: graph.clone(),
+                ..Options::default()
+            };
+            let report = run(&opts).unwrap();
+            assert!(report.contains("initial run"), "{alg}: {report}");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected() {
+        let dir = tmpdir("bad");
+        let graph = write_sample_graph(&dir);
+        let opts = Options {
+            algorithm: "florbs".into(),
+            graph,
+            ..Options::default()
+        };
+        assert!(run(&opts).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let opts = Options {
+            algorithm: "pagerank".into(),
+            graph: "/nonexistent/graph.txt".into(),
+            ..Options::default()
+        };
+        assert!(run(&opts).is_err());
+    }
+
+    #[test]
+    fn out_of_range_source_is_rejected() {
+        let dir = tmpdir("src-range");
+        let graph = write_sample_graph(&dir);
+        let opts = Options {
+            algorithm: "sssp".into(),
+            graph,
+            source: 999,
+            ..Options::default()
+        };
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+}

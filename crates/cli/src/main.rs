@@ -1,0 +1,18 @@
+//! Thin binary wrapper over [`graphbolt_cli::run`].
+
+fn main() {
+    let opts = match graphbolt_cli::Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match graphbolt_cli::run(&opts) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

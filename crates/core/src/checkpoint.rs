@@ -1,0 +1,429 @@
+//! Engine checkpointing: persist and resume a streaming computation.
+//!
+//! A streaming deployment must survive restarts without redoing the
+//! (expensive) tracked initial execution. A checkpoint captures the
+//! engine's complete incremental state — final values, cut-off values,
+//! changed-bits, and the dependency store with its pruning structure —
+//! so a resumed engine refines future batches exactly as the original
+//! would have.
+//!
+//! Value and aggregation types are algorithm-specific, so serialization
+//! goes through the [`StateCodec`] trait; [`F64Codec`] and [`VecF64Codec`]
+//! cover every built-in algorithm (scalars and vectors of `f64`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use graphbolt_graph::GraphSnapshot;
+
+use crate::algorithm::Algorithm;
+use crate::options::EngineOptions;
+use crate::store::DependencyStore;
+use crate::streaming::StreamingEngine;
+
+/// Binary codec for one state type (a value or an aggregation).
+pub trait StateCodec<T> {
+    /// Appends `value` to `buf`.
+    fn write(&self, value: &T, buf: &mut BytesMut);
+    /// Reads one value back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Truncated`] when `buf` is exhausted.
+    fn read(&self, buf: &mut Bytes) -> Result<T, CheckpointError>;
+}
+
+/// Errors produced while encoding/decoding checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Payload ended before the declared contents.
+    Truncated,
+    /// Header magic/version mismatch.
+    Format(String),
+    /// Checkpoint does not match the engine it is loaded into.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "checkpoint truncated"),
+            Self::Format(m) => write!(f, "malformed checkpoint: {m}"),
+            Self::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Codec for `f64` state (PageRank, CoEM, SSSP, CC).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F64Codec;
+
+impl StateCodec<f64> for F64Codec {
+    fn write(&self, value: &f64, buf: &mut BytesMut) {
+        buf.put_f64(*value);
+    }
+
+    fn read(&self, buf: &mut Bytes) -> Result<f64, CheckpointError> {
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(buf.get_f64())
+    }
+}
+
+/// Codec for `Vec<f64>` state (LP, BP, CF).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VecF64Codec;
+
+impl StateCodec<Vec<f64>> for VecF64Codec {
+    fn write(&self, value: &Vec<f64>, buf: &mut BytesMut) {
+        buf.put_u32(value.len() as u32);
+        for x in value {
+            buf.put_f64(*x);
+        }
+    }
+
+    fn read(&self, buf: &mut Bytes) -> Result<Vec<f64>, CheckpointError> {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let len = buf.get_u32() as usize;
+        if buf.remaining() < len * 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok((0..len).map(|_| buf.get_f64()).collect())
+    }
+}
+
+const MAGIC: &[u8; 4] = b"GBCK";
+const VERSION: u16 = 1;
+
+/// Serialized engine state, ready to be written to durable storage
+/// alongside the graph (persist the snapshot with
+/// [`graphbolt_graph::io::write_binary`]).
+pub struct Checkpoint {
+    bytes: Bytes,
+}
+
+impl Checkpoint {
+    /// The raw payload.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps raw payload read back from storage.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Self {
+        Self {
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Captures the state of an initialized engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has not run its initial execution.
+    pub fn capture<A, CV, CG>(engine: &StreamingEngine<A>, value_codec: &CV, agg_codec: &CG) -> Self
+    where
+        A: Algorithm,
+        CV: StateCodec<A::Value>,
+        CG: StateCodec<A::Agg>,
+    {
+        let state = engine.checkpoint_state();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16(VERSION);
+        let n = state.vals.len();
+        buf.put_u64(n as u64);
+        buf.put_u64(engine.graph().num_edges() as u64);
+        buf.put_u32(engine.options().max_iterations as u32);
+        buf.put_u32(state.store.cutoff() as u32);
+        buf.put_u32(state.store.tracked_iterations() as u32);
+        for v in state.vals {
+            value_codec.write(v, &mut buf);
+        }
+        for v in state.vals_at_cutoff {
+            value_codec.write(v, &mut buf);
+        }
+        for &b in state.changed_at_cutoff {
+            buf.put_u8(u8::from(b));
+        }
+        for v in 0..n {
+            let len = state.store.stored_len(v);
+            buf.put_u32(len as u32);
+            for i in 1..=len {
+                agg_codec.write(state.store.get(v, i).expect("within prefix"), &mut buf);
+            }
+            match state.store.frozen_tail(v) {
+                None => buf.put_u8(0),
+                Some(None) => buf.put_u8(1),
+                Some(Some(t)) => {
+                    buf.put_u8(2);
+                    agg_codec.write(t, &mut buf);
+                }
+            }
+        }
+        Self {
+            bytes: buf.freeze(),
+        }
+    }
+
+    /// Restores an engine over `graph` (which must be the same snapshot
+    /// the checkpoint was captured against).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed payloads or when graph/options don't match the
+    /// captured state.
+    pub fn restore<A, CV, CG>(
+        &self,
+        graph: GraphSnapshot,
+        alg: A,
+        opts: EngineOptions,
+        value_codec: &CV,
+        agg_codec: &CG,
+    ) -> Result<StreamingEngine<A>, CheckpointError>
+    where
+        A: Algorithm,
+        CV: StateCodec<A::Value>,
+        CG: StateCodec<A::Agg>,
+    {
+        let mut buf = self.bytes.clone();
+        if buf.remaining() < 4 + 2 + 8 + 8 + 4 + 4 + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::Format(format!("bad magic {magic:?}")));
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(CheckpointError::Format(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let n = buf.get_u64() as usize;
+        let edges = buf.get_u64() as usize;
+        if n != graph.num_vertices() || edges != graph.num_edges() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for a {n}-vertex/{edges}-edge graph, got {}/{}",
+                graph.num_vertices(),
+                graph.num_edges()
+            )));
+        }
+        let iterations = buf.get_u32() as usize;
+        if iterations != opts.max_iterations {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint ran {iterations} iterations, options say {}",
+                opts.max_iterations
+            )));
+        }
+        let cutoff = buf.get_u32() as usize;
+        if cutoff != opts.effective_cutoff() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint cut-off {cutoff}, options say {}",
+                opts.effective_cutoff()
+            )));
+        }
+        let tracked = buf.get_u32() as usize;
+
+        let read_vals = |buf: &mut Bytes| -> Result<Vec<A::Value>, CheckpointError> {
+            (0..n).map(|_| value_codec.read(buf)).collect()
+        };
+        let vals = read_vals(&mut buf)?;
+        let vals_at_cutoff = read_vals(&mut buf)?;
+        let mut changed_at_cutoff = Vec::with_capacity(n);
+        for _ in 0..n {
+            if buf.remaining() < 1 {
+                return Err(CheckpointError::Truncated);
+            }
+            changed_at_cutoff.push(buf.get_u8() != 0);
+        }
+        let mut store = DependencyStore::new(n, cutoff, opts.vertical_pruning);
+        for v in 0..n {
+            if buf.remaining() < 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            let len = buf.get_u32() as usize;
+            if len > cutoff {
+                return Err(CheckpointError::Format(format!(
+                    "prefix of length {len} exceeds cut-off {cutoff}"
+                )));
+            }
+            let prefix: Vec<A::Agg> = (0..len)
+                .map(|_| agg_codec.read(&mut buf))
+                .collect::<Result<_, _>>()?;
+            if buf.remaining() < 1 {
+                return Err(CheckpointError::Truncated);
+            }
+            let tail = match buf.get_u8() {
+                0 => None,
+                1 => Some(None),
+                2 => Some(Some(agg_codec.read(&mut buf)?)),
+                other => {
+                    return Err(CheckpointError::Format(format!("bad tail tag {other}")));
+                }
+            };
+            store.restore_history(v, prefix, tail);
+        }
+        store.force_tracked_iterations(tracked);
+        Ok(StreamingEngine::from_checkpoint_state(
+            graph,
+            alg,
+            opts,
+            vals,
+            vals_at_cutoff,
+            changed_at_cutoff,
+            store,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_algorithms::TestRank;
+    use crate::bsp::run_bsp;
+    use crate::options::ExecutionMode;
+    use crate::stats::EngineStats;
+    use graphbolt_graph::{Edge, GraphBuilder, MutationBatch};
+
+    fn engine() -> StreamingEngine<TestRank> {
+        let g = GraphBuilder::new(6)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0)
+            .add_edge(3, 0, 1.0)
+            .add_edge(2, 4, 1.0)
+            .add_edge(4, 5, 1.0)
+            .build();
+        let mut e = StreamingEngine::new(g, TestRank, EngineOptions::with_iterations(8));
+        e.run_initial();
+        e
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_store() {
+        let original = engine();
+        let ck = Checkpoint::capture(&original, &F64Codec, &F64Codec);
+        let restored = ck
+            .restore(
+                original.graph().clone(),
+                TestRank,
+                *original.options(),
+                &F64Codec,
+                &F64Codec,
+            )
+            .unwrap();
+        assert_eq!(original.values(), restored.values());
+        assert_eq!(
+            original.stored_aggregations(),
+            restored.stored_aggregations()
+        );
+    }
+
+    #[test]
+    fn restored_engine_refines_like_the_original() {
+        let mut original = engine();
+        let ck = Checkpoint::capture(&original, &F64Codec, &F64Codec);
+        let mut restored = ck
+            .restore(
+                original.graph().clone(),
+                TestRank,
+                *original.options(),
+                &F64Codec,
+                &F64Codec,
+            )
+            .unwrap();
+
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(5, 0, 1.0)).delete(Edge::new(2, 3, 1.0));
+        original.apply_batch(&batch).unwrap();
+        restored.apply_batch(&batch).unwrap();
+        assert_eq!(original.values(), restored.values());
+
+        // And both still match from-scratch.
+        let scratch = run_bsp(
+            &TestRank,
+            original.graph(),
+            original.options(),
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (a, b) in restored.values().iter().zip(&scratch.vals) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_prior_refinement() {
+        // Capture AFTER a batch: frozen tails must round-trip too.
+        let mut original = engine();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 4, 1.0));
+        original.apply_batch(&batch).unwrap();
+
+        let ck = Checkpoint::capture(&original, &F64Codec, &F64Codec);
+        let mut restored = ck
+            .restore(
+                original.graph().clone(),
+                TestRank,
+                *original.options(),
+                &F64Codec,
+                &F64Codec,
+            )
+            .unwrap();
+        let mut batch2 = MutationBatch::new();
+        batch2
+            .delete(Edge::new(0, 4, 1.0))
+            .add(Edge::new(5, 2, 1.0));
+        original.apply_batch(&batch2).unwrap();
+        restored.apply_batch(&batch2).unwrap();
+        assert_eq!(original.values(), restored.values());
+    }
+
+    #[test]
+    fn mismatched_graph_is_rejected() {
+        let original = engine();
+        let ck = Checkpoint::capture(&original, &F64Codec, &F64Codec);
+        let other = GraphBuilder::new(3).add_edge(0, 1, 1.0).build();
+        let Err(err) = ck.restore(other, TestRank, *original.options(), &F64Codec, &F64Codec)
+        else {
+            panic!("mismatched graph accepted");
+        };
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let original = engine();
+        let ck = Checkpoint::capture(&original, &F64Codec, &F64Codec);
+        let cut = Checkpoint::from_bytes(ck.as_bytes()[..ck.as_bytes().len() - 5].to_vec());
+        let Err(err) = cut.restore(
+            original.graph().clone(),
+            TestRank,
+            *original.options(),
+            &F64Codec,
+            &F64Codec,
+        ) else {
+            panic!("truncated checkpoint accepted");
+        };
+        assert_eq!(err, CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn vec_codec_round_trips() {
+        let mut buf = BytesMut::new();
+        let v = vec![1.5, -2.25, 0.0];
+        VecF64Codec.write(&v, &mut buf);
+        VecF64Codec.write(&vec![], &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(VecF64Codec.read(&mut bytes).unwrap(), v);
+        assert_eq!(VecF64Codec.read(&mut bytes).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            VecF64Codec.read(&mut bytes),
+            Err(CheckpointError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! GraphBolt core: dependency-driven synchronous processing of streaming
+//! graphs (EuroSys'19).
+//!
+//! The crate implements the paper's central machinery:
+//!
+//! * the **generalized incremental programming model** —
+//!   [`Algorithm`] with `⊕`/`⊎`/`⋃-`/`⋃△` aggregation operators,
+//!   decomposable and non-decomposable aggregations (§3.3),
+//! * **dependency tracking** — [`DependencyStore`]: per-vertex
+//!   aggregation-value histories with vertical and horizontal pruning
+//!   (§3.2),
+//! * **dependency-driven refinement** — [`refine()`]: iteration-by-
+//!   iteration incorporation of edge mutations with BSP-semantics
+//!   guarantees (§3.3, §4.3),
+//! * **computation-aware hybrid execution** past the pruning cut-off
+//!   (§4.2),
+//! * the from-scratch **baselines**: [`run_bsp`] in
+//!   [`ExecutionMode::Full`] (Ligra) and [`ExecutionMode::Incremental`]
+//!   (GB-Reset), plus [`run_bsp_from`] which reproduces the *incorrect*
+//!   naive reuse of stale values (Table 1 / Figure 2 of the paper),
+//! * the [`StreamingEngine`] façade combining all of the above.
+
+pub mod algorithm;
+pub mod bsp;
+pub mod checkpoint;
+pub mod options;
+pub mod refine;
+pub mod session;
+pub mod sharded;
+pub mod stats;
+pub mod store;
+pub mod streaming;
+
+pub use algorithm::{agg_total_bytes, Algorithm};
+pub use bsp::{run_bsp, run_bsp_from, run_tracking, BspState, TrackingOutcome};
+pub use checkpoint::{Checkpoint, CheckpointError, F64Codec, StateCodec, VecF64Codec};
+pub use options::{EngineOptions, ExecutionMode};
+pub use refine::{refine, RefineState};
+pub use session::{SessionStats, StreamSession};
+pub use sharded::ShardedMut;
+pub use stats::{EngineStats, RefineReport, StatsSnapshot};
+pub use store::DependencyStore;
+pub use streaming::{doctest_support, StreamingEngine};

@@ -1,0 +1,537 @@
+//! Dependency-driven value refinement (§3.3 / §4.2 of the paper).
+//!
+//! Given the aggregation history recorded by the tracking run, a mutation
+//! batch is incorporated by walking the tracked iterations `1..=k` and
+//! adjusting exactly the aggregation values that the mutation impacts:
+//!
+//! * **direct impact** — endpoints of added/deleted edges, at every
+//!   iteration (`⊎` / `⋃-`),
+//! * **transitive impact** — out-neighbors of vertices whose value was
+//!   refined in the previous iteration (`⋃△`),
+//! * **structural impact** — out-edges of vertices whose contribution
+//!   context changed (e.g. PageRank's out-degree), at every iteration.
+//!
+//! For decomposable aggregations each adjustment is a constant-work
+//! retract/combine (or fused delta); for non-decomposable ones the
+//! aggregation is re-evaluated by pulling the complete in-neighborhood
+//! from the CSC index. Past the tracked iterations, execution switches to
+//! the computation-aware **hybrid** mode: plain frontier-driven
+//! recomputation seeded with every vertex whose value was still in motion
+//! at the cut-off (original run or refined trajectory).
+//!
+//! Throughout, the *old* graph snapshot stays alive so old contributions
+//! are re-derived in their original structural context, which is what
+//! makes retraction exact.
+//!
+//! # Data-structure note
+//!
+//! The per-iteration working sets (touched aggregations, changed-value
+//! pairs, derived-value cache) are dense `Vec<Option<…>>` scratch arrays
+//! paired with touched-lists, not hash maps: refinement's per-edge work
+//! must stay comparable to the plain engine's per-edge work or the
+//! incremental savings evaporate (the C++ GraphBolt uses flat per-vertex
+//! arrays for the same reason).
+
+use std::collections::HashSet;
+
+use graphbolt_engine::parallel;
+use graphbolt_graph::{GraphSnapshot, MutationBatch, VertexId};
+
+use crate::algorithm::Algorithm;
+use crate::options::EngineOptions;
+use crate::stats::{EngineStats, RefineReport};
+use crate::store::DependencyStore;
+
+/// Mutable engine state handed to [`refine`].
+pub struct RefineState<'s, A: Algorithm> {
+    /// Aggregation history (mutated in place to reflect the new graph).
+    pub store: &'s mut DependencyStore<A::Agg>,
+    /// Final values `c_L` (updated in place).
+    pub vals: &'s mut Vec<A::Value>,
+    /// Values at the cut-off iteration `c_k` (updated in place; equal to
+    /// `vals` when no horizontal pruning is configured).
+    pub vals_at_cutoff: &'s mut Vec<A::Value>,
+    /// "Changed at cut-off" bits of the current trajectory (updated in
+    /// place — hybrid execution's seed for this and future batches).
+    pub changed_at_cutoff: &'s mut Vec<bool>,
+}
+
+/// Dense scratch pad reused across refinement iterations: `slots[v]`
+/// carries this iteration's entry for `v`, `touched` lists the occupied
+/// slots for O(|touched|) clearing.
+struct Scratch<T> {
+    slots: Vec<Option<T>>,
+    touched: Vec<VertexId>,
+}
+
+impl<T> Scratch<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| None).collect(),
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> Option<&T> {
+        self.slots[v as usize].as_ref()
+    }
+
+    #[inline]
+    fn get_or_insert_with(&mut self, v: VertexId, f: impl FnOnce() -> T) -> &mut T {
+        let slot = &mut self.slots[v as usize];
+        if slot.is_none() {
+            *slot = Some(f());
+            self.touched.push(v);
+        }
+        slot.as_mut().expect("just filled")
+    }
+
+    #[inline]
+    fn insert(&mut self, v: VertexId, value: T) {
+        if self.slots[v as usize].is_none() {
+            self.touched.push(v);
+        }
+        self.slots[v as usize] = Some(value);
+    }
+
+    fn clear(&mut self) {
+        for v in self.touched.drain(..) {
+            self.slots[v as usize] = None;
+        }
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = (VertexId, T)> + '_ {
+        self.touched
+            .drain(..)
+            .map(|v| (v, self.slots[v as usize].take().expect("touched slot")))
+    }
+
+    fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    fn touched(&self) -> &[VertexId] {
+        &self.touched
+    }
+}
+
+/// Seeds a refinement slot for vertex `v` at iteration `i`: the working
+/// aggregation starts from the old trajectory's `g_i(v)`, and the old
+/// value `c_i(v)` is derived once (under the old graph's `∮` context).
+fn seed_slot<A: Algorithm>(
+    alg: &A,
+    store: &DependencyStore<A::Agg>,
+    v: VertexId,
+    i: usize,
+    old_g: &GraphSnapshot,
+    identity: &A::Agg,
+) -> (A::Agg, A::Value) {
+    let agg = store
+        .get(v as usize, i)
+        .cloned()
+        .unwrap_or_else(|| identity.clone());
+    let old_c = alg.compute(v, &agg, old_g);
+    (agg, old_c)
+}
+
+/// Incorporates `batch` (already applied to produce `new_g` from `old_g`)
+/// into the tracked computation state, guaranteeing that the resulting
+/// values equal a from-scratch synchronous execution on `new_g`
+/// (Theorem 4.1).
+pub fn refine<A: Algorithm>(
+    alg: &A,
+    old_g: &GraphSnapshot,
+    new_g: &GraphSnapshot,
+    batch: &MutationBatch,
+    state: RefineState<'_, A>,
+    opts: &EngineOptions,
+    stats: &EngineStats,
+) -> RefineReport {
+    let mut report = RefineReport::default();
+    let start = std::time::Instant::now();
+    let new_n = new_g.num_vertices();
+    let cutoff = opts.effective_cutoff();
+    // Iterations we can refine against recorded history. The tracking run
+    // may have recorded fewer than the cut-off (early convergence).
+    let refine_upto = state.store.tracked_iterations().min(cutoff);
+
+    // Grow per-vertex state for newly added vertices. Their "old
+    // trajectory" is: initial value at iteration 0, ∮(identity) afterwards
+    // (no in-edges existed before this batch).
+    state.store.grow(new_n);
+    if state.vals.len() < new_n {
+        let identity = alg.identity();
+        for v in state.vals.len()..new_n {
+            let val = alg.compute(v as VertexId, &identity, new_g);
+            state.vals.push(val.clone());
+            state.vals_at_cutoff.push(val);
+        }
+    }
+    if state.changed_at_cutoff.len() < new_n {
+        state.changed_at_cutoff.resize(new_n, false);
+    }
+
+    // Index the batch.
+    let added: HashSet<(VertexId, VertexId)> =
+        batch.additions().iter().map(|e| e.endpoints()).collect();
+    let structural_sources: Vec<VertexId> = if alg.source_structure_dependent() {
+        let set: HashSet<VertexId> = batch
+            .additions()
+            .iter()
+            .chain(batch.deletions().iter())
+            .map(|e| e.src)
+            .collect();
+        set.into_iter().collect()
+    } else {
+        Vec::new()
+    };
+    let mut is_structural = vec![false; new_n];
+    for &u in &structural_sources {
+        is_structural[u as usize] = true;
+    }
+    // Sources with at least one added out-edge: only their ⋃△ loops need
+    // the per-edge added-set probe.
+    let mut has_added_out = vec![false; new_n];
+    for e in batch.additions() {
+        has_added_out[e.src as usize] = true;
+    }
+
+    let identity = alg.identity();
+    // Reads `c_i(v)` of the *current* store content; correct for the old
+    // trajectory before iteration `i` is committed and for the refined
+    // trajectory afterwards.
+    let value_from_store =
+        |store: &DependencyStore<A::Agg>, v: VertexId, i: usize, g: &GraphSnapshot| -> A::Value {
+            if i == 0 {
+                alg.initial_value(v)
+            } else {
+                let agg = store.get(v as usize, i).unwrap_or(&identity);
+                alg.compute(v, agg, g)
+            }
+        };
+
+    // `(old value, refined value)` of vertices whose value changed at the
+    // previous refined iteration.
+    let mut prev_changed: Scratch<(A::Value, A::Value)> = Scratch::new(new_n);
+    // This iteration's refined aggregations, stored alongside the old
+    // trajectory's value (derived once when the slot is first touched).
+    let mut new_aggs: Scratch<(A::Agg, A::Value)> = Scratch::new(new_n);
+    // Per-iteration cache of derived `(old, new)` value pairs at the
+    // previous iteration: deriving applies `∮` (a dense solve for CF), so
+    // each needed source is derived at most once per iteration.
+    let mut pair_cache: Scratch<(A::Value, A::Value)> = Scratch::new(new_n);
+    // Every vertex whose aggregation was refined in any iteration.
+    let mut refined: Scratch<()> = Scratch::new(new_n);
+    // Refined-and-changed set at the last tracked iteration (final-value
+    // bookkeeping for the fully-refined path).
+    let mut changed_last: Vec<VertexId> = Vec::new();
+    let mut edge_work = 0u64;
+
+    for i in 1..=refine_upto {
+        pair_cache.clear();
+
+        if alg.decomposable() {
+            // Derived (old, new) pair of source `u` at iteration i-1.
+            macro_rules! pair_of {
+                ($u:expr) => {{
+                    let u = $u;
+                    match prev_changed.get(u) {
+                        Some(p) => p.clone(),
+                        None => pair_cache
+                            .get_or_insert_with(u, || {
+                                let val = value_from_store(state.store, u, i - 1, new_g);
+                                (val.clone(), val)
+                            })
+                            .clone(),
+                    }
+                }};
+            }
+            // ⊎ — contributions of added edges (new structural context).
+            for e in batch.additions() {
+                let (_, cu) = pair_of!(e.src);
+                let contrib = alg.contribution(new_g, e.src, e.dst, e.weight, &cu);
+                let slot = new_aggs.get_or_insert_with(e.dst, || {
+                    seed_slot(alg, state.store, e.dst, i, old_g, &identity)
+                });
+                alg.combine(&mut slot.0, &contrib);
+                edge_work += 1;
+            }
+            // ⋃- — retract contributions of deleted edges (old context,
+            // old trajectory value).
+            for e in batch.deletions() {
+                let (cu, _) = pair_of!(e.src);
+                let contrib = alg.contribution(old_g, e.src, e.dst, e.weight, &cu);
+                let slot = new_aggs.get_or_insert_with(e.dst, || {
+                    seed_slot(alg, state.store, e.dst, i, old_g, &identity)
+                });
+                alg.retract(&mut slot.0, &contrib);
+                edge_work += 1;
+            }
+            // ⋃△ — transitive and structural updates over surviving edges.
+            // (Structural sources not in the changed set still need their
+            // surviving contributions re-derived under the new context.)
+            let mut dirty: Vec<VertexId> = prev_changed.touched().to_vec();
+            for &u in &structural_sources {
+                if prev_changed.get(u).is_none() {
+                    dirty.push(u);
+                }
+            }
+            for u in dirty {
+                let structural = is_structural[u as usize];
+                let check_added = has_added_out[u as usize];
+                let (old_u, new_u) = pair_of!(u);
+                for (v, w) in new_g.out_edges(u) {
+                    if check_added && added.contains(&(u, v)) {
+                        // Added this batch — already handled with ⊎.
+                        continue;
+                    }
+                    let slot = new_aggs.get_or_insert_with(v, || {
+                        seed_slot(alg, state.store, v, i, old_g, &identity)
+                    });
+                    let agg = &mut slot.0;
+                    if opts.fused_delta {
+                        let d = if structural {
+                            alg.delta_structural(old_g, new_g, u, v, w, &old_u, &new_u)
+                        } else {
+                            alg.delta(new_g, u, v, w, &old_u, &new_u)
+                        };
+                        if let Some(d) = d {
+                            alg.combine(agg, &d);
+                            edge_work += 1;
+                            continue;
+                        }
+                    }
+                    // Explicit retract + propagate (GraphBolt-RP shape,
+                    // and the fallback under structural change).
+                    let oc = alg.contribution(old_g, u, v, w, &old_u);
+                    let nc = alg.contribution(new_g, u, v, w, &new_u);
+                    alg.retract(agg, &oc);
+                    alg.combine(agg, &nc);
+                    edge_work += 2;
+                }
+            }
+        } else {
+            // Non-decomposable: re-evaluate impacted aggregations from the
+            // complete updated input set (§3.3 re-evaluation strategy).
+            let mut target_bits = vec![false; new_n];
+            for e in batch.additions().iter().chain(batch.deletions()) {
+                target_bits[e.dst as usize] = true;
+            }
+            for &u in prev_changed.touched() {
+                for v in new_g.out_neighbors(u) {
+                    target_bits[*v as usize] = true;
+                }
+            }
+            for &u in &structural_sources {
+                for v in new_g.out_neighbors(u) {
+                    target_bits[*v as usize] = true;
+                }
+            }
+            let target_list: Vec<VertexId> = target_bits
+                .iter()
+                .enumerate()
+                .filter_map(|(v, &t)| t.then_some(v as VertexId))
+                .collect();
+            // Derive every needed source value once, in parallel.
+            let mut needed: Vec<VertexId> = target_list
+                .iter()
+                .flat_map(|&v| new_g.in_neighbors(v).iter().copied())
+                .filter(|&u| prev_changed.get(u).is_none() && pair_cache.get(u).is_none())
+                .collect();
+            needed.sort_unstable();
+            needed.dedup();
+            {
+                let store_ref: &DependencyStore<A::Agg> = state.store;
+                let derived: Vec<A::Value> = parallel::par_map(0..needed.len(), |k| {
+                    value_from_store(store_ref, needed[k], i - 1, new_g)
+                });
+                for (u, val) in needed.into_iter().zip(derived) {
+                    pair_cache.insert(u, (val.clone(), val));
+                }
+            }
+            let prev_ref = &prev_changed;
+            let cache_ref = &pair_cache;
+            let recomputed: Vec<(VertexId, A::Agg, u64)> =
+                parallel::par_map(0..target_list.len(), |ti| {
+                    let v = target_list[ti];
+                    let mut agg = alg.identity();
+                    let mut work = 0u64;
+                    for (u, w) in new_g.in_edges(v) {
+                        let cu = match prev_ref.get(u) {
+                            Some((_, new)) => new,
+                            None => &cache_ref.get(u).expect("prefilled above").1,
+                        };
+                        let c = alg.contribution(new_g, u, v, w, cu);
+                        alg.combine(&mut agg, &c);
+                        work += 1;
+                    }
+                    (v, agg, work)
+                });
+            for (v, agg, work) in recomputed {
+                edge_work += work;
+                if new_aggs.get(v).is_none() {
+                    let seeded = seed_slot(alg, state.store, v, i, old_g, &identity);
+                    new_aggs.insert(v, (agg, seeded.1));
+                } else {
+                    unreachable!("non-decomposable targets are recomputed once");
+                }
+            }
+        }
+
+        // Commit: derive new values, write refined aggregations, and
+        // build the next iteration's changed set (the old value was
+        // derived when the slot was seeded).
+        let committed: Vec<(VertexId, (A::Agg, A::Value))> = new_aggs.drain().collect();
+        prev_changed.clear();
+        for (v, (agg, old_c)) in committed {
+            refined.insert(v, ());
+            let new_c = alg.compute(v, &agg, new_g);
+            stats.add_vertex_computations(2);
+            state.store.set(v as usize, i, agg);
+            if alg.changed(&old_c, &new_c) {
+                prev_changed.insert(v, (old_c, new_c));
+            }
+        }
+        if i == refine_upto {
+            changed_last = prev_changed.touched().to_vec();
+        }
+        stats.add_iteration();
+        report.refined_iterations += 1;
+    }
+
+    stats.add_edge_computations(edge_work);
+    report.edge_computations = edge_work;
+    report.refined_vertices = refined.len();
+
+    // Update c_k (and the cut-off changed-bits) for the refined
+    // trajectory, then continue with hybrid execution if iterations remain.
+    let total_iters = opts.max_iterations;
+    if refine_upto >= total_iters {
+        // Fully refined: apply final-iteration value changes.
+        let mut changed_final = 0;
+        for (v, (_, new_c)) in prev_changed.drain() {
+            state.vals[v as usize] = new_c.clone();
+            state.vals_at_cutoff[v as usize] = new_c;
+            changed_final += 1;
+        }
+        for v in &changed_last {
+            state.changed_at_cutoff[*v as usize] = true;
+        }
+        report.changed_final_values = changed_final;
+    } else {
+        // Refresh c_k and the in-motion bit for refined vertices. The bit
+        // means "cᵀ_k(v) ≠ cᵀ_{k-1}(v)" on the *current* trajectory: for
+        // unrefined vertices the trajectory through `k` is untouched so
+        // their bit stands; for refined vertices both values are readable
+        // from the refined store, so the bit is maintained exactly
+        // (a conservative union would otherwise grow monotonically across
+        // batches and bloat every future hybrid seed).
+        for &v in refined.touched() {
+            let at_k = value_from_store(state.store, v, refine_upto, new_g);
+            let at_km1 = value_from_store(state.store, v, refine_upto - 1, new_g);
+            state.changed_at_cutoff[v as usize] = alg.changed(&at_km1, &at_k);
+            state.vals_at_cutoff[v as usize] = at_k;
+        }
+        // Hybrid seed: everything in motion at the cut-off.
+        let seed: HashSet<VertexId> = state
+            .changed_at_cutoff
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| c.then_some(v as VertexId))
+            .collect();
+        let hybrid = run_hybrid(
+            alg,
+            new_g,
+            state.vals_at_cutoff,
+            seed,
+            refine_upto,
+            total_iters,
+            stats,
+        );
+        report.hybrid_iterations = hybrid.iterations;
+        report.edge_computations += hybrid.edge_work;
+        let mut changed_final = 0;
+        for (v, val) in hybrid.final_vals.into_iter().enumerate() {
+            if alg.changed(&state.vals[v], &val) {
+                state.vals[v] = val;
+                changed_final += 1;
+            }
+        }
+        report.changed_final_values = changed_final;
+    }
+
+    report.duration = start.elapsed();
+    report
+}
+
+struct HybridOutcome<V> {
+    final_vals: Vec<V>,
+    iterations: usize,
+    edge_work: u64,
+}
+
+/// Computation-aware hybrid execution: ordinary frontier-driven BSP from
+/// the cut-off values to the final iteration, pulling aggregations of
+/// frontier out-neighborhoods (§4.2).
+fn run_hybrid<A: Algorithm>(
+    alg: &A,
+    g: &GraphSnapshot,
+    vals_at_cutoff: &[A::Value],
+    seed: HashSet<VertexId>,
+    from_iter: usize,
+    to_iter: usize,
+    stats: &EngineStats,
+) -> HybridOutcome<A::Value> {
+    let mut cur: Vec<A::Value> = vals_at_cutoff.to_vec();
+    // `moving` holds vertices whose value differed between the last two
+    // completed iterations.
+    let mut moving: Vec<VertexId> = seed.into_iter().collect();
+    let mut iterations = 0;
+    let mut edge_work = 0u64;
+    for _ in from_iter + 1..=to_iter {
+        iterations += 1;
+        stats.add_iteration();
+        if moving.is_empty() {
+            continue;
+        }
+        let mut target_bits = vec![false; g.num_vertices()];
+        for &u in &moving {
+            for v in g.out_neighbors(u) {
+                target_bits[*v as usize] = true;
+            }
+        }
+        let targets: Vec<VertexId> = target_bits
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &t)| t.then_some(v as VertexId))
+            .collect();
+        let cur_ref = &cur;
+        let updated: Vec<(VertexId, A::Value, u64)> = parallel::par_map(0..targets.len(), |ti| {
+            let v = targets[ti];
+            let mut agg = alg.identity();
+            let mut work = 0u64;
+            for (u, w) in g.in_edges(v) {
+                let c = alg.contribution(g, u, v, w, &cur_ref[u as usize]);
+                alg.combine(&mut agg, &c);
+                work += 1;
+            }
+            (v, alg.compute(v, &agg, g), work)
+        });
+        stats.add_vertex_computations(targets.len() as u64);
+        moving = Vec::new();
+        for (v, new_val, work) in updated {
+            edge_work += work;
+            if alg.changed(&cur[v as usize], &new_val) {
+                cur[v as usize] = new_val;
+                moving.push(v);
+            }
+        }
+    }
+    stats.add_edge_computations(edge_work);
+    HybridOutcome {
+        final_vals: cur,
+        iterations,
+        edge_work,
+    }
+}

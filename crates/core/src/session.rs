@@ -1,0 +1,289 @@
+//! Live streaming sessions with mutation buffering.
+//!
+//! §4.1 of the paper: *"Mutations arriving during refinement are buffered
+//! to prioritize latency of the ongoing refinement step, and are applied
+//! immediately after refining finishes."* [`StreamSession`] realizes
+//! that contract: producers submit single-edge mutations from any thread;
+//! a worker thread owns the [`StreamingEngine`], coalesces everything
+//! that arrived while it was busy into one batch, and refines. Query
+//! requests are serviced between batches, so observed values always
+//! correspond to a complete snapshot (BSP consistency is never exposed
+//! mid-refinement).
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use graphbolt_graph::{Edge, MutationBatch};
+
+use crate::algorithm::Algorithm;
+use crate::streaming::StreamingEngine;
+
+/// Commands accepted by the session worker.
+enum Command<V> {
+    Add(Edge),
+    Delete(Edge),
+    /// Apply everything buffered, then reply with the current values.
+    Query(Sender<Vec<V>>),
+    /// Apply everything buffered, then reply when done.
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// Statistics of a completed session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Refinement rounds executed.
+    pub batches: usize,
+    /// Mutations accepted into batches (conflicting ones are dropped by
+    /// normalization, as the paper's update streams do).
+    pub mutations_applied: usize,
+    /// Mutations dropped as conflicting/duplicate.
+    pub mutations_dropped: usize,
+}
+
+/// Handle to a live streaming session.
+///
+/// # Examples
+///
+/// ```
+/// use graphbolt_core::{doctest_support::DocRank, EngineOptions, StreamingEngine, StreamSession};
+/// use graphbolt_graph::{Edge, GraphBuilder};
+///
+/// let g = GraphBuilder::new(3).add_edge(0, 1, 1.0).add_edge(1, 2, 1.0).build();
+/// let mut engine = StreamingEngine::new(g, DocRank, EngineOptions::with_iterations(5));
+/// engine.run_initial();
+///
+/// let session = StreamSession::spawn(engine);
+/// session.add(Edge::new(2, 0, 1.0));
+/// let values = session.query();
+/// assert_eq!(values.len(), 3);
+/// let (engine, stats) = session.finish();
+/// assert!(engine.graph().has_edge(2, 0));
+/// assert_eq!(stats.mutations_applied, 1);
+/// ```
+pub struct StreamSession<A: Algorithm + 'static> {
+    tx: Sender<Command<A::Value>>,
+    worker: JoinHandle<(StreamingEngine<A>, SessionStats)>,
+}
+
+impl<A: Algorithm + 'static> StreamSession<A> {
+    /// Spawns the worker thread around an initialized engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has not run its initial execution.
+    pub fn spawn(engine: StreamingEngine<A>) -> Self {
+        assert!(
+            engine.is_initialized(),
+            "run_initial() must complete before streaming"
+        );
+        let (tx, rx) = channel::unbounded();
+        let worker = std::thread::spawn(move || worker_loop(engine, rx));
+        Self { tx, worker }
+    }
+
+    /// Submits an edge insertion (non-blocking).
+    pub fn add(&self, e: Edge) {
+        let _ = self.tx.send(Command::Add(e));
+    }
+
+    /// Submits an edge deletion (non-blocking).
+    pub fn delete(&self, e: Edge) {
+        let _ = self.tx.send(Command::Delete(e));
+    }
+
+    /// Applies everything buffered so far and returns the refined values.
+    pub fn query(&self) -> Vec<A::Value> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx
+            .send(Command::Query(reply_tx))
+            .expect("worker alive");
+        reply_rx.recv().expect("worker alive")
+    }
+
+    /// Applies everything buffered so far and waits for completion.
+    pub fn flush(&self) {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx
+            .send(Command::Flush(reply_tx))
+            .expect("worker alive");
+        reply_rx.recv().expect("worker alive");
+    }
+
+    /// Shuts the session down, returning the engine and session stats.
+    /// Buffered mutations are applied first.
+    pub fn finish(self) -> (StreamingEngine<A>, SessionStats) {
+        let _ = self.tx.send(Command::Shutdown);
+        self.worker.join().expect("worker must not panic")
+    }
+}
+
+fn worker_loop<A: Algorithm>(
+    mut engine: StreamingEngine<A>,
+    rx: Receiver<Command<A::Value>>,
+) -> (StreamingEngine<A>, SessionStats) {
+    let mut stats = SessionStats::default();
+    let mut pending = MutationBatch::new();
+    let apply_pending =
+        |engine: &mut StreamingEngine<A>, pending: &mut MutationBatch, stats: &mut SessionStats| {
+            if pending.is_empty() {
+                return;
+            }
+            let raw = std::mem::take(pending);
+            let batch = raw.normalize_against(engine.graph());
+            stats.mutations_dropped += raw.len() - batch.len();
+            if batch.is_empty() {
+                return;
+            }
+            stats.mutations_applied += batch.len();
+            stats.batches += 1;
+            engine
+                .apply_batch(&batch)
+                .expect("normalized batch always validates");
+        };
+
+    loop {
+        // Block for the next command, then drain whatever else arrived
+        // while we were busy — the paper's coalescing buffer.
+        let Ok(first) = rx.recv() else {
+            // All handles dropped: apply the tail and stop.
+            apply_pending(&mut engine, &mut pending, &mut stats);
+            return (engine, stats);
+        };
+        let mut shutdown = false;
+        let service = |cmd: Command<A::Value>,
+                       engine: &mut StreamingEngine<A>,
+                       pending: &mut MutationBatch,
+                       stats: &mut SessionStats| {
+            match cmd {
+                Command::Add(e) => {
+                    pending.add(e);
+                }
+                Command::Delete(e) => {
+                    pending.delete(e);
+                }
+                Command::Query(reply) => {
+                    apply_pending(engine, pending, stats);
+                    let _ = reply.send(engine.values().to_vec());
+                }
+                Command::Flush(reply) => {
+                    apply_pending(engine, pending, stats);
+                    let _ = reply.send(());
+                }
+                Command::Shutdown => return true,
+            }
+            false
+        };
+        shutdown |= service(first, &mut engine, &mut pending, &mut stats);
+        while let Ok(cmd) = rx.try_recv() {
+            shutdown |= service(cmd, &mut engine, &mut pending, &mut stats);
+        }
+        if shutdown {
+            apply_pending(&mut engine, &mut pending, &mut stats);
+            return (engine, stats);
+        }
+        apply_pending(&mut engine, &mut pending, &mut stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_algorithms::TestRank;
+    use crate::bsp::run_bsp;
+    use crate::options::{EngineOptions, ExecutionMode};
+    use crate::stats::EngineStats;
+    use graphbolt_graph::GraphBuilder;
+
+    fn engine() -> StreamingEngine<TestRank> {
+        let g = GraphBuilder::new(5)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0)
+            .add_edge(3, 4, 1.0)
+            .add_edge(4, 0, 1.0)
+            .build();
+        let mut e = StreamingEngine::new(g, TestRank, EngineOptions::with_iterations(8));
+        e.run_initial();
+        e
+    }
+
+    #[test]
+    fn session_applies_buffered_mutations() {
+        let session = StreamSession::spawn(engine());
+        session.add(Edge::new(0, 3, 1.0));
+        session.add(Edge::new(2, 0, 1.0));
+        session.delete(Edge::new(4, 0, 1.0));
+        session.flush();
+        let (engine, stats) = session.finish();
+        assert!(engine.graph().has_edge(0, 3));
+        assert!(!engine.graph().has_edge(4, 0));
+        assert_eq!(stats.mutations_applied, 3);
+        assert_eq!(stats.mutations_dropped, 0);
+
+        let scratch = run_bsp(
+            &TestRank,
+            engine.graph(),
+            engine.options(),
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (a, b) in engine.values().iter().zip(&scratch.vals) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn query_reflects_all_prior_submissions() {
+        let session = StreamSession::spawn(engine());
+        let before = session.query();
+        session.add(Edge::new(1, 4, 1.0));
+        let after = session.query();
+        assert_ne!(before, after);
+        session.finish();
+    }
+
+    #[test]
+    fn conflicting_mutations_are_dropped() {
+        let session = StreamSession::spawn(engine());
+        session.add(Edge::new(0, 1, 1.0)); // already present
+        session.delete(Edge::new(3, 0, 1.0)); // absent
+        session.flush();
+        let (_, stats) = session.finish();
+        assert_eq!(stats.mutations_applied, 0);
+        assert_eq!(stats.mutations_dropped, 2);
+    }
+
+    #[test]
+    fn concurrent_producers_are_coalesced() {
+        let session = std::sync::Arc::new(StreamSession::spawn(engine()));
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&session);
+                std::thread::spawn(move || {
+                    for k in 0..5u32 {
+                        s.add(Edge::new(t, 5 + t * 5 + k, 1.0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        session.flush();
+        let session = std::sync::Arc::into_inner(session).expect("sole owner");
+        let (engine, stats) = session.finish();
+        assert_eq!(stats.mutations_applied, 20);
+        assert_eq!(engine.graph().num_vertices(), 25);
+        // Coalescing must have produced far fewer batches than mutations.
+        assert!(stats.batches <= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_initial")]
+    fn spawn_requires_initialized_engine() {
+        let g = GraphBuilder::new(2).add_edge(0, 1, 1.0).build();
+        let engine = StreamingEngine::new(g, TestRank, EngineOptions::default());
+        let _ = StreamSession::spawn(engine);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shard-locked mutable slice for parallel push-style aggregation.
+//!
+//! Push traversal has multiple workers combining contributions into the
+//! same destination aggregate. Ligra uses per-word atomics
+//! (`atomicAdd` in Algorithm 1 of the paper); generic aggregation values
+//! are not atomics, so we guard destinations with a fixed pool of shard
+//! locks instead — the GraphBolt C++ implementation uses the equivalent
+//! fine-grained locking for its complex aggregations.
+
+use std::cell::UnsafeCell;
+
+use parking_lot::Mutex;
+
+/// Number of shard locks; power of two so the modulo is a mask.
+const SHARDS: usize = 1024;
+
+/// A mutable slice whose elements can be updated concurrently, each
+/// access serialized by one of a fixed pool of shard locks.
+pub struct ShardedMut<'a, T> {
+    data: &'a [UnsafeCell<T>],
+    locks: Box<[Mutex<()>]>,
+}
+
+// SAFETY: every access to an element goes through `with`, which holds the
+// element's shard lock for the duration of the closure; two concurrent
+// accesses to the same element therefore serialize, and accesses to
+// different elements either use different locks or serialize on a shared
+// one. No reference escapes the closure.
+unsafe impl<T: Send> Sync for ShardedMut<'_, T> {}
+
+impl<'a, T> ShardedMut<'a, T> {
+    /// Wraps an exclusive slice. The wrapper holds the exclusive borrow,
+    /// so no other access path exists while it lives.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
+        let ptr = slice.as_mut_ptr() as *const UnsafeCell<T>;
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, and we hold
+        // the unique `&mut` borrow of the slice for `'a`.
+        let data = unsafe { std::slice::from_raw_parts(ptr, len) };
+        let locks = (0..SHARDS).map(|_| Mutex::new(())).collect::<Vec<_>>();
+        Self {
+            data,
+            locks: locks.into_boxed_slice(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to element `i`.
+    #[inline]
+    pub fn with<R>(&self, i: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let _guard = self.locks[i & (SHARDS - 1)].lock();
+        // SAFETY: the shard lock serializes all accesses to index `i`
+        // (and any other index mapping to the same shard); the closure
+        // cannot leak the reference.
+        let elem = unsafe { &mut *self.data[i].get() };
+        f(elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_grants_exclusive_access() {
+        let mut v = vec![0u64; 128];
+        {
+            let sharded = ShardedMut::new(&mut v);
+            (0..10_000usize).into_par_iter().for_each(|i| {
+                sharded.with(i % 128, |x| *x += 1);
+            });
+        }
+        assert_eq!(v.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn contended_single_slot_is_consistent() {
+        let mut v = vec![0u64];
+        {
+            let sharded = ShardedMut::new(&mut v);
+            (0..5_000usize).into_par_iter().for_each(|_| {
+                sharded.with(0, |x| *x += 1);
+            });
+        }
+        assert_eq!(v[0], 5_000);
+    }
+
+    #[test]
+    fn len_reports_slice_length() {
+        let mut v = vec![1, 2, 3];
+        let sharded = ShardedMut::new(&mut v);
+        assert_eq!(sharded.len(), 3);
+        assert!(!sharded.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Execution statistics: edge-computation counters and phase timings.
+//!
+//! The paper's Figure 6 / Table 7 report the *number of edge computations*
+//! performed by GraphBolt relative to the GB-Reset baseline — the
+//! machine-independent measure of incremental savings. Every evaluation of
+//! a contribution, delta, or retraction counts as one edge computation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared counters, safe to update from parallel workers.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Contribution / delta / retraction evaluations.
+    edge_computations: AtomicU64,
+    /// `∮` (vertex compute) evaluations.
+    vertex_computations: AtomicU64,
+    /// BSP iterations executed (initial + refinement + hybrid).
+    iterations: AtomicU64,
+}
+
+impl EngineStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` edge computations.
+    #[inline]
+    pub fn add_edge_computations(&self, n: u64) {
+        self.edge_computations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` vertex computations.
+    #[inline]
+    pub fn add_vertex_computations(&self, n: u64) {
+        self.vertex_computations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks one completed iteration.
+    #[inline]
+    pub fn add_iteration(&self) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total edge computations so far.
+    pub fn edge_computations(&self) -> u64 {
+        self.edge_computations.load(Ordering::Relaxed)
+    }
+
+    /// Total vertex computations so far.
+    pub fn vertex_computations(&self) -> u64 {
+        self.vertex_computations.load(Ordering::Relaxed)
+    }
+
+    /// Total iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.edge_computations.store(0, Ordering::Relaxed);
+        self.vertex_computations.store(0, Ordering::Relaxed);
+        self.iterations.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters as plain integers.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            edge_computations: self.edge_computations(),
+            vertex_computations: self.vertex_computations(),
+            iterations: self.iterations(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`EngineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Contribution / delta / retraction evaluations.
+    pub edge_computations: u64,
+    /// `∮` evaluations.
+    pub vertex_computations: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            edge_computations: self.edge_computations - rhs.edge_computations,
+            vertex_computations: self.vertex_computations - rhs.vertex_computations,
+            iterations: self.iterations - rhs.iterations,
+        }
+    }
+}
+
+/// Outcome of one refinement pass ([`StreamingEngine::apply_batch`](crate::StreamingEngine::apply_batch)).
+#[derive(Debug, Clone, Default)]
+pub struct RefineReport {
+    /// Wall-clock duration of graph mutation + refinement.
+    pub duration: Duration,
+    /// Of which, time spent adjusting the graph structure.
+    pub structure_duration: Duration,
+    /// Vertices whose aggregation was refined in any tracked iteration.
+    pub refined_vertices: usize,
+    /// Vertices whose *final* value changed.
+    pub changed_final_values: usize,
+    /// Edge computations spent by this refinement (incl. hybrid phase).
+    pub edge_computations: u64,
+    /// Tracked iterations refined via dependency-driven refinement.
+    pub refined_iterations: usize,
+    /// Iterations executed by hybrid (frontier recompute) execution.
+    pub hybrid_iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = EngineStats::new();
+        s.add_edge_computations(5);
+        s.add_edge_computations(7);
+        s.add_vertex_computations(2);
+        s.add_iteration();
+        assert_eq!(s.edge_computations(), 12);
+        assert_eq!(s.vertex_computations(), 2);
+        assert_eq!(s.iterations(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = EngineStats::new();
+        s.add_edge_computations(5);
+        s.reset();
+        assert_eq!(s.edge_computations(), 0);
+    }
+
+    #[test]
+    fn snapshot_subtraction_gives_deltas() {
+        let s = EngineStats::new();
+        s.add_edge_computations(10);
+        let before = s.snapshot();
+        s.add_edge_computations(3);
+        s.add_iteration();
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.edge_computations, 3);
+        assert_eq!(delta.iterations, 1);
+    }
+}

@@ -1,0 +1,611 @@
+//! The streaming-engine façade: tracked execution + batch refinement.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphbolt_graph::{GraphSnapshot, MutationBatch, MutationError};
+
+use crate::algorithm::{agg_total_bytes, Algorithm};
+use crate::bsp::{run_tracking, BspState};
+use crate::options::EngineOptions;
+use crate::refine::{refine, RefineState};
+use crate::stats::{EngineStats, RefineReport};
+use crate::store::DependencyStore;
+
+/// GraphBolt's streaming processing engine for one algorithm over one
+/// evolving graph.
+///
+/// Lifecycle:
+///
+/// 1. [`StreamingEngine::new`] with the initial snapshot,
+/// 2. [`StreamingEngine::run_initial`] — the tracked initial execution,
+/// 3. repeated [`StreamingEngine::apply_batch`] — apply a
+///    [`MutationBatch`] and incrementally refine, with results after each
+///    call identical (per BSP semantics) to a from-scratch run on the
+///    latest snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use graphbolt_core::{EngineOptions, StreamingEngine};
+/// use graphbolt_core::doctest_support::DocRank;
+/// use graphbolt_graph::{Edge, GraphBuilder, MutationBatch};
+///
+/// let g = GraphBuilder::new(3)
+///     .add_edge(0, 1, 1.0)
+///     .add_edge(1, 2, 1.0)
+///     .add_edge(2, 0, 1.0)
+///     .build();
+/// let mut engine = StreamingEngine::new(g, DocRank, EngineOptions::with_iterations(5));
+/// engine.run_initial();
+///
+/// let mut batch = MutationBatch::new();
+/// batch.add(Edge::new(0, 2, 1.0));
+/// let report = engine.apply_batch(&batch).unwrap();
+/// assert!(report.refined_vertices > 0);
+/// assert_eq!(engine.values().len(), 3);
+/// ```
+pub struct StreamingEngine<A: Algorithm> {
+    alg: A,
+    graph: Arc<GraphSnapshot>,
+    opts: EngineOptions,
+    stats: EngineStats,
+    /// Tracked state, present after `run_initial`.
+    state: Option<TrackedState<A>>,
+}
+
+struct TrackedState<A: Algorithm> {
+    vals: Vec<A::Value>,
+    vals_at_cutoff: Vec<A::Value>,
+    changed_at_cutoff: Vec<bool>,
+    store: DependencyStore<A::Agg>,
+}
+
+impl<A: Algorithm> StreamingEngine<A> {
+    /// Creates an engine over the initial snapshot. No computation happens
+    /// until [`StreamingEngine::run_initial`].
+    pub fn new(graph: GraphSnapshot, alg: A, opts: EngineOptions) -> Self {
+        Self {
+            alg,
+            graph: Arc::new(graph),
+            opts,
+            stats: EngineStats::new(),
+            state: None,
+        }
+    }
+
+    /// The algorithm instance.
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// The current graph snapshot.
+    pub fn graph(&self) -> &GraphSnapshot {
+        &self.graph
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Runs the initial tracked execution. Subsequent calls recompute from
+    /// scratch (discarding previous tracking), which is also how a caller
+    /// forces a full restart.
+    pub fn run_initial(&mut self) -> &[A::Value] {
+        let outcome = run_tracking(&self.alg, &self.graph, &self.opts, &self.stats);
+        let BspState { vals, .. } = outcome.state;
+        self.state = Some(TrackedState {
+            vals,
+            vals_at_cutoff: outcome.vals_at_cutoff,
+            changed_at_cutoff: outcome.changed_at_cutoff,
+            store: outcome.store,
+        });
+        self.values()
+    }
+
+    /// Returns `true` once the initial execution has run.
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Current vertex values (`c_L` for the latest snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StreamingEngine::run_initial`] has not run.
+    pub fn values(&self) -> &[A::Value] {
+        &self
+            .state
+            .as_ref()
+            .expect("run_initial() must be called before values()")
+            .vals
+    }
+
+    /// Applies a mutation batch to the graph and incrementally refines the
+    /// computed results (the core GraphBolt operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MutationError`] if the batch conflicts with the
+    /// current snapshot; the engine state is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StreamingEngine::run_initial`] has not run.
+    pub fn apply_batch(&mut self, batch: &MutationBatch) -> Result<RefineReport, MutationError> {
+        let state = self
+            .state
+            .as_mut()
+            .expect("run_initial() must be called before apply_batch()");
+        let start = Instant::now();
+        let new_graph = self.graph.apply_arc(batch)?;
+        let structure_duration = start.elapsed();
+        let old_graph = Arc::clone(&self.graph);
+        let mut report = refine(
+            &self.alg,
+            &old_graph,
+            &new_graph,
+            batch,
+            RefineState {
+                store: &mut state.store,
+                vals: &mut state.vals,
+                vals_at_cutoff: &mut state.vals_at_cutoff,
+                changed_at_cutoff: &mut state.changed_at_cutoff,
+            },
+            &self.opts,
+            &self.stats,
+        );
+        report.structure_duration = structure_duration;
+        report.duration += structure_duration;
+        self.graph = new_graph;
+        Ok(report)
+    }
+
+    /// Estimated bytes of dependency information currently tracked — the
+    /// *memory overhead* of GraphBolt relative to GB-Reset (Table 9).
+    pub fn dependency_memory_bytes(&self) -> usize {
+        match &self.state {
+            Some(s) => s.store.memory_bytes(|a| agg_total_bytes(&self.alg, a)),
+            None => 0,
+        }
+    }
+
+    /// Number of aggregation values physically stored (post-pruning).
+    pub fn stored_aggregations(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.store.stored_entries())
+    }
+
+    /// Read-only access to the dependency store (inspection / tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StreamingEngine::run_initial`] has not run.
+    pub fn store(&self) -> &DependencyStore<A::Agg> {
+        &self.state.as_ref().expect("not initialized").store
+    }
+
+    /// Borrowed view of the complete incremental state, for
+    /// [`Checkpoint::capture`](crate::checkpoint::Checkpoint::capture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StreamingEngine::run_initial`] has not run.
+    pub fn checkpoint_state(&self) -> CheckpointState<'_, A> {
+        let s = self
+            .state
+            .as_ref()
+            .expect("run_initial() must complete before checkpointing");
+        CheckpointState {
+            vals: &s.vals,
+            vals_at_cutoff: &s.vals_at_cutoff,
+            changed_at_cutoff: &s.changed_at_cutoff,
+            store: &s.store,
+        }
+    }
+
+    /// Reassembles an engine from restored checkpoint state (see
+    /// [`Checkpoint::restore`](crate::checkpoint::Checkpoint::restore)).
+    pub fn from_checkpoint_state(
+        graph: GraphSnapshot,
+        alg: A,
+        opts: EngineOptions,
+        vals: Vec<A::Value>,
+        vals_at_cutoff: Vec<A::Value>,
+        changed_at_cutoff: Vec<bool>,
+        store: DependencyStore<A::Agg>,
+    ) -> Self {
+        Self {
+            alg,
+            graph: Arc::new(graph),
+            opts,
+            stats: EngineStats::new(),
+            state: Some(TrackedState {
+                vals,
+                vals_at_cutoff,
+                changed_at_cutoff,
+                store,
+            }),
+        }
+    }
+}
+
+/// Borrowed incremental state of an engine (checkpoint capture).
+pub struct CheckpointState<'a, A: Algorithm> {
+    /// Final values `c_L`.
+    pub vals: &'a [A::Value],
+    /// Values at the pruning cut-off `c_k`.
+    pub vals_at_cutoff: &'a [A::Value],
+    /// Changed-at-cut-off bits.
+    pub changed_at_cutoff: &'a [bool],
+    /// The dependency store.
+    pub store: &'a DependencyStore<A::Agg>,
+}
+
+/// Tiny algorithm used by doctests; not part of the public model.
+#[doc(hidden)]
+pub mod doctest_support {
+    use graphbolt_graph::{GraphSnapshot, VertexId, Weight};
+
+    use crate::algorithm::Algorithm;
+
+    /// PageRank-shaped toy algorithm for documentation examples.
+    #[derive(Debug, Clone, Default)]
+    pub struct DocRank;
+
+    impl Algorithm for DocRank {
+        type Value = f64;
+        type Agg = f64;
+
+        fn initial_value(&self, _v: VertexId) -> f64 {
+            1.0
+        }
+
+        fn identity(&self) -> f64 {
+            0.0
+        }
+
+        fn contribution(
+            &self,
+            g: &GraphSnapshot,
+            u: VertexId,
+            _v: VertexId,
+            _w: Weight,
+            cu: &f64,
+        ) -> f64 {
+            cu / g.out_degree(u).max(1) as f64
+        }
+
+        fn combine(&self, agg: &mut f64, c: &f64) {
+            *agg += c;
+        }
+
+        fn retract(&self, agg: &mut f64, c: &f64) {
+            *agg -= c;
+        }
+
+        fn compute(&self, _v: VertexId, agg: &f64, _g: &GraphSnapshot) -> f64 {
+            0.15 + 0.85 * agg
+        }
+
+        fn source_structure_dependent(&self) -> bool {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_algorithms::{TestMinPlus, TestRank};
+    use crate::bsp::run_bsp;
+    use crate::options::ExecutionMode;
+    use graphbolt_graph::{Edge, GraphBuilder};
+
+    fn base_graph() -> GraphSnapshot {
+        GraphBuilder::new(6)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 0.5)
+            .add_edge(2, 0, 1.0)
+            .add_edge(2, 3, 2.0)
+            .add_edge(3, 4, 1.0)
+            .add_edge(4, 5, 1.0)
+            .add_edge(5, 3, 1.0)
+            .build()
+    }
+
+    fn assert_matches_scratch<Alg: Algorithm<Value = f64>>(
+        engine: &StreamingEngine<Alg>,
+        alg: &Alg,
+        iters: usize,
+    ) {
+        let scratch = run_bsp(
+            alg,
+            engine.graph(),
+            &EngineOptions::with_iterations(iters),
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (v, (a, b)) in engine.values().iter().zip(scratch.vals.iter()).enumerate() {
+            let denom = b.abs().max(1e-12);
+            assert!(
+                (a - b).abs() / denom < 1e-7 || (a - b).abs() < 1e-9,
+                "vertex {v}: refined {a} vs scratch {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn refined_addition_matches_scratch() {
+        let alg = TestRank;
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(10));
+        engine.run_initial();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 3, 1.0));
+        engine.apply_batch(&batch).unwrap();
+        assert_matches_scratch(&engine, &alg, 10);
+    }
+
+    #[test]
+    fn refined_deletion_matches_scratch() {
+        let alg = TestRank;
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(10));
+        engine.run_initial();
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(2, 3, 2.0));
+        engine.apply_batch(&batch).unwrap();
+        assert_matches_scratch(&engine, &alg, 10);
+    }
+
+    #[test]
+    fn refined_mixed_batch_matches_scratch() {
+        let alg = TestRank;
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(10));
+        engine.run_initial();
+        let mut batch = MutationBatch::new();
+        batch
+            .add(Edge::new(5, 0, 1.0))
+            .add(Edge::new(1, 4, 1.0))
+            .delete(Edge::new(0, 1, 1.0));
+        engine.apply_batch(&batch).unwrap();
+        assert_matches_scratch(&engine, &alg, 10);
+    }
+
+    #[test]
+    fn sequential_batches_stay_correct() {
+        let alg = TestRank;
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(8));
+        engine.run_initial();
+        let batches = [
+            {
+                let mut b = MutationBatch::new();
+                b.add(Edge::new(3, 1, 1.0));
+                b
+            },
+            {
+                let mut b = MutationBatch::new();
+                b.delete(Edge::new(3, 1, 1.0));
+                b.add(Edge::new(4, 0, 0.5));
+                b
+            },
+            {
+                let mut b = MutationBatch::new();
+                b.delete(Edge::new(4, 5, 1.0));
+                b
+            },
+        ];
+        for batch in &batches {
+            engine.apply_batch(batch).unwrap();
+            assert_matches_scratch(&engine, &alg, 8);
+        }
+    }
+
+    #[test]
+    fn vertex_growth_is_supported() {
+        let alg = TestRank;
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(6));
+        engine.run_initial();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(5, 8, 1.0)).add(Edge::new(8, 0, 1.0));
+        engine.apply_batch(&batch).unwrap();
+        assert_eq!(engine.values().len(), 9);
+        assert_matches_scratch(&engine, &alg, 6);
+    }
+
+    #[test]
+    fn horizontal_pruning_with_hybrid_matches_scratch() {
+        let alg = TestRank;
+        let opts = EngineOptions::with_iterations(10).cutoff(4);
+        let mut engine = StreamingEngine::new(base_graph(), TestRank, opts);
+        engine.run_initial();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 4, 1.0)).delete(Edge::new(4, 5, 1.0));
+        let report = engine.apply_batch(&batch).unwrap();
+        assert_eq!(report.refined_iterations, 4);
+        assert_eq!(report.hybrid_iterations, 6);
+        assert_matches_scratch(&engine, &alg, 10);
+    }
+
+    #[test]
+    fn hybrid_sequential_batches_stay_correct() {
+        let alg = TestRank;
+        let opts = EngineOptions::with_iterations(10).cutoff(3);
+        let mut engine = StreamingEngine::new(base_graph(), TestRank, opts);
+        engine.run_initial();
+        for (add, del) in [((3, 0), (2, 0)), ((2, 5), (0, 1)), ((0, 2), (2, 5))] {
+            let mut batch = MutationBatch::new();
+            batch.add(Edge::new(add.0, add.1, 1.0));
+            batch.delete(Edge::unweighted(del.0, del.1));
+            engine.apply_batch(&batch).unwrap();
+            assert_matches_scratch(&engine, &alg, 10);
+        }
+    }
+
+    #[test]
+    fn non_decomposable_refinement_matches_scratch() {
+        let alg = TestMinPlus;
+        let mut engine = StreamingEngine::new(
+            base_graph(),
+            TestMinPlus,
+            EngineOptions::with_iterations(10),
+        );
+        engine.run_initial();
+        // Deletion forces min re-evaluation; addition opens a shortcut.
+        let mut batch = MutationBatch::new();
+        batch
+            .add(Edge::new(0, 4, 0.25))
+            .delete(Edge::new(2, 3, 2.0));
+        engine.apply_batch(&batch).unwrap();
+        assert_matches_scratch(&engine, &alg, 10);
+    }
+
+    #[test]
+    fn refinement_reduces_edge_work_vs_restart() {
+        // A deep binary tree: values stabilize after ~depth iterations, so
+        // one edge mutation near the leaves must touch far fewer edges
+        // than a restart. (A strongly connected expander would not show
+        // this — there every value keeps moving for all 10 iterations and
+        // both strategies are O(E·L), which matches the paper's
+        // observation that savings come from value stabilization.)
+        let mut b = GraphBuilder::new(255);
+        for i in 1..255u32 {
+            b = b.add_edge((i - 1) / 2, i, 1.0);
+        }
+        let g = b.build();
+        let mut engine =
+            StreamingEngine::new(g.clone(), TestRank, EngineOptions::with_iterations(10));
+        engine.run_initial();
+        let before = engine.stats().snapshot();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(120, 200, 1.0));
+        engine.apply_batch(&batch).unwrap();
+        let refine_work = engine.stats().snapshot() - before;
+
+        let restart_stats = EngineStats::new();
+        run_bsp(
+            &TestRank,
+            engine.graph(),
+            &EngineOptions::with_iterations(10),
+            ExecutionMode::Incremental,
+            &restart_stats,
+        );
+        assert!(
+            refine_work.edge_computations < restart_stats.edge_computations() / 2,
+            "refinement {} not much cheaper than restart {}",
+            refine_work.edge_computations,
+            restart_stats.edge_computations()
+        );
+    }
+
+    #[test]
+    fn dependency_memory_is_reported() {
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(10));
+        assert_eq!(engine.dependency_memory_bytes(), 0);
+        engine.run_initial();
+        assert!(engine.dependency_memory_bytes() > 0);
+        assert!(engine.stored_aggregations() > 0);
+    }
+
+    #[test]
+    fn vertical_pruning_stores_less() {
+        let g = base_graph();
+        let mut pruned =
+            StreamingEngine::new(g.clone(), TestRank, EngineOptions::with_iterations(10));
+        pruned.run_initial();
+        let mut unpruned = StreamingEngine::new(
+            g,
+            TestRank,
+            EngineOptions::with_iterations(10).vertical(false),
+        );
+        unpruned.run_initial();
+        assert!(pruned.stored_aggregations() <= unpruned.stored_aggregations());
+        assert_eq!(unpruned.stored_aggregations(), 6 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_initial")]
+    fn values_before_init_panics() {
+        let engine = StreamingEngine::new(base_graph(), TestRank, EngineOptions::default());
+        let _ = engine.values();
+    }
+
+    #[test]
+    fn conflicting_batch_leaves_state_unchanged() {
+        let mut engine =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(5));
+        engine.run_initial();
+        let vals_before = engine.values().to_vec();
+        let edges_before = engine.graph().num_edges();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 1, 1.0)); // duplicate
+        assert!(engine.apply_batch(&batch).is_err());
+        assert_eq!(engine.values(), &vals_before[..]);
+        assert_eq!(engine.graph().num_edges(), edges_before);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(40))]
+        #[test]
+        fn random_mutations_match_scratch(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(4..25usize);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.2) {
+                        edges.push(Edge::new(u as u32, v as u32, rng.gen_range(0.1..1.0)));
+                    }
+                }
+            }
+            let g = GraphSnapshot::from_edges(n, &edges);
+            let iters = rng.gen_range(2..8usize);
+            let cutoff = rng.gen_range(1..=iters);
+            let opts = EngineOptions::with_iterations(iters).cutoff(cutoff);
+            let mut engine = StreamingEngine::new(g, TestRank, opts);
+            engine.run_initial();
+
+            // Random batch: flip a few edges.
+            let mut batch = MutationBatch::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                if u == v { continue; }
+                if engine.graph().has_edge(u, v) {
+                    batch.delete(Edge::unweighted(u, v));
+                } else {
+                    batch.add(Edge::new(u, v, rng.gen_range(0.1..1.0)));
+                }
+            }
+            let batch = batch.normalize_against(engine.graph());
+            if batch.is_empty() { return Ok(()); }
+            engine.apply_batch(&batch).unwrap();
+
+            let scratch = run_bsp(
+                &TestRank,
+                engine.graph(),
+                &EngineOptions::with_iterations(iters),
+                ExecutionMode::Full,
+                &EngineStats::new(),
+            );
+            for v in 0..n {
+                let (a, b) = (engine.values()[v], scratch.vals[v]);
+                proptest::prop_assert!(
+                    (a - b).abs() < 1e-7,
+                    "seed {} vertex {}: refined {} vs scratch {}", seed, v, a, b
+                );
+            }
+        }
+    }
+}

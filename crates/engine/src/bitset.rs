@@ -1,0 +1,174 @@
+//! Lock-free concurrent bit set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity bit set supporting concurrent set/test from parallel
+/// edge-map workers.
+///
+/// Dense frontiers and the "changed at cut-off iteration" vector of
+/// hybrid execution (§4.2 of the paper) are represented this way: one bit
+/// per vertex, set with relaxed atomics (the BSP barrier at the end of
+/// each iteration provides the necessary ordering).
+#[derive(Debug)]
+pub struct AtomicBitSet {
+    words: Vec<AtomicU64>,
+    capacity: usize,
+}
+
+impl AtomicBitSet {
+    /// Creates a cleared bit set with room for `capacity` bits.
+    pub fn new(capacity: usize) -> Self {
+        let words = (capacity + 63) / 64;
+        Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            capacity,
+        }
+    }
+
+    /// Number of bits the set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets bit `i`, returning `true` if it was previously clear.
+    /// Safe to call concurrently.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let mask = 1u64 << (i & 63);
+        let prev = self.words[i >> 6].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.capacity);
+        let mask = 1u64 << (i & 63);
+        self.words[i >> 6].fetch_and(!mask, Ordering::Relaxed);
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Clears all bits.
+    pub fn reset(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Iterates indices of set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            let mut bits = w.load(Ordering::Relaxed);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Collects set bits into a vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl Clone for AtomicBitSet {
+    fn clone(&self) -> Self {
+        Self {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let bs = AtomicBitSet::new(130);
+        assert!(bs.set(0));
+        assert!(bs.set(64));
+        assert!(bs.set(129));
+        assert!(!bs.set(64), "second set reports already-set");
+        assert!(bs.get(129));
+        bs.clear(64);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let bs = AtomicBitSet::new(200);
+        for i in [5usize, 63, 64, 150, 199] {
+            bs.set(i);
+        }
+        assert_eq!(bs.to_vec(), vec![5, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let bs = AtomicBitSet::new(100);
+        for i in 0..100 {
+            bs.set(i);
+        }
+        bs.reset();
+        assert_eq!(bs.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_sets_count_correctly() {
+        use std::sync::Arc;
+        let bs = Arc::new(AtomicBitSet::new(10_000));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let bs = Arc::clone(&bs);
+                std::thread::spawn(move || {
+                    for i in (t..10_000).step_by(4) {
+                        bs.set(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bs.count(), 10_000);
+    }
+
+    #[test]
+    fn clone_snapshots_current_state() {
+        let bs = AtomicBitSet::new(10);
+        bs.set(3);
+        let copy = bs.clone();
+        bs.set(4);
+        assert!(copy.get(3));
+        assert!(!copy.get(4));
+    }
+}

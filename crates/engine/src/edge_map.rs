@@ -1,0 +1,344 @@
+//! Direction-optimizing `edge_map`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use graphbolt_graph::{GraphSnapshot, VertexId, Weight};
+
+use crate::bitset::AtomicBitSet;
+use crate::parallel;
+use crate::subset::VertexSubset;
+
+/// Tuning knobs for [`edge_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeMapOptions {
+    /// A frontier is processed densely (pull) when
+    /// `|F| + outdeg(F) > |E| / denominator` — Ligra's heuristic with
+    /// denominator 20.
+    pub dense_denominator: usize,
+    /// Force push (sparse) traversal regardless of density.
+    pub force_sparse: bool,
+    /// Force pull (dense) traversal regardless of density.
+    pub force_dense: bool,
+}
+
+impl Default for EdgeMapOptions {
+    fn default() -> Self {
+        Self {
+            dense_denominator: 20,
+            force_sparse: false,
+            force_dense: false,
+        }
+    }
+}
+
+impl EdgeMapOptions {
+    /// Options forcing push-based traversal.
+    pub fn sparse() -> Self {
+        Self {
+            force_sparse: true,
+            ..Self::default()
+        }
+    }
+
+    /// Options forcing pull-based traversal.
+    pub fn dense() -> Self {
+        Self {
+            force_dense: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Applies `update` over every edge leaving the frontier, returning the
+/// subset of destinations for which `update` returned `true` (and for
+/// which `cond` held before application).
+///
+/// * **Sparse (push)**: for each frontier vertex `u`, each out-edge
+///   `(u, v, w)` with `cond(v)` gets `update(u, v, w)`. `update` must be
+///   safe under concurrent invocation for the *same* `v` (use atomics or
+///   CAS loops, as in Ligra).
+/// * **Dense (pull)**: every vertex `v` with `cond(v)` scans its in-edges
+///   and applies `update(u, v, w)` for in-neighbors `u` in the frontier.
+///   Calls for a given `v` are sequential, so `update` needs no
+///   synchronization on the destination.
+///
+/// The edge-computation counter (`edge_work`) is incremented once per
+/// `update` invocation; the evaluation's Figure 6 / Table 7 read it.
+pub fn edge_map<U, C>(
+    g: &GraphSnapshot,
+    frontier: &VertexSubset,
+    update: U,
+    cond: C,
+    opts: EdgeMapOptions,
+    edge_work: &AtomicU64,
+) -> VertexSubset
+where
+    U: Fn(VertexId, VertexId, Weight) -> bool + Sync + Send,
+    C: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = g.num_vertices();
+    if frontier.is_empty() {
+        return VertexSubset::empty(n);
+    }
+    let use_dense = if opts.force_sparse {
+        false
+    } else if opts.force_dense {
+        true
+    } else {
+        let work = frontier.len() + frontier.out_degree_sum(g);
+        work > g.num_edges() / opts.dense_denominator.max(1)
+    };
+    if use_dense {
+        edge_map_dense(g, frontier, update, cond, edge_work)
+    } else {
+        edge_map_sparse(g, frontier, update, cond, edge_work)
+    }
+}
+
+fn edge_map_sparse<U, C>(
+    g: &GraphSnapshot,
+    frontier: &VertexSubset,
+    update: U,
+    cond: C,
+    edge_work: &AtomicU64,
+) -> VertexSubset
+where
+    U: Fn(VertexId, VertexId, Weight) -> bool + Sync + Send,
+    C: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = g.num_vertices();
+    let next = AtomicBitSet::new(n);
+    let ids: Vec<VertexId> = frontier.iter().collect();
+    let work = AtomicU64::new(0);
+    parallel::par_for(0..ids.len(), |i| {
+        let u = ids[i];
+        for (v, w) in g.out_edges(u) {
+            if cond(v) {
+                work.fetch_add(1, Ordering::Relaxed);
+                if update(u, v, w) {
+                    next.set(v as usize);
+                }
+            }
+        }
+    });
+    edge_work.fetch_add(work.load(Ordering::Relaxed), Ordering::Relaxed);
+    VertexSubset::from_bits(next).into_sparse()
+}
+
+fn edge_map_dense<U, C>(
+    g: &GraphSnapshot,
+    frontier: &VertexSubset,
+    update: U,
+    cond: C,
+    edge_work: &AtomicU64,
+) -> VertexSubset
+where
+    U: Fn(VertexId, VertexId, Weight) -> bool + Sync + Send,
+    C: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = g.num_vertices();
+    let in_frontier = frontier.clone().into_dense();
+    let next = AtomicBitSet::new(n);
+    let work = AtomicU64::new(0);
+    parallel::par_for(0..n, |vi| {
+        let v = vi as VertexId;
+        if !cond(v) {
+            return;
+        }
+        let mut activated = false;
+        for (u, w) in g.in_edges(v) {
+            if in_frontier.contains(u) {
+                work.fetch_add(1, Ordering::Relaxed);
+                if update(u, v, w) {
+                    activated = true;
+                }
+            }
+        }
+        if activated {
+            next.set(vi);
+        }
+    });
+    edge_work.fetch_add(work.load(Ordering::Relaxed), Ordering::Relaxed);
+    VertexSubset::from_bits(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbolt_graph::GraphBuilder;
+    use std::sync::atomic::AtomicU32;
+
+    fn chain(n: usize) -> GraphSnapshot {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b = b.add_edge(i as VertexId, i as VertexId + 1, 1.0);
+        }
+        b.build()
+    }
+
+    fn bfs_layers(g: &GraphSnapshot, opts: EdgeMapOptions) -> Vec<i32> {
+        let n = g.num_vertices();
+        let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        level[0].store(0, Ordering::Relaxed);
+        let mut frontier = VertexSubset::from_ids(n, vec![0]);
+        let work = AtomicU64::new(0);
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            let d = depth;
+            frontier = edge_map(
+                g,
+                &frontier,
+                |_u, v, _w| {
+                    level[v as usize]
+                        .compare_exchange(u32::MAX, d, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                },
+                |v| level[v as usize].load(Ordering::Relaxed) == u32::MAX,
+                opts,
+                &work,
+            );
+        }
+        level
+            .iter()
+            .map(|l| {
+                let v = l.load(Ordering::Relaxed);
+                if v == u32::MAX {
+                    -1
+                } else {
+                    v as i32
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_and_dense_bfs_agree() {
+        let g = chain(50);
+        let sparse = bfs_layers(&g, EdgeMapOptions::sparse());
+        let dense = bfs_layers(&g, EdgeMapOptions::dense());
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse[49], 49);
+    }
+
+    #[test]
+    fn edge_work_counts_update_calls() {
+        let g = chain(10);
+        let work = AtomicU64::new(0);
+        let frontier = VertexSubset::full(10);
+        edge_map(
+            &g,
+            &frontier,
+            |_u, _v, _w| false,
+            |_| true,
+            EdgeMapOptions::dense(),
+            &work,
+        );
+        assert_eq!(work.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn cond_filters_destinations() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 1.0)
+            .add_edge(0, 2, 1.0)
+            .build();
+        let work = AtomicU64::new(0);
+        let frontier = VertexSubset::from_ids(3, vec![0]);
+        let next = edge_map(
+            &g,
+            &frontier,
+            |_u, _v, _w| true,
+            |v| v != 1,
+            EdgeMapOptions::sparse(),
+            &work,
+        );
+        assert_eq!(next.to_ids(), vec![2]);
+        assert_eq!(work.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_frontier_short_circuits() {
+        let g = chain(5);
+        let work = AtomicU64::new(0);
+        let next = edge_map(
+            &g,
+            &VertexSubset::empty(5),
+            |_u, _v, _w| true,
+            |_| true,
+            EdgeMapOptions::default(),
+            &work,
+        );
+        assert!(next.is_empty());
+        assert_eq!(work.load(Ordering::Relaxed), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(40))]
+        /// Push and pull traversal of the same frontier activate exactly
+        /// the same destination set on arbitrary graphs — the direction
+        /// optimization must be purely a performance choice.
+        #[test]
+        fn push_and_pull_activate_identical_sets(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(3..30usize);
+            let mut b = graphbolt_graph::GraphBuilder::new(n);
+            for _ in 0..n * 2 {
+                let u = rng.gen_range(0..n) as VertexId;
+                let v = rng.gen_range(0..n) as VertexId;
+                if u != v {
+                    b = b.add_edge(u, v, 1.0);
+                }
+            }
+            let g = b.build();
+            let members: Vec<VertexId> = (0..n as VertexId)
+                .filter(|_| rng.gen_bool(0.4))
+                .collect();
+            let frontier = VertexSubset::from_ids(n, members);
+            let blocked: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.2)).collect();
+
+            let run = |opts: EdgeMapOptions| -> Vec<VertexId> {
+                let work = AtomicU64::new(0);
+                edge_map(
+                    &g,
+                    &frontier,
+                    |_u, _v, _w| true,
+                    |v| !blocked[v as usize],
+                    opts,
+                    &work,
+                )
+                .to_ids()
+            };
+            let pushed = run(EdgeMapOptions::sparse());
+            let pulled = run(EdgeMapOptions::dense());
+            proptest::prop_assert_eq!(pushed, pulled);
+        }
+    }
+
+    #[test]
+    fn auto_mode_picks_dense_for_large_frontier() {
+        // A full frontier on a dense-ish graph must still produce the same
+        // activation set as forced modes.
+        let mut b = GraphBuilder::new(20);
+        for i in 0..20u32 {
+            for j in 0..20u32 {
+                if i != j {
+                    b = b.add_edge(i, j, 1.0);
+                }
+            }
+        }
+        let g = b.build();
+        let work = AtomicU64::new(0);
+        let frontier = VertexSubset::full(20);
+        let next = edge_map(
+            &g,
+            &frontier,
+            |_u, _v, _w| true,
+            |_| true,
+            EdgeMapOptions::default(),
+            &work,
+        );
+        assert_eq!(next.len(), 20);
+    }
+}

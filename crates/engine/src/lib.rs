@@ -1,0 +1,25 @@
+//! Ligra-style BSP execution substrate.
+//!
+//! GraphBolt is built over Ligra's processing architecture (§4 of the
+//! paper): computation is expressed as `edge_map` / `vertex_map` over
+//! frontiers ([`VertexSubset`]), with automatic *direction optimization* —
+//! sparse frontiers push along out-edges, dense frontiers pull along
+//! in-edges — which is what lets the same algorithm run efficiently both
+//! on full graphs (initial execution) and on the tiny frontiers produced
+//! by incremental refinement.
+//!
+//! This crate is deliberately independent of the GraphBolt dependency
+//! machinery: it is a complete, reusable synchronous graph-processing
+//! layer (the "Ligra baseline" of the evaluation is expressed directly on
+//! it).
+
+pub mod bitset;
+pub mod edge_map;
+pub mod parallel;
+pub mod subset;
+pub mod vertex_map;
+
+pub use bitset::AtomicBitSet;
+pub use edge_map::{edge_map, EdgeMapOptions};
+pub use subset::VertexSubset;
+pub use vertex_map::{vertex_filter, vertex_map};

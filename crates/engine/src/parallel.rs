@@ -1,0 +1,136 @@
+//! Thin data-parallel layer.
+//!
+//! All parallel loops in the workspace go through this module so that (a)
+//! thread count is controllable for the scalability experiments (Table 6
+//! of the paper swaps a 32-core for a 96-core machine; we sweep threads
+//! instead), and (b) the engine degrades gracefully to sequential
+//! execution for deterministic tests.
+
+use rayon::prelude::*;
+
+/// Returns the number of worker threads rayon will use by default.
+pub fn default_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Runs `f` inside a dedicated pool of `threads` workers. Used by the
+/// Table 6 harness to sweep parallelism without re-initializing the
+/// global pool.
+///
+/// # Examples
+///
+/// ```
+/// let sum = graphbolt_engine::parallel::with_threads(2, || {
+///     graphbolt_engine::parallel::par_sum(0..100usize, |i| i)
+/// });
+/// assert_eq!(sum, 4950);
+/// ```
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// Parallel for over an index range.
+#[inline]
+pub fn par_for<F>(range: std::ops::Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    range.into_par_iter().for_each(f);
+}
+
+/// Parallel map over an index range, collecting results in order.
+#[inline]
+pub fn par_map<T, F>(range: std::ops::Range<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    range.into_par_iter().map(f).collect()
+}
+
+/// Parallel sum of `f(i)` over a range.
+#[inline]
+pub fn par_sum<T, F, I>(range: I, f: F) -> T
+where
+    T: Send + std::iter::Sum<T>,
+    I: IntoParallelIterator,
+    F: Fn(I::Item) -> T + Sync + Send,
+{
+    range.into_par_iter().map(f).sum()
+}
+
+/// Parallel filter-map over an index range; order of results is
+/// unspecified.
+#[inline]
+pub fn par_filter_map<T, F>(range: std::ops::Range<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync + Send,
+{
+    range.into_par_iter().filter_map(f).collect()
+}
+
+/// Exclusive prefix sum (sequential — used on per-vertex offset arrays
+/// where the scan is memory-bound anyway). Returns the total.
+pub fn exclusive_prefix_sum(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values.iter_mut() {
+        let next = acc + *v;
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_visits_every_index() {
+        let hits = AtomicUsize::new(0);
+        par_for(0..1000, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(0..100, |i| i * 2);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], 198);
+    }
+
+    #[test]
+    fn par_sum_matches_sequential() {
+        let s: usize = par_sum(0..1000usize, |i| i);
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn with_threads_single_thread_works() {
+        let r = with_threads(1, || par_map(0..10, |i| i).len());
+        assert_eq!(r, 10);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_returns_total() {
+        let mut v = vec![3, 0, 2, 5];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(total, 10);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn par_filter_map_filters() {
+        let mut v = par_filter_map(0..100, |i| (i % 10 == 0).then_some(i));
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Parallel `vertex_map` and `vertex_filter`.
+
+use graphbolt_graph::VertexId;
+
+use crate::bitset::AtomicBitSet;
+use crate::parallel;
+use crate::subset::VertexSubset;
+
+/// Applies `f` to every member of `subset` in parallel.
+pub fn vertex_map<F>(subset: &VertexSubset, f: F)
+where
+    F: Fn(VertexId) + Sync + Send,
+{
+    let ids: Vec<VertexId> = subset.iter().collect();
+    parallel::par_for(0..ids.len(), |i| f(ids[i]));
+}
+
+/// Applies `f` to every member of `subset` in parallel, returning the
+/// members for which `f` returned `true` (Ligra's `vertexFilter` /
+/// the paper's `vertexMap` that yields `V_updated`, Algorithm 2 line 59).
+pub fn vertex_filter<F>(subset: &VertexSubset, f: F) -> VertexSubset
+where
+    F: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = subset.universe();
+    let ids: Vec<VertexId> = subset.iter().collect();
+    let keep = AtomicBitSet::new(n);
+    parallel::par_for(0..ids.len(), |i| {
+        if f(ids[i]) {
+            keep.set(ids[i] as usize);
+        }
+    });
+    VertexSubset::from_bits(keep).into_sparse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn vertex_map_visits_all_members() {
+        let s = VertexSubset::from_ids(100, (0..50).collect());
+        let hits = AtomicUsize::new(0);
+        vertex_map(&s, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn vertex_filter_keeps_matching() {
+        let s = VertexSubset::from_ids(100, (0..100).collect());
+        let kept = vertex_filter(&s, |v| v % 7 == 0);
+        assert_eq!(
+            kept.to_ids(),
+            vec![0, 7, 14, 21, 28, 35, 42, 49, 56, 63, 70, 77, 84, 91, 98]
+        );
+    }
+
+    #[test]
+    fn vertex_filter_on_empty_is_empty() {
+        let s = VertexSubset::empty(10);
+        assert!(vertex_filter(&s, |_| true).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Incremental construction of graph snapshots.
+
+use crate::snapshot::GraphSnapshot;
+use crate::types::{Edge, VertexId, Weight};
+
+/// Fluent builder for [`GraphSnapshot`].
+///
+/// # Examples
+///
+/// ```
+/// use graphbolt_graph::GraphBuilder;
+/// let g = GraphBuilder::new(3)
+///     .add_edge(0, 1, 1.0)
+///     .add_edge(1, 2, 0.5)
+///     .build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a builder with a fixed vertex-id space `0..n`. The space
+    /// grows automatically if an added edge references a larger id.
+    pub fn new(n: usize) -> Self {
+        Self {
+            num_vertices: n,
+            edges: Vec::new(),
+            symmetric: false,
+        }
+    }
+
+    /// When set, every added edge also inserts its reverse, producing a
+    /// symmetric (undirected-equivalent) graph — Triangle Counting and
+    /// Belief Propagation conventionally run on symmetrized inputs.
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Adds a weighted directed edge.
+    pub fn add_edge(mut self, src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        self.push(Edge::new(src, dst, weight));
+        self
+    }
+
+    /// Adds all edges from an iterator.
+    pub fn extend<I: IntoIterator<Item = Edge>>(mut self, iter: I) -> Self {
+        for e in iter {
+            self.push(e);
+        }
+        self
+    }
+
+    fn push(&mut self, e: Edge) {
+        self.num_vertices = self
+            .num_vertices
+            .max(e.src as usize + 1)
+            .max(e.dst as usize + 1);
+        self.edges.push(e);
+        if self.symmetric && e.src != e.dst {
+            self.edges.push(e.reversed());
+        }
+    }
+
+    /// Number of edges currently queued (after symmetrization).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if no edges are queued.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into an immutable snapshot; duplicate `(src, dst)` pairs
+    /// collapse, keeping the last weight.
+    pub fn build(self) -> GraphSnapshot {
+        GraphSnapshot::from_edges(self.num_vertices, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_grows_vertex_space() {
+        let g = GraphBuilder::new(1).add_edge(0, 7, 1.0).build();
+        assert_eq!(g.num_vertices(), 8);
+    }
+
+    #[test]
+    fn symmetric_builder_mirrors_edges() {
+        let g = GraphBuilder::new(3)
+            .symmetric(true)
+            .add_edge(0, 1, 2.0)
+            .build();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_weight(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn symmetric_builder_skips_self_loop_mirror() {
+        let g = GraphBuilder::new(2)
+            .symmetric(true)
+            .add_edge(1, 1, 1.0)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn extend_accepts_iterators() {
+        let g = GraphBuilder::new(0)
+            .extend((0..5).map(|i| Edge::unweighted(i, i + 1)))
+            .build();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.num_vertices(), 6);
+    }
+}

@@ -1,0 +1,342 @@
+//! Compressed sparse row adjacency index.
+//!
+//! A single [`Adjacency`] stores one direction of a graph (out-edges for
+//! CSR, in-edges for CSC). The GraphBolt snapshot keeps one of each so the
+//! execution engine can switch between push (source-indexed) and pull
+//! (destination-indexed) traversal, which is the backbone of Ligra-style
+//! direction optimization (§4.1 of the paper).
+
+use crate::types::{Edge, VertexId, Weight};
+
+/// One-directional compressed adjacency: per-vertex contiguous, sorted
+/// neighbor slices.
+///
+/// Neighbors of each vertex are kept sorted by id, enabling `O(log d)`
+/// membership queries ([`Adjacency::has_edge`]) and linear-time sorted set
+/// intersection, which Triangle Counting relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adjacency {
+    /// `offsets[v]..offsets[v + 1]` is the slice of `v`'s neighbors.
+    offsets: Vec<usize>,
+    /// Flattened neighbor ids, sorted within each vertex slice.
+    targets: Vec<VertexId>,
+    /// Weight parallel to `targets`.
+    weights: Vec<Weight>,
+}
+
+impl Adjacency {
+    /// Builds an adjacency index from `(vertex, neighbor, weight)` triples.
+    ///
+    /// `edges` does not need to be sorted; duplicates are kept (callers
+    /// that need simple graphs deduplicate before building). `n` is the
+    /// number of vertices and must exceed every id appearing in `edges`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex `>= n`; constructing an index
+    /// that silently drops edges would corrupt downstream dependency
+    /// tracking, so this is a programming error.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut degrees = vec![0usize; n];
+        for e in edges {
+            assert!(
+                (e.src as usize) < n,
+                "edge source {} out of bounds (n = {})",
+                e.src,
+                n
+            );
+            assert!(
+                (e.dst as usize) < n,
+                "edge target {} out of bounds (n = {})",
+                e.dst,
+                n
+            );
+            degrees[e.src as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut weights = vec![0.0; edges.len()];
+        let mut cursor = offsets[..n].to_vec();
+        for e in edges {
+            let slot = cursor[e.src as usize];
+            targets[slot] = e.dst;
+            weights[slot] = e.weight;
+            cursor[e.src as usize] += 1;
+        }
+        let mut adj = Self {
+            offsets,
+            targets,
+            weights,
+        };
+        adj.sort_slices();
+        adj
+    }
+
+    /// Creates an empty adjacency over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    fn sort_slices(&mut self) {
+        let n = self.num_vertices();
+        for v in 0..n {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            if hi - lo > 1 {
+                let mut pairs: Vec<(VertexId, Weight)> = self.targets[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(self.weights[lo..hi].iter().copied())
+                    .collect();
+                pairs.sort_by_key(|&(t, _)| t);
+                for (i, (t, w)) in pairs.into_iter().enumerate() {
+                    self.targets[lo + i] = t;
+                    self.weights[lo + i] = w;
+                }
+            }
+        }
+    }
+
+    /// Number of vertices indexed.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed edges stored.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted neighbor ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Adjacency::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: VertexId) -> &[Weight] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `v`.
+    #[inline]
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights(v).iter().copied())
+    }
+
+    /// Returns `true` if the directed edge `v → t` exists.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use graphbolt_graph::{Adjacency, Edge};
+    /// let adj = Adjacency::from_edges(3, &[Edge::unweighted(0, 2)]);
+    /// assert!(adj.has_edge(0, 2));
+    /// assert!(!adj.has_edge(2, 0));
+    /// ```
+    #[inline]
+    pub fn has_edge(&self, v: VertexId, t: VertexId) -> bool {
+        self.neighbors(v).binary_search(&t).is_ok()
+    }
+
+    /// Returns the weight of edge `v → t`, if present. When parallel edges
+    /// exist, an arbitrary one of them is reported.
+    pub fn edge_weight(&self, v: VertexId, t: VertexId) -> Option<Weight> {
+        self.neighbors(v)
+            .binary_search(&t)
+            .ok()
+            .map(|i| self.weights(v)[i])
+    }
+
+    /// Sum of edge weights incident to `v` in this direction; used by
+    /// destination-normalized aggregations such as CoEM.
+    pub fn weight_sum(&self, v: VertexId) -> Weight {
+        self.weights(v).iter().sum()
+    }
+
+    /// Applies a batch of per-vertex edge set replacements, producing a new
+    /// index. `changed` maps vertex id to its complete new `(target,
+    /// weight)` list (sorted or not); vertices absent from `changed` keep
+    /// their current slice. `new_n >= self.num_vertices()` grows the vertex
+    /// space.
+    ///
+    /// This is the two-pass adjustment from §4.1: pass one recomputes
+    /// offsets, pass two copies unchanged slices and writes replaced ones.
+    pub fn rebuild_with(
+        &self,
+        new_n: usize,
+        changed: &std::collections::HashMap<VertexId, Vec<(VertexId, Weight)>>,
+    ) -> Self {
+        assert!(new_n >= self.num_vertices());
+        let mut offsets = Vec::with_capacity(new_n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for v in 0..new_n {
+            let d = match changed.get(&(v as VertexId)) {
+                Some(list) => list.len(),
+                None if v < self.num_vertices() => self.degree(v as VertexId),
+                None => 0,
+            };
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0 as VertexId; acc];
+        let mut weights = vec![0.0; acc];
+        for v in 0..new_n {
+            let lo = offsets[v];
+            match changed.get(&(v as VertexId)) {
+                Some(list) => {
+                    let mut list = list.clone();
+                    list.sort_by_key(|&(t, _)| t);
+                    for (i, (t, w)) in list.into_iter().enumerate() {
+                        targets[lo + i] = t;
+                        weights[lo + i] = w;
+                    }
+                }
+                None if v < self.num_vertices() => {
+                    let (slo, shi) = (self.offsets[v], self.offsets[v + 1]);
+                    targets[lo..lo + (shi - slo)].copy_from_slice(&self.targets[slo..shi]);
+                    weights[lo..lo + (shi - slo)].copy_from_slice(&self.weights[slo..shi]);
+                }
+                None => {}
+            }
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Returns all edges as `(v, target, weight)` triples in index order.
+    pub fn to_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for v in 0..self.num_vertices() as VertexId {
+            for (t, w) in self.edges(v) {
+                out.push(Edge::new(v, t, w));
+            }
+        }
+        out
+    }
+
+    /// Estimated heap footprint in bytes (offsets + targets + weights).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn sample() -> Adjacency {
+        Adjacency::from_edges(
+            4,
+            &[
+                Edge::new(0, 2, 1.0),
+                Edge::new(0, 1, 2.0),
+                Edge::new(2, 3, 3.0),
+                Edge::new(3, 0, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_edges_builds_sorted_slices() {
+        let adj = sample();
+        assert_eq!(adj.num_vertices(), 4);
+        assert_eq!(adj.num_edges(), 4);
+        assert_eq!(adj.neighbors(0), &[1, 2]);
+        assert_eq!(adj.weights(0), &[2.0, 1.0]);
+        assert_eq!(adj.degree(1), 0);
+        assert_eq!(adj.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn has_edge_and_weight_lookup() {
+        let adj = sample();
+        assert!(adj.has_edge(0, 1));
+        assert!(!adj.has_edge(1, 0));
+        assert_eq!(adj.edge_weight(2, 3), Some(3.0));
+        assert_eq!(adj.edge_weight(3, 2), None);
+    }
+
+    #[test]
+    fn weight_sum_accumulates() {
+        let adj = sample();
+        assert_eq!(adj.weight_sum(0), 3.0);
+        assert_eq!(adj.weight_sum(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_edges_rejects_out_of_range() {
+        Adjacency::from_edges(2, &[Edge::unweighted(0, 5)]);
+    }
+
+    #[test]
+    fn rebuild_replaces_only_changed_vertices() {
+        let adj = sample();
+        let mut changed = HashMap::new();
+        changed.insert(0, vec![(3, 9.0)]);
+        changed.insert(1, vec![(0, 1.0), (2, 1.0)]);
+        let next = adj.rebuild_with(4, &changed);
+        assert_eq!(next.neighbors(0), &[3]);
+        assert_eq!(next.weights(0), &[9.0]);
+        assert_eq!(next.neighbors(1), &[0, 2]);
+        assert_eq!(next.neighbors(2), &[3]);
+        assert_eq!(next.neighbors(3), &[0]);
+        assert_eq!(next.num_edges(), 5);
+    }
+
+    #[test]
+    fn rebuild_can_grow_vertex_space() {
+        let adj = sample();
+        let mut changed = HashMap::new();
+        changed.insert(5, vec![(0, 1.0)]);
+        let next = adj.rebuild_with(6, &changed);
+        assert_eq!(next.num_vertices(), 6);
+        assert_eq!(next.neighbors(5), &[0]);
+        assert_eq!(next.degree(4), 0);
+    }
+
+    #[test]
+    fn to_edges_round_trips() {
+        let adj = sample();
+        let edges = adj.to_edges();
+        let rebuilt = Adjacency::from_edges(4, &edges);
+        assert_eq!(adj, rebuilt);
+    }
+
+    #[test]
+    fn empty_adjacency_has_no_edges() {
+        let adj = Adjacency::empty(3);
+        assert_eq!(adj.num_vertices(), 3);
+        assert_eq!(adj.num_edges(), 0);
+        assert_eq!(adj.degree(2), 0);
+    }
+}

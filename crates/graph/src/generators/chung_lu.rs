@@ -1,0 +1,94 @@
+//! Chung–Lu power-law graph generator.
+
+use rand::Rng;
+
+use super::{randomize_weights, simplify};
+use crate::types::{Edge, VertexId};
+
+/// Generates a simple directed graph whose expected degree sequence
+/// follows a power law with the given exponent (typically 2.0–3.0 for
+/// social/web graphs).
+///
+/// Vertices are assigned target weights `w_i = (i + 1)^(-1/(exponent-1))`
+/// (normalized); `m` edges are sampled with endpoint probability
+/// proportional to weight, then simplified. Smaller exponents give heavier
+/// tails.
+pub fn chung_lu<R: Rng>(
+    n: usize,
+    m: usize,
+    exponent: f64,
+    weighted: bool,
+    rng: &mut R,
+) -> Vec<Edge> {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    let gamma = -1.0 / (exponent - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(gamma)).collect();
+    // Cumulative distribution for inverse-transform sampling.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut R| -> VertexId {
+        let x = rng.gen_range(0.0..total);
+        cdf.partition_point(|&c| c <= x) as VertexId
+    };
+    let mut edges = Vec::with_capacity(m + m / 4 + 16);
+    let mut oversample = m + m / 4 + 16;
+    loop {
+        edges.clear();
+        for _ in 0..oversample {
+            edges.push(Edge::unweighted(sample(rng), sample(rng)));
+        }
+        edges = simplify(std::mem::take(&mut edges));
+        if edges.len() >= m {
+            break;
+        }
+        oversample *= 2;
+    }
+    edges.truncate(m);
+    if weighted {
+        randomize_weights(&mut edges, rng);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chung_lu_produces_requested_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = chung_lu(500, 2000, 2.2, false, &mut rng);
+        assert_eq!(edges.len(), 2000);
+        assert!(edges.iter().all(|e| e.src < 500 && e.dst < 500));
+    }
+
+    #[test]
+    fn chung_lu_low_ids_have_higher_degree() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 1000;
+        let edges = chung_lu(n, 8000, 2.1, false, &mut rng);
+        let mut deg = vec![0usize; n];
+        for e in &edges {
+            deg[e.src as usize] += 1;
+            deg[e.dst as usize] += 1;
+        }
+        let head: usize = deg[..n / 10].iter().sum();
+        let tail: usize = deg[9 * n / 10..].iter().sum();
+        assert!(head > 3 * tail, "head {head} should dominate tail {tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn chung_lu_rejects_invalid_exponent() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        chung_lu(10, 5, 0.5, false, &mut rng);
+    }
+}

@@ -1,0 +1,84 @@
+//! Erdős–Rényi `G(n, m)` generator — the non-skewed control input.
+
+use rand::Rng;
+
+use super::{randomize_weights, simplify};
+use crate::types::{Edge, VertexId};
+
+/// Generates a simple directed `G(n, m)` graph with `m` distinct edges
+/// sampled uniformly (self-loops excluded). Weights are uniform in
+/// `(0, 1]` when `weighted` is set.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible simple directed edges
+/// `n * (n - 1)`.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, weighted: bool, rng: &mut R) -> Vec<Edge> {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(
+        m <= n * (n - 1),
+        "requested {m} edges but only {} possible",
+        n * (n - 1)
+    );
+    // Rejection-sample; for the densities used in benchmarks (m << n^2)
+    // collisions are rare so a small oversampling factor suffices. The
+    // factor doubles on each retry so dense requests also terminate.
+    let mut oversample = m + m / 4 + 16;
+    let mut edges;
+    loop {
+        let mut sampled = Vec::with_capacity(oversample);
+        for _ in 0..oversample {
+            let src = rng.gen_range(0..n) as VertexId;
+            let dst = rng.gen_range(0..n) as VertexId;
+            sampled.push(Edge::unweighted(src, dst));
+        }
+        edges = simplify(sampled);
+        if edges.len() >= m {
+            break;
+        }
+        oversample *= 2;
+    }
+    edges.truncate(m);
+    if weighted {
+        randomize_weights(&mut edges, rng);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_has_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let edges = erdos_renyi(100, 500, false, &mut rng);
+        assert_eq!(edges.len(), 500);
+        let mut seen = std::collections::HashSet::new();
+        assert!(edges.iter().all(|e| seen.insert((e.src, e.dst))));
+        assert!(edges.iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn erdos_renyi_weighted_assigns_weights() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let edges = erdos_renyi(50, 100, true, &mut rng);
+        assert!(edges.iter().all(|e| e.weight > 0.0 && e.weight <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn erdos_renyi_rejects_impossible_density() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        erdos_renyi(3, 100, false, &mut rng);
+    }
+
+    #[test]
+    fn erdos_renyi_small_dense_case_terminates() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let edges = erdos_renyi(4, 12, false, &mut rng);
+        assert_eq!(edges.len(), 12);
+    }
+}

@@ -1,0 +1,168 @@
+//! R-MAT (recursive matrix) graph generator.
+
+use rand::Rng;
+
+use super::{randomize_weights, shuffle_labels, simplify};
+use crate::types::{Edge, VertexId};
+
+/// Parameters of the R-MAT recursive partitioning.
+///
+/// The defaults `(a, b, c) = (0.57, 0.19, 0.19)` are the standard
+/// "social network" setting (Graph500) producing a heavily skewed degree
+/// distribution comparable to the paper's web/social inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average directed edges per vertex.
+    pub edge_factor: usize,
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Relabel vertices randomly so id does not correlate with degree.
+    pub shuffle: bool,
+    /// Assign uniform random weights in `(0, 1]` instead of `1.0`.
+    pub weighted: bool,
+}
+
+impl RmatConfig {
+    /// Standard skewed configuration at the given scale.
+    pub fn new(scale: u32, edge_factor: usize) -> Self {
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            shuffle: true,
+            weighted: true,
+        }
+    }
+
+    /// Number of vertices implied by `scale`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Number of edge samples drawn (pre-deduplication).
+    pub fn num_samples(&self) -> usize {
+        self.num_vertices() * self.edge_factor
+    }
+}
+
+/// Generates a simple directed R-MAT graph (no self-loops, no parallel
+/// edges). Returns the edge list; pair with
+/// [`GraphSnapshot::from_edges`](crate::GraphSnapshot::from_edges) or
+/// stream it through [`MutationStream`](crate::MutationStream).
+///
+/// # Examples
+///
+/// ```
+/// use graphbolt_graph::generators::{rmat, RmatConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+/// let edges = rmat(&RmatConfig::new(8, 8), &mut rng);
+/// assert!(!edges.is_empty());
+/// ```
+pub fn rmat<R: Rng>(cfg: &RmatConfig, rng: &mut R) -> Vec<Edge> {
+    assert!(
+        cfg.a + cfg.b + cfg.c <= 1.0,
+        "quadrant probabilities exceed 1"
+    );
+    let n = cfg.num_vertices();
+    let mut edges = Vec::with_capacity(cfg.num_samples());
+    for _ in 0..cfg.num_samples() {
+        let (src, dst) = sample_cell(cfg, n, rng);
+        edges.push(Edge::unweighted(src, dst));
+    }
+    let mut edges = simplify(edges);
+    if cfg.shuffle {
+        shuffle_labels(&mut edges, n, rng);
+    }
+    if cfg.weighted {
+        randomize_weights(&mut edges, rng);
+    }
+    edges
+}
+
+fn sample_cell<R: Rng>(cfg: &RmatConfig, n: usize, rng: &mut R) -> (VertexId, VertexId) {
+    let (mut r0, mut r1) = (0usize, n);
+    let (mut c0, mut c1) = (0usize, n);
+    while r1 - r0 > 1 {
+        // Perturb quadrant probabilities slightly per level, as in the
+        // original R-MAT paper, to avoid exactly self-similar artifacts.
+        let noise = |p: f64, rng: &mut R| p * rng.gen_range(0.95..1.05);
+        let a = noise(cfg.a, rng);
+        let b = noise(cfg.b, rng);
+        let c = noise(cfg.c, rng);
+        let sum = a + b + c + (1.0 - cfg.a - cfg.b - cfg.c);
+        let x = rng.gen_range(0.0..sum);
+        let rm = (r0 + r1) / 2;
+        let cm = (c0 + c1) / 2;
+        if x < a {
+            r1 = rm;
+            c1 = cm;
+        } else if x < a + b {
+            r1 = rm;
+            c0 = cm;
+        } else if x < a + b + c {
+            r0 = rm;
+            c1 = cm;
+        } else {
+            r0 = rm;
+            c0 = cm;
+        }
+    }
+    (r0 as VertexId, c0 as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rmat_produces_simple_graph_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cfg = RmatConfig::new(8, 8);
+        let edges = rmat(&cfg, &mut rng);
+        let n = cfg.num_vertices() as VertexId;
+        assert!(edges.iter().all(|e| e.src < n && e.dst < n));
+        assert!(edges.iter().all(|e| e.src != e.dst));
+        let mut seen = std::collections::HashSet::new();
+        assert!(edges.iter().all(|e| seen.insert((e.src, e.dst))));
+    }
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let cfg = RmatConfig::new(7, 4);
+        let a = rmat(&cfg, &mut SmallRng::seed_from_u64(3));
+        let b = rmat(&cfg, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut cfg = RmatConfig::new(10, 16);
+        cfg.shuffle = false;
+        let edges = rmat(&cfg, &mut rng);
+        let mut deg = vec![0usize; cfg.num_vertices()];
+        for e in &edges {
+            deg[e.src as usize] += 1;
+        }
+        deg.sort_unstable_by(|x, y| y.cmp(x));
+        let total: usize = deg.iter().sum();
+        let top1pct: usize = deg.iter().take(cfg.num_vertices() / 100).sum();
+        // In a skewed graph, the top 1% of vertices hold far more than 1%
+        // of the edges (uniform would give ~1%).
+        assert!(
+            top1pct * 10 > total,
+            "top-1% share {top1pct}/{total} not skewed"
+        );
+    }
+}

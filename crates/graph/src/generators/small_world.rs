@@ -1,0 +1,125 @@
+//! Watts–Strogatz small-world generator and regular grids.
+
+use rand::Rng;
+
+use super::randomize_weights;
+use crate::types::{Edge, VertexId};
+
+/// Generates a directed Watts–Strogatz small-world graph: a ring lattice
+/// where every vertex connects to its `k` clockwise neighbors, with each
+/// edge's target rewired uniformly at random with probability `beta`.
+///
+/// Small-world graphs have high clustering and short paths — a contrast
+/// case to R-MAT's skew for locality-sensitivity experiments.
+///
+/// # Panics
+///
+/// Panics if `k >= n` or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz<R: Rng>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    weighted: bool,
+    rng: &mut R,
+) -> Vec<Edge> {
+    assert!(n > k, "need more vertices than lattice degree");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut edges = Vec::with_capacity(n * k);
+    let mut present = std::collections::HashSet::with_capacity(n * k);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut t = (v + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire, avoiding self-loops and duplicates.
+                for _ in 0..8 {
+                    let cand = rng.gen_range(0..n);
+                    if cand != v && !present.contains(&(v, cand)) {
+                        t = cand;
+                        break;
+                    }
+                }
+            }
+            if t != v && present.insert((v, t)) {
+                edges.push(Edge::unweighted(v as VertexId, t as VertexId));
+            }
+        }
+    }
+    if weighted {
+        randomize_weights(&mut edges, rng);
+    }
+    edges
+}
+
+/// Generates a `rows × cols` 4-neighbor grid (symmetric edges) — the
+/// mesh/road-network-style contrast case: no skew, large diameter.
+pub fn grid(rows: usize, cols: usize, weighted: bool, seed: u64) -> Vec<Edge> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let idx = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::with_capacity(rows * cols * 4);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::unweighted(idx(r, c), idx(r, c + 1)));
+                edges.push(Edge::unweighted(idx(r, c + 1), idx(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::unweighted(idx(r, c), idx(r + 1, c)));
+                edges.push(Edge::unweighted(idx(r + 1, c), idx(r, c)));
+            }
+        }
+    }
+    if weighted {
+        randomize_weights(&mut edges, &mut rng);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lattice_without_rewiring_is_regular() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = watts_strogatz(20, 3, 0.0, false, &mut rng);
+        assert_eq!(edges.len(), 60);
+        let mut deg = vec![0usize; 20];
+        for e in &edges {
+            deg[e.src as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn rewiring_keeps_graph_simple() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let edges = watts_strogatz(50, 4, 0.5, true, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for e in &edges {
+            assert_ne!(e.src, e.dst);
+            assert!(seen.insert((e.src, e.dst)));
+            assert!(e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn grid_has_expected_edge_count() {
+        let edges = grid(3, 4, false, 0);
+        // Horizontal: 3 rows × 3 gaps × 2 dirs; vertical: 2 × 4 × 2.
+        assert_eq!(edges.len(), 18 + 16);
+    }
+
+    #[test]
+    fn grid_connects_neighbors_only() {
+        let edges = grid(3, 3, false, 0);
+        for e in &edges {
+            let (r1, c1) = (e.src / 3, e.src % 3);
+            let (r2, c2) = (e.dst / 3, e.dst % 3);
+            let dist = (r1 as i32 - r2 as i32).abs() + (c1 as i32 - c2 as i32).abs();
+            assert_eq!(dist, 1, "edge {e:?} is not a grid neighbor");
+        }
+    }
+}

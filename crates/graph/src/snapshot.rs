@@ -1,0 +1,374 @@
+//! Immutable graph snapshots with dual CSR/CSC indexing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::csr::Adjacency;
+use crate::mutation::{MutationBatch, MutationError};
+use crate::types::{Edge, VertexId, Weight};
+
+/// An immutable snapshot of a directed weighted graph.
+///
+/// The snapshot keeps both a source-indexed (CSR, out-edges) and a
+/// destination-indexed (CSC, in-edges) view of the same edge set. Push
+/// traversal reads the CSR; pull traversal and GraphBolt's re-evaluation of
+/// non-decomposable aggregations read the CSC (§3.3, §4.2 of the paper).
+///
+/// Snapshots are cheap to share (`Arc` internally is not required — the
+/// engine clones `Arc<GraphSnapshot>`); applying a [`MutationBatch`]
+/// produces a *new* snapshot, leaving the old one readable so refinement
+/// can evaluate "old graph" contributions while the mutated graph is live.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    out: Adjacency,
+    inc: Adjacency,
+    /// Monotonically increasing snapshot version, starting at 0.
+    version: u64,
+}
+
+impl PartialEq for GraphSnapshot {
+    /// Structural equality: two snapshots are equal when they describe
+    /// the same edge set, regardless of how many mutation batches
+    /// produced them (the version counter is provenance, not structure).
+    fn eq(&self, other: &Self) -> bool {
+        self.out == other.out && self.inc == other.inc
+    }
+}
+
+impl GraphSnapshot {
+    /// Builds a snapshot from an edge list over `n` vertices.
+    ///
+    /// Duplicate `(src, dst)` pairs are collapsed, keeping the last weight
+    /// seen — the substrate models simple directed graphs, matching the
+    /// paper's inputs.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut dedup: HashMap<(VertexId, VertexId), Weight> = HashMap::with_capacity(edges.len());
+        for e in edges {
+            dedup.insert((e.src, e.dst), e.weight);
+        }
+        let unique: Vec<Edge> = dedup
+            .into_iter()
+            .map(|((s, d), w)| Edge::new(s, d, w))
+            .collect();
+        let out = Adjacency::from_edges(n, &unique);
+        let reversed: Vec<Edge> = unique.iter().map(|e| e.reversed()).collect();
+        let inc = Adjacency::from_edges(n, &reversed);
+        Self {
+            out,
+            inc,
+            version: 0,
+        }
+    }
+
+    /// Creates an empty graph over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            out: Adjacency::empty(n),
+            inc: Adjacency::empty(n),
+            version: 0,
+        }
+    }
+
+    pub(crate) fn from_parts(out: Adjacency, inc: Adjacency, version: u64) -> Self {
+        debug_assert_eq!(out.num_edges(), inc.num_edges());
+        debug_assert_eq!(out.num_vertices(), inc.num_vertices());
+        Self { out, inc, version }
+    }
+
+    /// Number of vertices (fixed id space `0..n`).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Snapshot version: 0 for the initial build, incremented by each
+    /// applied mutation batch.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inc.degree(v)
+    }
+
+    /// Sorted out-neighbors of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// Sorted in-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.inc.neighbors(v)
+    }
+
+    /// `(out-neighbor, weight)` pairs of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.out.edges(v)
+    }
+
+    /// `(in-neighbor, weight)` pairs of `v` — the weight is that of the
+    /// original `u → v` edge.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.inc.edges(v)
+    }
+
+    /// Returns `true` if the directed edge `u → v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out.has_edge(u, v)
+    }
+
+    /// Weight of `u → v`, if present.
+    #[inline]
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.out.edge_weight(u, v)
+    }
+
+    /// Sum of in-edge weights of `v` (CoEM-style destination
+    /// normalization).
+    #[inline]
+    pub fn in_weight_sum(&self, v: VertexId) -> Weight {
+        self.inc.weight_sum(v)
+    }
+
+    /// The out-edge (CSR) index.
+    #[inline]
+    pub fn csr(&self) -> &Adjacency {
+        &self.out
+    }
+
+    /// The in-edge (CSC) index.
+    #[inline]
+    pub fn csc(&self) -> &Adjacency {
+        &self.inc
+    }
+
+    /// All edges in source-major order.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.out.to_edges()
+    }
+
+    /// Applies a mutation batch, producing the next snapshot.
+    ///
+    /// Additions of already-present edges and deletions of absent edges are
+    /// rejected with [`MutationError`] so that dependency refinement never
+    /// repropagates a contribution twice or retracts one that was never
+    /// made (§4.2 "spurious updates"). Use
+    /// [`MutationBatch::normalize_against`] to pre-filter a raw stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MutationError::DuplicateAddition`] /
+    /// [`MutationError::MissingDeletion`] on conflicting mutations.
+    /// A delete+add pair on the same endpoints is a *reweight* and is
+    /// accepted.
+    pub fn apply(&self, batch: &MutationBatch) -> Result<GraphSnapshot, MutationError> {
+        batch.validate(self)?;
+        let new_n = self
+            .num_vertices()
+            .max(batch.max_vertex_id().map_or(0, |m| m as usize + 1));
+
+        // Pass 1: group mutations by source (CSR) and destination (CSC).
+        let mut out_changed: HashMap<VertexId, Vec<(VertexId, Weight)>> = HashMap::new();
+        let mut in_changed: HashMap<VertexId, Vec<(VertexId, Weight)>> = HashMap::new();
+        let mut touch_out = |v: VertexId, adj: &Adjacency| {
+            out_changed.entry(v).or_insert_with(|| {
+                if (v as usize) < adj.num_vertices() {
+                    adj.edges(v).collect()
+                } else {
+                    Vec::new()
+                }
+            });
+        };
+        let mut touch_in = |v: VertexId, adj: &Adjacency| {
+            in_changed.entry(v).or_insert_with(|| {
+                if (v as usize) < adj.num_vertices() {
+                    adj.edges(v).collect()
+                } else {
+                    Vec::new()
+                }
+            });
+        };
+        for e in batch.additions() {
+            touch_out(e.src, &self.out);
+            touch_in(e.dst, &self.inc);
+        }
+        for e in batch.deletions() {
+            touch_out(e.src, &self.out);
+            touch_in(e.dst, &self.inc);
+        }
+        for e in batch.deletions() {
+            let slot = out_changed.get_mut(&e.src).expect("touched above");
+            slot.retain(|&(t, _)| t != e.dst);
+            let slot = in_changed.get_mut(&e.dst).expect("touched above");
+            slot.retain(|&(t, _)| t != e.src);
+        }
+        for e in batch.additions() {
+            out_changed
+                .get_mut(&e.src)
+                .expect("touched above")
+                .push((e.dst, e.weight));
+            in_changed
+                .get_mut(&e.dst)
+                .expect("touched above")
+                .push((e.src, e.weight));
+        }
+
+        // Pass 2: rebuild both indexes, copying unchanged slices.
+        let out = self.out.rebuild_with(new_n, &out_changed);
+        let inc = self.inc.rebuild_with(new_n, &in_changed);
+        Ok(GraphSnapshot::from_parts(out, inc, self.version + 1))
+    }
+
+    /// Convenience wrapper returning an `Arc`'d mutated snapshot.
+    pub fn apply_arc(&self, batch: &MutationBatch) -> Result<Arc<GraphSnapshot>, MutationError> {
+        self.apply(batch).map(Arc::new)
+    }
+
+    /// Estimated heap footprint of both indexes, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.out.memory_bytes() + self.inc.memory_bytes()
+    }
+
+    /// Checks internal consistency: CSR and CSC describe the same edge
+    /// set. Intended for tests and debug assertions.
+    pub fn check_consistency(&self) -> bool {
+        if self.out.num_edges() != self.inc.num_edges() {
+            return false;
+        }
+        let mut fwd = self.out.to_edges();
+        let mut bwd: Vec<Edge> = self
+            .inc
+            .to_edges()
+            .into_iter()
+            .map(|e| e.reversed())
+            .collect();
+        fwd.sort();
+        bwd.sort();
+        fwd == bwd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> GraphSnapshot {
+        GraphSnapshot::from_edges(
+            4,
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 2.0),
+                Edge::new(1, 3, 3.0),
+                Edge::new(2, 3, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_and_csc_agree() {
+        let g = diamond();
+        assert!(g.check_consistency());
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = GraphSnapshot::from_edges(2, &[Edge::new(0, 1, 1.0), Edge::new(0, 1, 7.0)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(7.0));
+    }
+
+    #[test]
+    fn in_weight_sum_matches_incoming_edges() {
+        let g = diamond();
+        assert_eq!(g.in_weight_sum(3), 7.0);
+        assert_eq!(g.in_weight_sum(1), 1.0);
+    }
+
+    #[test]
+    fn apply_addition_and_deletion() {
+        let g = diamond();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(3, 0, 9.0));
+        batch.delete(Edge::unweighted(0, 1));
+        let g2 = g.apply(&batch).unwrap();
+        assert!(g2.check_consistency());
+        assert_eq!(g2.num_edges(), 4);
+        assert!(g2.has_edge(3, 0));
+        assert!(!g2.has_edge(0, 1));
+        assert_eq!(g2.version(), 1);
+        // The old snapshot is untouched.
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn apply_grows_vertex_space() {
+        let g = diamond();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::unweighted(3, 6));
+        let g2 = g.apply(&batch).unwrap();
+        assert_eq!(g2.num_vertices(), 7);
+        assert!(g2.has_edge(3, 6));
+        assert_eq!(g2.out_degree(5), 0);
+        assert!(g2.check_consistency());
+    }
+
+    #[test]
+    fn apply_rejects_duplicate_addition() {
+        let g = diamond();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::unweighted(0, 1));
+        assert!(matches!(
+            g.apply(&batch),
+            Err(MutationError::DuplicateAddition(_))
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_missing_deletion() {
+        let g = diamond();
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::unweighted(1, 0));
+        assert!(matches!(
+            g.apply(&batch),
+            Err(MutationError::MissingDeletion(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_batches_bump_version() {
+        let g = diamond();
+        let mut b1 = MutationBatch::new();
+        b1.add(Edge::unweighted(1, 0));
+        let g1 = g.apply(&b1).unwrap();
+        let mut b2 = MutationBatch::new();
+        b2.delete(Edge::unweighted(1, 0));
+        let g2 = g1.apply(&b2).unwrap();
+        assert_eq!(g2.version(), 2);
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,217 @@
+//! Structural statistics of graph snapshots.
+//!
+//! Used by the harness to characterize generated inputs (the evaluation's
+//! claims hinge on degree skew and stabilization, both functions of
+//! structure) and by downstream users for quick dataset summaries.
+
+use crate::snapshot::GraphSnapshot;
+use crate::types::VertexId;
+
+/// Summary statistics of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Vertices with no incident edges at all.
+    pub isolated: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean out-degree over all vertices.
+    pub mean_degree: f64,
+    /// Share of all edges held by the top 1% of vertices by out-degree
+    /// (≥ ~0.01 for uniform graphs; ≫ 0.01 for skewed ones).
+    pub top1pct_share: f64,
+}
+
+/// Computes summary statistics.
+pub fn stats(g: &GraphSnapshot) -> GraphStats {
+    let n = g.num_vertices();
+    let mut out: Vec<usize> = (0..n as VertexId).map(|v| g.out_degree(v)).collect();
+    let isolated = (0..n as VertexId)
+        .filter(|&v| g.out_degree(v) == 0 && g.in_degree(v) == 0)
+        .count();
+    let max_out = out.iter().copied().max().unwrap_or(0);
+    let max_in = (0..n as VertexId)
+        .map(|v| g.in_degree(v))
+        .max()
+        .unwrap_or(0);
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (n / 100).max(1);
+    let top_sum: usize = out.iter().take(top).sum();
+    GraphStats {
+        vertices: n,
+        edges: g.num_edges(),
+        isolated,
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / n as f64
+        },
+        top1pct_share: if g.num_edges() == 0 {
+            0.0
+        } else {
+            top_sum as f64 / g.num_edges() as f64
+        },
+    }
+}
+
+/// Out-degree histogram with logarithmic buckets `[2^i, 2^{i+1})`;
+/// index 0 counts degree-0 vertices.
+pub fn degree_histogram(g: &GraphSnapshot) -> Vec<usize> {
+    let mut buckets = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.out_degree(v);
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+/// Approximate (hop) diameter by the double-sweep heuristic: BFS from
+/// `start`, then BFS again from the farthest vertex found. The result is
+/// a lower bound on the true diameter, usually tight on real graphs —
+/// use it to size iteration budgets (`iterations ≥ diameter` for exact
+/// path algorithms).
+pub fn approximate_diameter(g: &GraphSnapshot, start: VertexId) -> usize {
+    let (far, _) = bfs_farthest(g, start);
+    let (_, depth) = bfs_farthest(g, far);
+    depth
+}
+
+/// BFS over out-edges; returns the farthest reached vertex and its hop
+/// distance.
+fn bfs_farthest(g: &GraphSnapshot, start: VertexId) -> (VertexId, usize) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (start, 0);
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    let (mut far, mut depth) = (start, 0);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                if du + 1 > depth {
+                    depth = du + 1;
+                    far = v;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    (far, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::rmat::{rmat, RmatConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(0, 2, 1.0)
+            .add_edge(1, 2, 1.0)
+            .build();
+        let s = stats(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.mean_degree - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmat_shows_skew_in_stats() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let edges = rmat(&RmatConfig::new(10, 8), &mut rng);
+        let n = crate::generators::vertex_count(&edges);
+        let g = GraphSnapshot::from_edges(n, &edges);
+        let s = stats(&g);
+        assert!(
+            s.top1pct_share > 0.05,
+            "R-MAT top-1% share {} not skewed",
+            s.top1pct_share
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_by_log_degree() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(0, 2, 1.0)
+            .add_edge(0, 3, 1.0)
+            .add_edge(1, 0, 1.0)
+            .build();
+        let h = degree_histogram(&g);
+        // Vertex 0: degree 3 → bucket 2; vertex 1: degree 1 → bucket 1;
+        // vertices 2, 3: degree 0 → bucket 0.
+        assert_eq!(h, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = GraphSnapshot::empty(0);
+        let s = stats(&g);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.top1pct_share, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod diameter_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn path_graph_diameter() {
+        let mut b = GraphBuilder::new(6).symmetric(true);
+        for i in 0..5u32 {
+            b = b.add_edge(i, i + 1, 1.0);
+        }
+        let g = b.build();
+        assert_eq!(approximate_diameter(&g, 2), 5);
+    }
+
+    #[test]
+    fn star_graph_diameter() {
+        let mut b = GraphBuilder::new(8).symmetric(true);
+        for i in 1..8u32 {
+            b = b.add_edge(0, i, 1.0);
+        }
+        let g = b.build();
+        assert_eq!(approximate_diameter(&g, 0), 2);
+    }
+
+    #[test]
+    fn disconnected_start_sees_its_component_only() {
+        let g = GraphBuilder::new(4)
+            .symmetric(true)
+            .add_edge(0, 1, 1.0)
+            .add_edge(2, 3, 1.0)
+            .build();
+        assert_eq!(approximate_diameter(&g, 0), 1);
+    }
+}

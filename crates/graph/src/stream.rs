@@ -1,0 +1,342 @@
+//! Mutation-stream driver implementing the paper's evaluation methodology.
+//!
+//! §5.1: *"we obtained an initial fixed point and streamed in a set of edge
+//! insertions and deletions for the rest of the computation. After 50% of
+//! the edges were loaded, the remaining edges were treated as edge
+//! additions that were streamed in. Edges to be deleted were selected from
+//! the loaded graph and deletion requests were mixed with addition
+//! requests in the update stream."*
+//!
+//! §5.3(B) additionally defines **Hi**/**Lo** workloads where mutations
+//! target high- / low-out-degree vertices.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mutation::MutationBatch;
+use crate::snapshot::GraphSnapshot;
+use crate::types::{Edge, VertexId};
+
+/// Degree targeting of generated mutations (§5.3(B)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadBias {
+    /// Mutations drawn uniformly from the stream / edge set.
+    Uniform,
+    /// Mutations incident to high-out-degree vertices ("Hi": changes
+    /// affect many vertices).
+    HighDegree,
+    /// Mutations incident to low-out-degree vertices ("Lo": impact is
+    /// contained).
+    LowDegree,
+}
+
+/// Configuration of a [`MutationStream`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Fraction of all edges loaded into the initial snapshot (paper: 0.5).
+    pub load_fraction: f64,
+    /// Fraction of each batch that are deletions (paper mixes deletions
+    /// into the addition stream; we default to 0.1).
+    pub deletion_fraction: f64,
+    /// Degree targeting.
+    pub bias: WorkloadBias,
+    /// RNG seed — streams are fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            load_fraction: 0.5,
+            deletion_fraction: 0.1,
+            bias: WorkloadBias::Uniform,
+            seed: 0xB017,
+        }
+    }
+}
+
+/// Deterministic generator of mutation batches over an edge population.
+///
+/// # Examples
+///
+/// ```
+/// use graphbolt_graph::{generators, MutationStream, StreamConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let edges = generators::erdos_renyi(200, 2000, true, &mut rng);
+/// let mut stream = MutationStream::new(edges, StreamConfig::default());
+/// let g0 = stream.initial_snapshot();
+/// let batch = stream.next_batch(&g0, 50).unwrap();
+/// assert!(batch.len() <= 50 && !batch.is_empty());
+/// let g1 = g0.apply(&batch).unwrap();
+/// assert!(g1.check_consistency());
+/// ```
+pub struct MutationStream {
+    initial: GraphSnapshot,
+    /// Additions not yet streamed, consumed from the back.
+    pending: Vec<Edge>,
+    cfg: StreamConfig,
+    rng: SmallRng,
+    exhausted_warning: bool,
+}
+
+impl MutationStream {
+    /// Splits `edges` into an initial snapshot (`load_fraction`) and a
+    /// pending addition stream (the rest), after a deterministic shuffle.
+    pub fn new(mut edges: Vec<Edge>, cfg: StreamConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.load_fraction),
+            "load_fraction must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.deletion_fraction),
+            "deletion_fraction must be in [0, 1]"
+        );
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        // Fisher-Yates shuffle for a deterministic stream order.
+        for i in (1..edges.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            edges.swap(i, j);
+        }
+        let n = crate::generators::vertex_count(&edges);
+        let split = ((edges.len() as f64) * cfg.load_fraction).round() as usize;
+        let pending = edges.split_off(split.min(edges.len()));
+        let initial = GraphSnapshot::from_edges(n, &edges);
+        Self {
+            initial,
+            pending,
+            cfg,
+            rng,
+            exhausted_warning: false,
+        }
+    }
+
+    /// The snapshot containing the loaded 50% of edges.
+    pub fn initial_snapshot(&self) -> GraphSnapshot {
+        self.initial.clone()
+    }
+
+    /// Number of additions still queued.
+    pub fn pending_additions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Produces the next mutation batch of (up to) `size` mutations
+    /// consistent with `current`, or `None` once the addition stream is
+    /// exhausted and no deletions can be sampled.
+    ///
+    /// The returned batch always validates against `current`.
+    pub fn next_batch(&mut self, current: &GraphSnapshot, size: usize) -> Option<MutationBatch> {
+        assert!(size > 0);
+        let want_deletions = ((size as f64) * self.cfg.deletion_fraction).round() as usize;
+        let want_additions = size - want_deletions;
+
+        let mut batch = MutationBatch::new();
+        self.fill_additions(current, want_additions, &mut batch);
+        self.fill_deletions(current, want_deletions, &mut batch);
+        let batch = batch.normalize_against(current);
+        if batch.is_empty() {
+            if !self.exhausted_warning {
+                self.exhausted_warning = true;
+            }
+            None
+        } else {
+            Some(batch)
+        }
+    }
+
+    fn fill_additions(&mut self, current: &GraphSnapshot, want: usize, batch: &mut MutationBatch) {
+        match self.cfg.bias {
+            WorkloadBias::Uniform => {
+                let mut taken = 0;
+                while taken < want {
+                    match self.pending.pop() {
+                        Some(e) => {
+                            // Skip additions already present (a prior biased
+                            // batch may have inserted an overlapping edge).
+                            if !((e.src as usize) < current.num_vertices()
+                                && current.has_edge(e.src, e.dst))
+                            {
+                                batch.add(e);
+                                taken += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            bias => {
+                // Synthesize additions whose *source* is degree-targeted so
+                // the mutation's blast radius is controlled.
+                let sources = self.biased_sources(current, bias, want);
+                let n = current.num_vertices() as VertexId;
+                for src in sources {
+                    for _ in 0..8 {
+                        let dst = self.rng.gen_range(0..n);
+                        if dst != src && !current.has_edge(src, dst) {
+                            batch.add(Edge::new(src, dst, self.rng.gen_range(0.05..=1.0)));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_deletions(&mut self, current: &GraphSnapshot, want: usize, batch: &mut MutationBatch) {
+        if current.num_edges() == 0 {
+            return;
+        }
+        let sources = match self.cfg.bias {
+            WorkloadBias::Uniform => Vec::new(),
+            bias => self.biased_sources(current, bias, want),
+        };
+        let mut got = 0;
+        let mut attempts = 0;
+        let max_attempts = want * 32 + 64;
+        while got < want && attempts < max_attempts {
+            attempts += 1;
+            let src = if sources.is_empty() {
+                self.rng.gen_range(0..current.num_vertices()) as VertexId
+            } else {
+                sources[self.rng.gen_range(0..sources.len())]
+            };
+            let deg = current.out_degree(src);
+            if deg == 0 {
+                continue;
+            }
+            let k = self.rng.gen_range(0..deg);
+            let dst = current.out_neighbors(src)[k];
+            let w = current.csr().weights(src)[k];
+            batch.delete(Edge::new(src, dst, w));
+            got += 1;
+        }
+    }
+
+    /// Picks `count` source vertices from the top (Hi) or bottom (Lo) of
+    /// the out-degree distribution.
+    fn biased_sources(
+        &mut self,
+        current: &GraphSnapshot,
+        bias: WorkloadBias,
+        count: usize,
+    ) -> Vec<VertexId> {
+        let n = current.num_vertices();
+        let mut by_degree: Vec<VertexId> = (0..n as VertexId).collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(current.out_degree(v)));
+        let pool: Vec<VertexId> = match bias {
+            WorkloadBias::HighDegree => by_degree.iter().take((n / 100).max(16)).copied().collect(),
+            WorkloadBias::LowDegree => by_degree
+                .iter()
+                .rev()
+                .filter(|&&v| current.out_degree(v) > 0)
+                .take((n / 2).max(16))
+                .copied()
+                .collect(),
+            WorkloadBias::Uniform => by_degree,
+        };
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| pool[self.rng.gen_range(0..pool.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    fn population(seed: u64) -> Vec<Edge> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        erdos_renyi(300, 3000, true, &mut rng)
+    }
+
+    #[test]
+    fn stream_splits_population() {
+        let stream = MutationStream::new(population(1), StreamConfig::default());
+        let g = stream.initial_snapshot();
+        assert_eq!(g.num_edges(), 1500);
+        assert_eq!(stream.pending_additions(), 1500);
+    }
+
+    #[test]
+    fn batches_validate_and_apply() {
+        let mut stream = MutationStream::new(population(2), StreamConfig::default());
+        let mut g = stream.initial_snapshot();
+        for _ in 0..10 {
+            let batch = stream.next_batch(&g, 100).expect("stream not exhausted");
+            assert!(batch.validate(&g).is_ok());
+            g = g.apply(&batch).unwrap();
+            assert!(g.check_consistency());
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let cfg = StreamConfig::default();
+        let mut s1 = MutationStream::new(population(3), cfg);
+        let mut s2 = MutationStream::new(population(3), cfg);
+        let g = s1.initial_snapshot();
+        assert_eq!(s1.next_batch(&g, 64), s2.next_batch(&g, 64));
+    }
+
+    #[test]
+    fn stream_exhausts_eventually() {
+        let mut cfg = StreamConfig::default();
+        cfg.deletion_fraction = 0.0;
+        let mut stream = MutationStream::new(population(4), cfg);
+        let mut g = stream.initial_snapshot();
+        let mut batches = 0;
+        while let Some(b) = stream.next_batch(&g, 500) {
+            g = g.apply(&b).unwrap();
+            batches += 1;
+            assert!(batches < 100, "stream failed to exhaust");
+        }
+        assert_eq!(stream.pending_additions(), 0);
+        assert_eq!(g.num_edges(), 3000);
+    }
+
+    #[test]
+    fn high_degree_bias_targets_hubs() {
+        let mut cfg = StreamConfig::default();
+        cfg.bias = WorkloadBias::HighDegree;
+        cfg.deletion_fraction = 0.5;
+        let mut stream = MutationStream::new(population(5), cfg);
+        let g = stream.initial_snapshot();
+        let batch = stream.next_batch(&g, 50).unwrap();
+        let mut degrees: Vec<usize> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.out_degree(v))
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let threshold = degrees[(g.num_vertices() / 100).max(16) - 1];
+        for e in batch.deletions() {
+            assert!(
+                g.out_degree(e.src) >= threshold,
+                "deletion source {} has degree {} < hub threshold {}",
+                e.src,
+                g.out_degree(e.src),
+                threshold
+            );
+        }
+    }
+
+    #[test]
+    fn low_degree_bias_avoids_hubs() {
+        let mut cfg = StreamConfig::default();
+        cfg.bias = WorkloadBias::LowDegree;
+        cfg.deletion_fraction = 0.5;
+        let mut stream = MutationStream::new(population(6), cfg);
+        let g = stream.initial_snapshot();
+        let batch = stream.next_batch(&g, 50).unwrap();
+        let max_deg = (0..g.num_vertices() as VertexId)
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap();
+        for e in batch.deletions() {
+            assert!(g.out_degree(e.src) < max_deg);
+        }
+    }
+}

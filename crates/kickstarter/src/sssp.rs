@@ -1,0 +1,359 @@
+//! Trimmed-approximation SSSP with dependence-tree tracking.
+
+use std::collections::VecDeque;
+
+use graphbolt_graph::{GraphSnapshot, MutationBatch, VertexId};
+
+/// Streaming single-source shortest paths à la KickStarter.
+///
+/// State per vertex: the current distance and the parent edge that
+/// produced it (the *value dependence*). Mutations are incorporated as:
+///
+/// * **addition** `(u, v, w)` — relax: if `d(u) + w < d(v)`, adopt and
+///   propagate (monotonic, no history needed),
+/// * **deletion** `(u, v)` — if `(u, v)` is a dependence-tree edge, the
+///   values of `v`'s dependence subtree are *untrusted*: tag the subtree,
+///   reset tagged vertices to a safe approximation recomputed from
+///   untagged in-neighbors only, then re-propagate to a fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// use graphbolt_graph::{Edge, GraphBuilder, MutationBatch};
+/// use graphbolt_kickstarter::KickStarterSssp;
+///
+/// let g = GraphBuilder::new(3)
+///     .add_edge(0, 1, 1.0)
+///     .add_edge(1, 2, 1.0)
+///     .build();
+/// let mut ks = KickStarterSssp::new(&g, 0);
+/// assert_eq!(ks.distances()[2], 2.0);
+///
+/// let mut batch = MutationBatch::new();
+/// batch.add(Edge::new(0, 2, 0.5));
+/// let g2 = g.apply(&batch).unwrap();
+/// ks.apply_batch(&g2, &batch);
+/// assert_eq!(ks.distances()[2], 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KickStarterSssp {
+    source: VertexId,
+    dist: Vec<f64>,
+    parent: Vec<Option<VertexId>>,
+    edge_computations: u64,
+}
+
+impl KickStarterSssp {
+    /// Computes initial distances over `g` from `source`.
+    pub fn new(g: &GraphSnapshot, source: VertexId) -> Self {
+        let n = g.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let mut ks = Self {
+            source,
+            dist: vec![f64::INFINITY; n],
+            parent: vec![None; n],
+            edge_computations: 0,
+        };
+        ks.dist[source as usize] = 0.0;
+        let worklist: VecDeque<VertexId> = std::iter::once(source).collect();
+        ks.propagate(g, worklist);
+        ks
+    }
+
+    /// Current distances.
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Dependence-tree parent of each vertex.
+    pub fn parents(&self) -> &[Option<VertexId>] {
+        &self.parent
+    }
+
+    /// Source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Edge relaxations performed so far (the work measure compared
+    /// against GraphBolt in Figure 9).
+    pub fn edge_computations(&self) -> u64 {
+        self.edge_computations
+    }
+
+    /// Incorporates a mutation batch. `new_g` must be the snapshot with
+    /// `batch` already applied.
+    pub fn apply_batch(&mut self, new_g: &GraphSnapshot, batch: &MutationBatch) {
+        let n = new_g.num_vertices();
+        if n > self.dist.len() {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, None);
+        }
+
+        // Phase 1: trim — tag subtrees hanging off deleted tree edges.
+        let mut tagged = vec![false; n];
+        let mut any_tagged = false;
+        for e in batch.deletions() {
+            if self.parent[e.dst as usize] == Some(e.src) && !tagged[e.dst as usize] {
+                self.tag_subtree(new_g, e.dst, &mut tagged);
+                any_tagged = true;
+            }
+        }
+
+        let mut worklist: VecDeque<VertexId> = VecDeque::new();
+        if any_tagged {
+            // Reset tagged vertices, then recompute a safe approximation
+            // from untagged in-neighbors (trimming: approximations are
+            // upper bounds, so monotonic propagation restores exactness).
+            for v in 0..n {
+                if tagged[v] {
+                    self.dist[v] = f64::INFINITY;
+                    self.parent[v] = None;
+                }
+            }
+            for v in 0..n as VertexId {
+                if !tagged[v as usize] {
+                    continue;
+                }
+                let mut best = f64::INFINITY;
+                let mut best_parent = None;
+                for (u, w) in new_g.in_edges(v) {
+                    self.edge_computations += 1;
+                    if tagged[u as usize] {
+                        continue;
+                    }
+                    let cand = self.dist[u as usize] + w;
+                    if cand < best {
+                        best = cand;
+                        best_parent = Some(u);
+                    }
+                }
+                if best.is_finite() {
+                    self.dist[v as usize] = best;
+                    self.parent[v as usize] = best_parent;
+                    worklist.push_back(v);
+                }
+            }
+        }
+
+        // Phase 2: relax additions.
+        for e in batch.additions() {
+            self.edge_computations += 1;
+            let cand = self.dist[e.src as usize] + e.weight;
+            if cand < self.dist[e.dst as usize] {
+                self.dist[e.dst as usize] = cand;
+                self.parent[e.dst as usize] = Some(e.src);
+                worklist.push_back(e.dst);
+            }
+        }
+
+        // Phase 3: monotonic propagation to fixpoint.
+        self.propagate(new_g, worklist);
+    }
+
+    /// Tags the dependence subtree rooted at `root` (children are
+    /// out-neighbors whose parent pointer leads back — the tree structure
+    /// is re-derived from the graph, as KickStarter does).
+    fn tag_subtree(&self, g: &GraphSnapshot, root: VertexId, tagged: &mut [bool]) {
+        let mut queue = VecDeque::new();
+        tagged[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &c in g.out_neighbors(v) {
+                if !tagged[c as usize] && self.parent[c as usize] == Some(v) {
+                    tagged[c as usize] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+
+    /// Asynchronous worklist relaxation (KickStarter leverages
+    /// computation reordering; a FIFO worklist suffices for the
+    /// fixpoint).
+    fn propagate(&mut self, g: &GraphSnapshot, mut worklist: VecDeque<VertexId>) {
+        let mut queued = vec![false; self.dist.len()];
+        for &v in &worklist {
+            queued[v as usize] = true;
+        }
+        while let Some(u) = worklist.pop_front() {
+            queued[u as usize] = false;
+            let du = self.dist[u as usize];
+            for (v, w) in g.out_edges(u) {
+                self.edge_computations += 1;
+                let cand = du + w;
+                if cand < self.dist[v as usize] {
+                    self.dist[v as usize] = cand;
+                    self.parent[v as usize] = Some(u);
+                    if !queued[v as usize] {
+                        queued[v as usize] = true;
+                        worklist.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbolt_graph::{Edge, GraphBuilder};
+
+    fn dijkstra(g: &GraphSnapshot, source: VertexId) -> Vec<f64> {
+        // Reference: plain Bellman–Ford over all edges.
+        let n = g.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source as usize] = 0.0;
+        for _ in 0..n {
+            let mut changed = false;
+            for u in 0..n as VertexId {
+                if dist[u as usize].is_finite() {
+                    for (v, w) in g.out_edges(u) {
+                        if dist[u as usize] + w < dist[v as usize] {
+                            dist[v as usize] = dist[u as usize] + w;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
+    fn sample() -> GraphSnapshot {
+        GraphBuilder::new(6)
+            .add_edge(0, 1, 2.0)
+            .add_edge(0, 2, 4.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 3.0)
+            .add_edge(1, 3, 6.0)
+            .add_edge(3, 4, 1.0)
+            .add_edge(4, 5, 2.0)
+            .build()
+    }
+
+    #[test]
+    fn initial_distances_match_reference() {
+        let g = sample();
+        let ks = KickStarterSssp::new(&g, 0);
+        assert_eq!(ks.distances(), dijkstra(&g, 0).as_slice());
+    }
+
+    #[test]
+    fn addition_relaxes_forward() {
+        let g = sample();
+        let mut ks = KickStarterSssp::new(&g, 0);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 4, 1.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.distances(), dijkstra(&g2, 0).as_slice());
+        assert_eq!(ks.distances()[4], 1.0);
+        assert_eq!(ks.distances()[5], 3.0);
+    }
+
+    #[test]
+    fn tree_edge_deletion_trims_and_recovers() {
+        let g = sample();
+        let mut ks = KickStarterSssp::new(&g, 0);
+        // 2→3 is the tree edge for 3 (0→1→2→3 = 6).
+        assert_eq!(ks.parents()[3], Some(2));
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(2, 3, 3.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.distances(), dijkstra(&g2, 0).as_slice());
+        assert_eq!(ks.distances()[3], 8.0); // via 1→3
+    }
+
+    #[test]
+    fn non_tree_deletion_is_cheap() {
+        let g = sample();
+        let mut ks = KickStarterSssp::new(&g, 0);
+        let before = ks.edge_computations();
+        // 1→3 (weight 6) is not on any shortest path tree.
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(1, 3, 6.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.distances(), dijkstra(&g2, 0).as_slice());
+        // Only the addition/deletion bookkeeping, no propagation wave.
+        assert!(ks.edge_computations() - before <= 2);
+    }
+
+    #[test]
+    fn disconnection_leaves_infinity() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .build();
+        let mut ks = KickStarterSssp::new(&g, 0);
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(1, 2, 1.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert!(ks.distances()[2].is_infinite());
+        assert_eq!(ks.parents()[2], None);
+    }
+
+    #[test]
+    fn vertex_growth_is_supported() {
+        let g = GraphBuilder::new(2).add_edge(0, 1, 1.0).build();
+        let mut ks = KickStarterSssp::new(&g, 0);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(1, 4, 2.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.distances()[4], 3.0);
+        assert!(ks.distances()[3].is_infinite());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(40))]
+        #[test]
+        fn streaming_always_matches_reference(seed in 0u64..600) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(4..20usize);
+            let mut edges = Vec::new();
+            for u in 0..n as VertexId {
+                for v in 0..n as VertexId {
+                    if u != v && rng.gen_bool(0.25) {
+                        edges.push(Edge::new(u, v, rng.gen_range(0.1..2.0)));
+                    }
+                }
+            }
+            let mut g = GraphSnapshot::from_edges(n, &edges);
+            let mut ks = KickStarterSssp::new(&g, 0);
+            for _ in 0..5 {
+                let mut batch = MutationBatch::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let u = rng.gen_range(0..n) as VertexId;
+                    let v = rng.gen_range(0..n) as VertexId;
+                    if u == v { continue; }
+                    if g.has_edge(u, v) {
+                        batch.delete(Edge::unweighted(u, v));
+                    } else {
+                        batch.add(Edge::new(u, v, rng.gen_range(0.1..2.0)));
+                    }
+                }
+                let batch = batch.normalize_against(&g);
+                if batch.is_empty() { continue; }
+                g = g.apply(&batch).unwrap();
+                ks.apply_batch(&g, &batch);
+                let expected = dijkstra(&g, 0);
+                for v in 0..n {
+                    let (a, b) = (ks.distances()[v], expected[v]);
+                    proptest::prop_assert!(
+                        (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                        "vertex {}: {} vs {}", v, a, b
+                    );
+                }
+            }
+        }
+    }
+}

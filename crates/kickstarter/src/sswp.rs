@@ -1,0 +1,269 @@
+//! Trimmed-approximation widest paths — KickStarter's third monotonic
+//! algorithm (max-min bottleneck widths).
+//!
+//! Same trim/tag/re-propagate machinery as
+//! [`KickStarterSssp`](crate::KickStarterSssp) on the `max(min(·, w))`
+//! lattice: widths only grow during propagation, so trimmed
+//! approximations (which are *lower* bounds here) recover exactness
+//! monotonically.
+
+use std::collections::VecDeque;
+
+use graphbolt_graph::{GraphSnapshot, MutationBatch, VertexId};
+
+/// Streaming single-source widest paths à la KickStarter.
+#[derive(Debug, Clone)]
+pub struct KickStarterSswp {
+    source: VertexId,
+    width: Vec<f64>,
+    parent: Vec<Option<VertexId>>,
+    edge_computations: u64,
+}
+
+impl KickStarterSswp {
+    /// Computes initial widths over `g` from `source`.
+    pub fn new(g: &GraphSnapshot, source: VertexId) -> Self {
+        let n = g.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let mut ks = Self {
+            source,
+            width: vec![0.0; n],
+            parent: vec![None; n],
+            edge_computations: 0,
+        };
+        ks.width[source as usize] = f64::INFINITY;
+        let worklist: VecDeque<VertexId> = std::iter::once(source).collect();
+        ks.propagate(g, worklist);
+        ks
+    }
+
+    /// Current widths (`+∞` at the source, 0 when unreached).
+    pub fn widths(&self) -> &[f64] {
+        &self.width
+    }
+
+    /// Dependence-tree parent of each vertex.
+    pub fn parents(&self) -> &[Option<VertexId>] {
+        &self.parent
+    }
+
+    /// Edge relaxations performed so far.
+    pub fn edge_computations(&self) -> u64 {
+        self.edge_computations
+    }
+
+    /// Incorporates a mutation batch. `new_g` must be the snapshot with
+    /// `batch` already applied.
+    pub fn apply_batch(&mut self, new_g: &GraphSnapshot, batch: &MutationBatch) {
+        let n = new_g.num_vertices();
+        if n > self.width.len() {
+            self.width.resize(n, 0.0);
+            self.parent.resize(n, None);
+        }
+
+        // Trim subtrees hanging off deleted dependence edges.
+        let mut tagged = vec![false; n];
+        let mut any_tagged = false;
+        for e in batch.deletions() {
+            if self.parent[e.dst as usize] == Some(e.src) && !tagged[e.dst as usize] {
+                self.tag_subtree(new_g, e.dst, &mut tagged);
+                any_tagged = true;
+            }
+        }
+
+        let mut worklist: VecDeque<VertexId> = VecDeque::new();
+        if any_tagged {
+            for v in 0..n {
+                if tagged[v] {
+                    self.width[v] = 0.0;
+                    self.parent[v] = None;
+                }
+            }
+            for v in 0..n as VertexId {
+                if !tagged[v as usize] {
+                    continue;
+                }
+                let mut best = 0.0f64;
+                let mut best_parent = None;
+                for (u, w) in new_g.in_edges(v) {
+                    self.edge_computations += 1;
+                    if tagged[u as usize] {
+                        continue;
+                    }
+                    let cand = self.width[u as usize].min(w);
+                    if cand > best {
+                        best = cand;
+                        best_parent = Some(u);
+                    }
+                }
+                if best > 0.0 {
+                    self.width[v as usize] = best;
+                    self.parent[v as usize] = best_parent;
+                    worklist.push_back(v);
+                }
+            }
+        }
+
+        for e in batch.additions() {
+            self.edge_computations += 1;
+            let cand = self.width[e.src as usize].min(e.weight);
+            if cand > self.width[e.dst as usize] {
+                self.width[e.dst as usize] = cand;
+                self.parent[e.dst as usize] = Some(e.src);
+                worklist.push_back(e.dst);
+            }
+        }
+
+        self.propagate(new_g, worklist);
+    }
+
+    fn tag_subtree(&self, g: &GraphSnapshot, root: VertexId, tagged: &mut [bool]) {
+        let mut queue = VecDeque::new();
+        tagged[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &c in g.out_neighbors(v) {
+                if !tagged[c as usize] && self.parent[c as usize] == Some(v) {
+                    tagged[c as usize] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+
+    fn propagate(&mut self, g: &GraphSnapshot, mut worklist: VecDeque<VertexId>) {
+        let mut queued = vec![false; self.width.len()];
+        for &v in &worklist {
+            queued[v as usize] = true;
+        }
+        while let Some(u) = worklist.pop_front() {
+            queued[u as usize] = false;
+            let wu = self.width[u as usize];
+            for (v, w) in g.out_edges(u) {
+                self.edge_computations += 1;
+                let cand = wu.min(w);
+                if cand > self.width[v as usize] {
+                    self.width[v as usize] = cand;
+                    self.parent[v as usize] = Some(u);
+                    if !queued[v as usize] {
+                        queued[v as usize] = true;
+                        worklist.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbolt_graph::{Edge, GraphBuilder};
+
+    /// Reference: iterate max-min to fixpoint.
+    fn reference(g: &GraphSnapshot, source: VertexId) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut width = vec![0.0f64; n];
+        width[source as usize] = f64::INFINITY;
+        loop {
+            let mut changed = false;
+            for u in 0..n as VertexId {
+                if width[u as usize] > 0.0 {
+                    for (v, w) in g.out_edges(u) {
+                        let cand = width[u as usize].min(w);
+                        if cand > width[v as usize] {
+                            width[v as usize] = cand;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        width
+    }
+
+    fn sample() -> GraphSnapshot {
+        GraphBuilder::new(5)
+            .add_edge(0, 1, 5.0)
+            .add_edge(1, 3, 2.0)
+            .add_edge(0, 2, 3.0)
+            .add_edge(2, 3, 4.0)
+            .add_edge(3, 4, 1.0)
+            .build()
+    }
+
+    #[test]
+    fn initial_widths_match_reference() {
+        let g = sample();
+        let ks = KickStarterSswp::new(&g, 0);
+        assert_eq!(ks.widths(), reference(&g, 0).as_slice());
+        assert_eq!(ks.widths()[3], 3.0);
+    }
+
+    #[test]
+    fn tree_edge_deletion_trims_and_recovers() {
+        let g = sample();
+        let mut ks = KickStarterSswp::new(&g, 0);
+        assert_eq!(ks.parents()[3], Some(2));
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(2, 3, 4.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.widths(), reference(&g2, 0).as_slice());
+        assert_eq!(ks.widths()[3], 2.0);
+    }
+
+    #[test]
+    fn addition_widens_monotonically() {
+        let g = sample();
+        let mut ks = KickStarterSswp::new(&g, 0);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 4, 7.0));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.widths(), reference(&g2, 0).as_slice());
+        assert_eq!(ks.widths()[4], 7.0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(40))]
+        #[test]
+        fn streaming_always_matches_reference(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(4..18usize);
+            let mut edges = Vec::new();
+            for u in 0..n as VertexId {
+                for v in 0..n as VertexId {
+                    if u != v && rng.gen_bool(0.25) {
+                        edges.push(Edge::new(u, v, (rng.gen_range(1..20) as f64) * 0.5));
+                    }
+                }
+            }
+            let mut g = GraphSnapshot::from_edges(n, &edges);
+            let mut ks = KickStarterSswp::new(&g, 0);
+            for _ in 0..5 {
+                let mut batch = MutationBatch::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let u = rng.gen_range(0..n) as VertexId;
+                    let v = rng.gen_range(0..n) as VertexId;
+                    if u == v { continue; }
+                    if g.has_edge(u, v) {
+                        batch.delete(Edge::new(u, v, g.edge_weight(u, v).unwrap()));
+                    } else {
+                        batch.add(Edge::new(u, v, (rng.gen_range(1..20) as f64) * 0.5));
+                    }
+                }
+                let batch = batch.normalize_against(&g);
+                if batch.is_empty() { continue; }
+                g = g.apply(&batch).unwrap();
+                ks.apply_batch(&g, &batch);
+                let expected = reference(&g, 0);
+                proptest::prop_assert_eq!(ks.widths(), expected.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Trimmed-approximation connected components — KickStarter's second
+//! flagship monotonic algorithm.
+//!
+//! Identical machinery to [`KickStarterSssp`](crate::KickStarterSssp)
+//! with the min-label lattice instead of min-plus distances: each vertex
+//! tracks its component label and the dependence (the in-edge its label
+//! arrived over). Deleting a dependence edge untrusts the subtree, which
+//! is reset and re-approximated from untagged neighbors before monotone
+//! re-propagation.
+
+use std::collections::VecDeque;
+
+use graphbolt_graph::{GraphSnapshot, MutationBatch, VertexId};
+
+/// Streaming min-label connected components à la KickStarter.
+///
+/// Labels propagate along *directed* edges; run on a symmetrized graph
+/// for undirected components.
+#[derive(Debug, Clone)]
+pub struct KickStarterWcc {
+    label: Vec<VertexId>,
+    parent: Vec<Option<VertexId>>,
+    edge_computations: u64,
+}
+
+impl KickStarterWcc {
+    /// Computes initial labels over `g`.
+    pub fn new(g: &GraphSnapshot) -> Self {
+        let n = g.num_vertices();
+        let mut ks = Self {
+            label: (0..n as VertexId).collect(),
+            parent: vec![None; n],
+            edge_computations: 0,
+        };
+        let worklist: VecDeque<VertexId> = (0..n as VertexId).collect();
+        ks.propagate(g, worklist);
+        ks
+    }
+
+    /// Current component labels.
+    pub fn labels(&self) -> &[VertexId] {
+        &self.label
+    }
+
+    /// Number of distinct components.
+    pub fn component_count(&self) -> usize {
+        let mut seen = self.label.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Edge relaxations performed so far.
+    pub fn edge_computations(&self) -> u64 {
+        self.edge_computations
+    }
+
+    /// Incorporates a mutation batch. `new_g` must be the snapshot with
+    /// `batch` already applied.
+    pub fn apply_batch(&mut self, new_g: &GraphSnapshot, batch: &MutationBatch) {
+        let n = new_g.num_vertices();
+        if n > self.label.len() {
+            let start = self.label.len() as VertexId;
+            self.label.extend(start..n as VertexId);
+            self.parent.resize(n, None);
+        }
+
+        // Trim subtrees hanging off deleted dependence edges.
+        let mut tagged = vec![false; n];
+        let mut any_tagged = false;
+        for e in batch.deletions() {
+            if self.parent[e.dst as usize] == Some(e.src) && !tagged[e.dst as usize] {
+                self.tag_subtree(new_g, e.dst, &mut tagged);
+                any_tagged = true;
+            }
+        }
+
+        let mut worklist: VecDeque<VertexId> = VecDeque::new();
+        if any_tagged {
+            for v in 0..n as VertexId {
+                if tagged[v as usize] {
+                    self.label[v as usize] = v;
+                    self.parent[v as usize] = None;
+                }
+            }
+            for v in 0..n as VertexId {
+                if !tagged[v as usize] {
+                    continue;
+                }
+                for (u, _) in new_g.in_edges(v) {
+                    self.edge_computations += 1;
+                    if tagged[u as usize] {
+                        continue;
+                    }
+                    if self.label[u as usize] < self.label[v as usize] {
+                        self.label[v as usize] = self.label[u as usize];
+                        self.parent[v as usize] = Some(u);
+                    }
+                }
+                worklist.push_back(v);
+            }
+        }
+
+        for e in batch.additions() {
+            self.edge_computations += 1;
+            if self.label[e.src as usize] < self.label[e.dst as usize] {
+                self.label[e.dst as usize] = self.label[e.src as usize];
+                self.parent[e.dst as usize] = Some(e.src);
+                worklist.push_back(e.dst);
+            }
+        }
+
+        self.propagate(new_g, worklist);
+    }
+
+    fn tag_subtree(&self, g: &GraphSnapshot, root: VertexId, tagged: &mut [bool]) {
+        let mut queue = VecDeque::new();
+        tagged[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &c in g.out_neighbors(v) {
+                if !tagged[c as usize] && self.parent[c as usize] == Some(v) {
+                    tagged[c as usize] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+
+    fn propagate(&mut self, g: &GraphSnapshot, mut worklist: VecDeque<VertexId>) {
+        let mut queued = vec![false; self.label.len()];
+        for &v in &worklist {
+            queued[v as usize] = true;
+        }
+        while let Some(u) = worklist.pop_front() {
+            queued[u as usize] = false;
+            let lu = self.label[u as usize];
+            for (v, _) in g.out_edges(u) {
+                self.edge_computations += 1;
+                if lu < self.label[v as usize] {
+                    self.label[v as usize] = lu;
+                    self.parent[v as usize] = Some(u);
+                    if !queued[v as usize] {
+                        queued[v as usize] = true;
+                        worklist.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbolt_graph::{Edge, GraphBuilder};
+
+    /// Reference: union-find over the symmetric closure of directed
+    /// label reachability — here simply iterate min-label to fixpoint.
+    fn reference(g: &GraphSnapshot) -> Vec<VertexId> {
+        let n = g.num_vertices();
+        let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+        loop {
+            let mut changed = false;
+            for u in 0..n as VertexId {
+                for v in g.out_neighbors(u) {
+                    if label[u as usize] < label[*v as usize] {
+                        label[*v as usize] = label[u as usize];
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        label
+    }
+
+    fn two_triangles() -> GraphSnapshot {
+        GraphBuilder::new(6)
+            .symmetric(true)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 0, 1.0)
+            .add_edge(3, 4, 1.0)
+            .add_edge(4, 5, 1.0)
+            .add_edge(5, 3, 1.0)
+            .build()
+    }
+
+    #[test]
+    fn initial_labels_match_reference() {
+        let g = two_triangles();
+        let ks = KickStarterWcc::new(&g);
+        assert_eq!(ks.labels(), reference(&g).as_slice());
+        assert_eq!(ks.component_count(), 2);
+    }
+
+    #[test]
+    fn addition_merges() {
+        let g = two_triangles();
+        let mut ks = KickStarterWcc::new(&g);
+        let mut batch = MutationBatch::new();
+        batch
+            .add(Edge::unweighted(2, 3))
+            .add(Edge::unweighted(3, 2));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.labels(), reference(&g2).as_slice());
+        assert_eq!(ks.component_count(), 1);
+    }
+
+    #[test]
+    fn deletion_splits() {
+        let g = GraphBuilder::new(4)
+            .symmetric(true)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0)
+            .build();
+        let mut ks = KickStarterWcc::new(&g);
+        assert_eq!(ks.component_count(), 1);
+        let mut batch = MutationBatch::new();
+        batch
+            .delete(Edge::unweighted(1, 2))
+            .delete(Edge::unweighted(2, 1));
+        let g2 = g.apply(&batch).unwrap();
+        ks.apply_batch(&g2, &batch);
+        assert_eq!(ks.labels(), reference(&g2).as_slice());
+        assert_eq!(ks.component_count(), 2);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(40))]
+        #[test]
+        fn streaming_always_matches_reference(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(4..20usize);
+            let mut b = GraphBuilder::new(n).symmetric(true);
+            for _ in 0..n {
+                let u = rng.gen_range(0..n) as VertexId;
+                let v = rng.gen_range(0..n) as VertexId;
+                if u != v {
+                    b = b.add_edge(u, v, 1.0);
+                }
+            }
+            let mut g = b.build();
+            let mut ks = KickStarterWcc::new(&g);
+            for _ in 0..5 {
+                let mut batch = MutationBatch::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let u = rng.gen_range(0..n) as VertexId;
+                    let v = rng.gen_range(0..n) as VertexId;
+                    if u == v { continue; }
+                    if g.has_edge(u, v) {
+                        batch.delete(Edge::unweighted(u, v));
+                    } else {
+                        batch.add(Edge::unweighted(u, v));
+                    }
+                }
+                let batch = batch.normalize_against(&g);
+                if batch.is_empty() { continue; }
+                g = g.apply(&batch).unwrap();
+                ks.apply_batch(&g, &batch);
+                let expected = reference(&g);
+                proptest::prop_assert_eq!(ks.labels(), expected.as_slice());
+            }
+        }
+    }
+}

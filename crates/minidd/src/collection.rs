@@ -1,0 +1,230 @@
+//! Multiset collections of records with signed multiplicities.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Signed multiplicity of a record, as in differential dataflow.
+pub type Diff = i64;
+
+/// A totally ordered, hashable `f64` wrapper so real-valued ranks and
+/// distances can be collection records (DD requires records to be
+/// data-comparable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(x: f64) -> Self {
+        Self(x)
+    }
+}
+
+/// A consolidated multiset: record → non-zero multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collection<D: Eq + Hash + Clone> {
+    records: HashMap<D, Diff>,
+}
+
+impl<D: Eq + Hash + Clone> Default for Collection<D> {
+    fn default() -> Self {
+        Self {
+            records: HashMap::new(),
+        }
+    }
+}
+
+impl<D: Eq + Hash + Clone> Collection<D> {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a collection from `(record, diff)` pairs, consolidating.
+    pub fn from_diffs<I: IntoIterator<Item = (D, Diff)>>(iter: I) -> Self {
+        let mut c = Self::new();
+        for (d, m) in iter {
+            c.update(d, m);
+        }
+        c
+    }
+
+    /// Adds `diff` copies of `record`, dropping the entry when the
+    /// multiplicity consolidates to zero.
+    pub fn update(&mut self, record: D, diff: Diff) {
+        if diff == 0 {
+            return;
+        }
+        match self.records.entry(record) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += diff;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(diff);
+            }
+        }
+    }
+
+    /// Applies all diffs from another collection.
+    pub fn merge(&mut self, other: &Collection<D>) {
+        for (d, &m) in other.iter_pairs() {
+            self.update(d.clone(), m);
+        }
+    }
+
+    /// Multiplicity of a record (0 when absent).
+    pub fn multiplicity(&self, record: &D) -> Diff {
+        self.records.get(record).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no record has non-zero multiplicity.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates `(record, multiplicity)` pairs.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (&D, &Diff)> {
+        self.records.iter()
+    }
+
+    /// Drains into `(record, diff)` pairs.
+    pub fn into_diffs(self) -> impl Iterator<Item = (D, Diff)> {
+        self.records.into_iter()
+    }
+
+    /// The negation of this collection (every diff sign-flipped).
+    pub fn negated(&self) -> Collection<D> {
+        Collection {
+            records: self.records.iter().map(|(d, m)| (d.clone(), -m)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_consolidates_to_zero() {
+        let mut c = Collection::new();
+        c.update("a", 2);
+        c.update("a", -2);
+        assert!(c.is_empty());
+        assert_eq!(c.multiplicity(&"a"), 0);
+    }
+
+    #[test]
+    fn from_diffs_merges_duplicates() {
+        let c = Collection::from_diffs([("x", 1), ("x", 3), ("y", -1)]);
+        assert_eq!(c.multiplicity(&"x"), 4);
+        assert_eq!(c.multiplicity(&"y"), -1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn merge_applies_other_diffs() {
+        let mut a = Collection::from_diffs([(1, 1), (2, 1)]);
+        let b = Collection::from_diffs([(2, -1), (3, 5)]);
+        a.merge(&b);
+        assert_eq!(a.multiplicity(&1), 1);
+        assert_eq!(a.multiplicity(&2), 0);
+        assert_eq!(a.multiplicity(&3), 5);
+    }
+
+    #[test]
+    fn negated_flips_signs() {
+        let c = Collection::from_diffs([(7, 3)]);
+        assert_eq!(c.negated().multiplicity(&7), -3);
+    }
+
+    #[test]
+    fn ordered_f64_is_usable_as_record() {
+        let mut c = Collection::new();
+        c.update(OrderedF64(1.5), 1);
+        c.update(OrderedF64(1.5), 1);
+        assert_eq!(c.multiplicity(&OrderedF64(1.5)), 2);
+        assert!(OrderedF64(1.0) < OrderedF64(2.0));
+        assert!(OrderedF64(f64::NEG_INFINITY) < OrderedF64(0.0));
+    }
+}
+
+#[cfg(test)]
+mod law_tests {
+    //! The collection layer forms a commutative group under diff merge —
+    //! the algebra the delta-join bilinearity rule relies on.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_collection() -> impl Strategy<Value = Collection<u8>> {
+        proptest::collection::vec((any::<u8>(), -4i64..=4), 0..12)
+            .prop_map(Collection::from_diffs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn merge_is_commutative(a in arb_collection(), b in arb_collection()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            a in arb_collection(),
+            b in arb_collection(),
+            c in arb_collection(),
+        ) {
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn negation_is_the_inverse(a in arb_collection()) {
+            let mut sum = a.clone();
+            sum.merge(&a.negated());
+            prop_assert!(sum.is_empty());
+        }
+
+        #[test]
+        fn consolidation_never_keeps_zeros(a in arb_collection()) {
+            prop_assert!(a.iter_pairs().all(|(_, &m)| m != 0));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Differential operators: keyed arrangements, delta-join, and
+//! recompute-and-diff reduce.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::collection::Collection;
+
+/// A keyed arrangement: key → multiset of values. This is DD's indexed
+/// operator state (an "arrangement"); both join inputs are arranged.
+#[derive(Debug, Clone)]
+pub struct Arrangement<K: Eq + Hash + Clone, V: Eq + Hash + Clone> {
+    index: HashMap<K, Collection<V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Eq + Hash + Clone> Default for Arrangement<K, V> {
+    fn default() -> Self {
+        Self {
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Eq + Hash + Clone> Arrangement<K, V> {
+    /// Empty arrangement.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a batch of keyed diffs.
+    pub fn apply(&mut self, diffs: &Collection<(K, V)>) {
+        for ((k, v), &m) in diffs.iter_pairs() {
+            let slot = self.index.entry(k.clone()).or_default();
+            slot.update(v.clone(), m);
+            if slot.is_empty() {
+                self.index.remove(k);
+            }
+        }
+    }
+
+    /// Values currently associated with `k`.
+    pub fn get(&self, k: &K) -> Option<&Collection<V>> {
+        self.index.get(k)
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns `true` when no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Iterates keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.index.keys()
+    }
+}
+
+/// Differential binary join.
+///
+/// Maintains arrangements of both inputs and, per batch of input diffs,
+/// emits the output diffs according to the bilinearity rule
+/// `Δ(A ⋈ B) = ΔA ⋈ B ∪ A' ⋈ ΔB` (where `A'` is `A` *after* applying
+/// `ΔA`). `emit` maps a matched `(key, a, b)` triple to an output record.
+#[derive(Debug, Clone)]
+pub struct JoinOp<K: Eq + Hash + Clone, A: Eq + Hash + Clone, B: Eq + Hash + Clone> {
+    left: Arrangement<K, A>,
+    right: Arrangement<K, B>,
+    /// Record-level work performed (matched pairs emitted) — the DD
+    /// analogue of edge computations.
+    pub work: u64,
+}
+
+impl<K: Eq + Hash + Clone, A: Eq + Hash + Clone, B: Eq + Hash + Clone> Default for JoinOp<K, A, B> {
+    fn default() -> Self {
+        Self {
+            left: Arrangement::new(),
+            right: Arrangement::new(),
+            work: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, A: Eq + Hash + Clone, B: Eq + Hash + Clone> JoinOp<K, A, B> {
+    /// Empty join state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds diff batches into both inputs, returning output diffs.
+    pub fn step<O: Eq + Hash + Clone>(
+        &mut self,
+        d_left: &Collection<(K, A)>,
+        d_right: &Collection<(K, B)>,
+        mut emit: impl FnMut(&K, &A, &B) -> O,
+    ) -> Collection<(K, O)> {
+        let mut out: Collection<(K, O)> = Collection::new();
+        // ΔA ⋈ B (old B).
+        for ((k, a), &ma) in d_left.iter_pairs() {
+            if let Some(bs) = self.right.get(k) {
+                for (b, &mb) in bs.iter_pairs() {
+                    self.work += 1;
+                    out.update((k.clone(), emit(k, a, b)), ma * mb);
+                }
+            }
+        }
+        // Advance A, then A' ⋈ ΔB.
+        self.left.apply(d_left);
+        for ((k, b), &mb) in d_right.iter_pairs() {
+            if let Some(asv) = self.left.get(k) {
+                for (a, &ma) in asv.iter_pairs() {
+                    self.work += 1;
+                    out.update((k.clone(), emit(k, a, b)), ma * mb);
+                }
+            }
+        }
+        self.right.apply(d_right);
+        out
+    }
+}
+
+/// Differential reduce (group-by-key aggregation).
+///
+/// Maintains the input arrangement and the last emitted output per key;
+/// for each batch it recomputes the aggregate of every *touched* key and
+/// emits retractions/assertions of changed outputs — exactly DD's
+/// `reduce` contract.
+#[derive(Debug, Clone)]
+pub struct ReduceOp<K: Eq + Hash + Clone, V: Eq + Hash + Clone, O: Eq + Hash + Clone> {
+    input: Arrangement<K, V>,
+    last_output: HashMap<K, O>,
+    /// Records inspected during recomputation.
+    pub work: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Eq + Hash + Clone, O: Eq + Hash + Clone> Default
+    for ReduceOp<K, V, O>
+{
+    fn default() -> Self {
+        Self {
+            input: Arrangement::new(),
+            last_output: HashMap::new(),
+            work: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Eq + Hash + Clone, O: Eq + Hash + Clone> ReduceOp<K, V, O> {
+    /// Empty reduce state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies input diffs; `fold` computes a key's output from its full
+    /// value multiset (`None` when the group is empty). Returns output
+    /// diffs.
+    pub fn step(
+        &mut self,
+        d_input: &Collection<(K, V)>,
+        mut fold: impl FnMut(&K, &Collection<V>) -> Option<O>,
+    ) -> Collection<(K, O)> {
+        let touched: HashSet<K> = d_input.iter_pairs().map(|((k, _), _)| k.clone()).collect();
+        self.input.apply(d_input);
+        let mut out: Collection<(K, O)> = Collection::new();
+        for k in touched {
+            let new_out = match self.input.get(&k) {
+                Some(group) => {
+                    self.work += group.len() as u64;
+                    fold(&k, group)
+                }
+                None => None,
+            };
+            let old_out = self.last_output.get(&k).cloned();
+            if old_out == new_out {
+                continue;
+            }
+            if let Some(o) = old_out {
+                out.update((k.clone(), o), -1);
+            }
+            match new_out {
+                Some(o) => {
+                    out.update((k.clone(), o.clone()), 1);
+                    self.last_output.insert(k, o);
+                }
+                None => {
+                    self.last_output.remove(&k);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrangement_applies_and_consolidates() {
+        let mut arr: Arrangement<u32, &str> = Arrangement::new();
+        arr.apply(&Collection::from_diffs([((1, "a"), 1), ((1, "b"), 1)]));
+        assert_eq!(arr.get(&1).unwrap().len(), 2);
+        arr.apply(&Collection::from_diffs([((1, "a"), -1), ((1, "b"), -1)]));
+        assert!(arr.get(&1).is_none());
+    }
+
+    #[test]
+    fn join_produces_cross_products_per_key() {
+        let mut join: JoinOp<u32, &str, i32> = JoinOp::new();
+        let out = join.step(
+            &Collection::from_diffs([((1, "x"), 1), ((2, "y"), 1)]),
+            &Collection::from_diffs([((1, 10), 1), ((1, 20), 1)]),
+            |_k, a, b| (a.to_string(), *b),
+        );
+        assert_eq!(out.multiplicity(&(1, ("x".into(), 10))), 1);
+        assert_eq!(out.multiplicity(&(1, ("x".into(), 20))), 1);
+        assert_eq!(out.len(), 2, "key 2 has no right match");
+    }
+
+    #[test]
+    fn join_incremental_equals_batch() {
+        // Feeding diffs in two steps must produce the same accumulated
+        // output as one batch — the bilinearity property.
+        let mut all_at_once: JoinOp<u32, i32, i32> = JoinOp::new();
+        let left = Collection::from_diffs([((1, 5), 1), ((1, 6), 1)]);
+        let right = Collection::from_diffs([((1, 100), 1)]);
+        let big = all_at_once.step(&left, &right, |_k, a, b| a + b);
+
+        let mut stepped: JoinOp<u32, i32, i32> = JoinOp::new();
+        let mut acc = stepped.step(
+            &Collection::from_diffs([((1, 5), 1)]),
+            &Collection::from_diffs([((1, 100), 1)]),
+            |_k, a, b| a + b,
+        );
+        let second = stepped.step(
+            &Collection::from_diffs([((1, 6), 1)]),
+            &Collection::new(),
+            |_k, a, b| a + b,
+        );
+        acc.merge(&second);
+        assert_eq!(big, acc);
+    }
+
+    #[test]
+    fn join_retraction_cancels_output() {
+        let mut join: JoinOp<u32, i32, i32> = JoinOp::new();
+        let mut acc = join.step(
+            &Collection::from_diffs([((1, 5), 1)]),
+            &Collection::from_diffs([((1, 7), 1)]),
+            |_k, a, b| a * b,
+        );
+        let retract = join.step(
+            &Collection::from_diffs([((1, 5), -1)]),
+            &Collection::new(),
+            |_k, a, b| a * b,
+        );
+        acc.merge(&retract);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn reduce_emits_output_diffs() {
+        let mut red: ReduceOp<u32, i64, i64> = ReduceOp::new();
+        let sum = |_: &u32, g: &Collection<i64>| -> Option<i64> {
+            Some(g.iter_pairs().map(|(v, &m)| v * m).sum())
+        };
+        let out = red.step(&Collection::from_diffs([((1, 10), 1), ((1, 5), 1)]), sum);
+        assert_eq!(out.multiplicity(&(1, 15)), 1);
+        // Changing the group retracts the old output and asserts the new.
+        let out2 = red.step(&Collection::from_diffs([((1, 5), -1)]), sum);
+        assert_eq!(out2.multiplicity(&(1, 15)), -1);
+        assert_eq!(out2.multiplicity(&(1, 10)), 1);
+    }
+
+    #[test]
+    fn reduce_handles_emptied_groups() {
+        let mut red: ReduceOp<u32, i64, i64> = ReduceOp::new();
+        let count = |_: &u32, g: &Collection<i64>| -> Option<i64> {
+            Some(g.iter_pairs().map(|(_, &m)| m).sum())
+        };
+        red.step(&Collection::from_diffs([((1, 9), 1)]), count);
+        let out = red.step(&Collection::from_diffs([((1, 9), -1)]), count);
+        assert_eq!(out.multiplicity(&(1, 1)), -1);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! SSSP expressed on the mini differential dataflow (Figure 9's third
+//! system).
+//!
+//! The paper notes DD handles SSSP deletions well because it "maintains
+//! an ordered map of path values and counts for each vertex, which get
+//! quickly updated with value changes" — that is exactly the reduce
+//! operator's per-key multiset here: a deletion retracts one candidate
+//! record and the min is re-derived from the surviving ones.
+
+use graphbolt_graph::{GraphSnapshot, MutationBatch, VertexId};
+
+use crate::collection::OrderedF64;
+use crate::iterate::{IterativeDataflow, Rec, StepSpec};
+
+/// Spec: `dist_{i+1}(v) = min( base(v), min_u dist_i(u) + w(u, v) )`.
+#[derive(Debug, Clone)]
+pub struct SsspSpec {
+    source: u32,
+}
+
+impl StepSpec for SsspSpec {
+    type Val = OrderedF64;
+
+    fn initial(&self, v: u32) -> Option<OrderedF64> {
+        (v == self.source).then_some(OrderedF64(0.0))
+    }
+
+    fn base(&self, v: u32) -> Option<OrderedF64> {
+        (v == self.source).then_some(OrderedF64(0.0))
+    }
+
+    fn contribution(&self, _u: u32, _v: u32, w: f64, val: &OrderedF64) -> OrderedF64 {
+        OrderedF64(val.0 + w)
+    }
+
+    fn fold(
+        &self,
+        _v: u32,
+        group: &crate::collection::Collection<Rec<OrderedF64>>,
+    ) -> Option<OrderedF64> {
+        let mut best: Option<OrderedF64> = None;
+        for (rec, &m) in group.iter_pairs() {
+            debug_assert!(m > 0, "negative multiplicity in reduce group");
+            let val = match rec {
+                Rec::Base(x) | Rec::Contrib(x) => *x,
+            };
+            best = Some(match best {
+                Some(b) if b <= val => b,
+                _ => val,
+            });
+        }
+        best
+    }
+}
+
+/// Streaming single-source shortest paths on the mini-DD engine.
+pub struct DdSssp {
+    dd: IterativeDataflow<SsspSpec>,
+    num_vertices: usize,
+}
+
+impl DdSssp {
+    /// Runs epoch 0 with `iters` Bellman–Ford rounds.
+    pub fn new(g: &GraphSnapshot, source: VertexId, iters: usize) -> Self {
+        let records: Vec<(u32, u32, OrderedF64)> = g
+            .edges()
+            .into_iter()
+            .map(|e| (e.src, e.dst, OrderedF64(e.weight)))
+            .collect();
+        let mut dd = IterativeDataflow::new(SsspSpec { source }, iters);
+        dd.initialize(g.num_vertices() as u32, &records);
+        Self {
+            dd,
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// Record-level operator work performed so far.
+    pub fn work(&self) -> u64 {
+        self.dd.work()
+    }
+
+    /// Current distances (∞ for unreached vertices).
+    pub fn distances(&self) -> Vec<f64> {
+        let mut out = vec![f64::INFINITY; self.num_vertices];
+        for (v, val) in self.dd.state() {
+            if (*v as usize) < out.len() {
+                out[*v as usize] = val.0;
+            }
+        }
+        out
+    }
+
+    /// Applies a mutation batch as one differential epoch.
+    pub fn apply_batch(&mut self, batch: &MutationBatch) {
+        let new_n = self
+            .num_vertices
+            .max(batch.max_vertex_id().map_or(0, |m| m as usize + 1));
+        self.num_vertices = new_n;
+        let added: Vec<(u32, u32, OrderedF64)> = batch
+            .additions()
+            .iter()
+            .map(|e| (e.src, e.dst, OrderedF64(e.weight)))
+            .collect();
+        let removed: Vec<(u32, u32, OrderedF64)> = batch
+            .deletions()
+            .iter()
+            .map(|e| (e.src, e.dst, OrderedF64(e.weight)))
+            .collect();
+        self.dd.apply_mutations(new_n as u32, &added, &removed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbolt_graph::{Edge, GraphBuilder};
+
+    fn reference(g: &GraphSnapshot, source: VertexId, iters: usize) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source as usize] = 0.0;
+        for _ in 0..iters {
+            let mut next = dist.clone();
+            for u in 0..n as VertexId {
+                if dist[u as usize].is_finite() {
+                    for (v, w) in g.out_edges(u) {
+                        let cand = dist[u as usize] + w;
+                        if cand < next[v as usize] {
+                            next[v as usize] = cand;
+                        }
+                    }
+                }
+            }
+            dist = next;
+        }
+        dist
+    }
+
+    fn sample() -> GraphSnapshot {
+        GraphBuilder::new(5)
+            .add_edge(0, 1, 2.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(0, 2, 5.0)
+            .add_edge(2, 3, 2.0)
+            .add_edge(3, 4, 1.0)
+            .build()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-9,
+                "vertex {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_zero_matches_reference() {
+        let g = sample();
+        let dd = DdSssp::new(&g, 0, 8);
+        assert_close(&dd.distances(), &reference(&g, 0, 8));
+        assert_eq!(dd.distances()[3], 5.0);
+    }
+
+    #[test]
+    fn deletion_reroutes_via_surviving_candidates() {
+        let g = sample();
+        let mut dd = DdSssp::new(&g, 0, 8);
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(1, 2, 1.0));
+        let g2 = g.apply(&batch).unwrap();
+        dd.apply_batch(&batch);
+        assert_close(&dd.distances(), &reference(&g2, 0, 8));
+        assert_eq!(dd.distances()[2], 5.0);
+    }
+
+    #[test]
+    fn addition_shortens_paths() {
+        let g = sample();
+        let mut dd = DdSssp::new(&g, 0, 8);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 4, 0.5));
+        let g2 = g.apply(&batch).unwrap();
+        dd.apply_batch(&batch);
+        assert_close(&dd.distances(), &reference(&g2, 0, 8));
+        assert_eq!(dd.distances()[4], 0.5);
+    }
+
+    #[test]
+    fn disconnection_removes_records() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .build();
+        let mut dd = DdSssp::new(&g, 0, 6);
+        let mut batch = MutationBatch::new();
+        batch.delete(Edge::new(0, 1, 1.0));
+        dd.apply_batch(&batch);
+        assert!(dd.distances()[1].is_infinite());
+        assert!(dd.distances()[2].is_infinite());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(25))]
+        #[test]
+        fn streaming_matches_reference(seed in 0u64..400) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(4..12usize);
+            let mut edges = Vec::new();
+            for u in 0..n as VertexId {
+                for v in 0..n as VertexId {
+                    if u != v && rng.gen_bool(0.3) {
+                        edges.push(Edge::new(u, v, (rng.gen_range(1..20) as f64) * 0.25));
+                    }
+                }
+            }
+            let mut g = GraphSnapshot::from_edges(n, &edges);
+            let iters = n; // enough rounds to converge
+            let mut dd = DdSssp::new(&g, 0, iters);
+            for _ in 0..3 {
+                let mut batch = MutationBatch::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let u = rng.gen_range(0..n) as VertexId;
+                    let v = rng.gen_range(0..n) as VertexId;
+                    if u == v { continue; }
+                    if g.has_edge(u, v) {
+                        batch.delete(Edge::new(u, v, g.edge_weight(u, v).unwrap()));
+                    } else {
+                        batch.add(Edge::new(u, v, (rng.gen_range(1..20) as f64) * 0.25));
+                    }
+                }
+                let batch = batch.normalize_against(&g);
+                if batch.is_empty() { continue; }
+                g = g.apply(&batch).unwrap();
+                dd.apply_batch(&batch);
+                let expect = reference(&g, 0, iters);
+                let got = dd.distances();
+                for v in 0..n {
+                    proptest::prop_assert!(
+                        (got[v].is_infinite() && expect[v].is_infinite())
+                            || (got[v] - expect[v]).abs() < 1e-9,
+                        "seed {} vertex {}: {} vs {}", seed, v, got[v], expect[v]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Streaming shortest paths: GraphBolt vs KickStarter vs mini
+//! Differential Dataflow on the same mutation stream.
+//!
+//! Reproduces the setting of the paper's §5.4 comparison in miniature: a
+//! road-network-style graph whose edges appear and disappear (closures /
+//! reopenings), with three streaming engines maintaining distances from a
+//! depot. Every engine's answer is cross-checked after every batch.
+//!
+//! ```text
+//! cargo run --release --example shortest_paths_comparison
+//! ```
+
+use std::time::Instant;
+
+use graphbolt::algorithms::ShortestPaths;
+use graphbolt::kickstarter::KickStarterSssp;
+use graphbolt::minidd::DdSssp;
+use graphbolt::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    // Grid-ish "road network": 30×30 intersections, orthogonal roads with
+    // travel times, plus some diagonal shortcuts.
+    let side = 30u32;
+    let mut builder = GraphBuilder::new((side * side) as usize).symmetric(true);
+    let idx = |r: u32, c: u32| r * side + c;
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                builder = builder.add_edge(idx(r, c), idx(r, c + 1), rng.gen_range(1.0..3.0));
+            }
+            if r + 1 < side {
+                builder = builder.add_edge(idx(r, c), idx(r + 1, c), rng.gen_range(1.0..3.0));
+            }
+            if r + 1 < side && c + 1 < side && rng.gen_bool(0.1) {
+                builder = builder.add_edge(idx(r, c), idx(r + 1, c + 1), rng.gen_range(1.0..2.0));
+            }
+        }
+    }
+    let mut graph = builder.build();
+    let depot = idx(side / 2, side / 2);
+    println!(
+        "road network: {} intersections, {} road segments, depot {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        depot
+    );
+
+    // Iterations ≥ grid diameter so fixed-iteration engines converge.
+    let iters = (2 * side) as usize;
+    let t0 = Instant::now();
+    let mut gb = StreamingEngine::new(
+        graph.clone(),
+        ShortestPaths::new(depot),
+        EngineOptions::with_iterations(iters),
+    );
+    gb.run_initial();
+    println!("GraphBolt initial run: {:?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let mut ks = KickStarterSssp::new(&graph, depot);
+    println!("KickStarter initial run: {:?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let mut dd = DdSssp::new(&graph, depot, iters);
+    println!("mini-DD initial run: {:?}", t0.elapsed());
+
+    for round in 1..=5 {
+        // Close 5 random segments, open 5 new diagonals.
+        let mut batch = MutationBatch::new();
+        for _ in 0..5 {
+            let v = rng.gen_range(0..graph.num_vertices()) as VertexId;
+            if graph.out_degree(v) > 0 {
+                let k = rng.gen_range(0..graph.out_degree(v));
+                let t = graph.out_neighbors(v)[k];
+                let w = graph.csr().weights(v)[k];
+                batch.delete(Edge::new(v, t, w));
+            }
+        }
+        for _ in 0..5 {
+            let a = rng.gen_range(0..graph.num_vertices()) as VertexId;
+            let b = rng.gen_range(0..graph.num_vertices()) as VertexId;
+            if a != b {
+                batch.add(Edge::new(a, b, rng.gen_range(1.0..4.0)));
+            }
+        }
+        let batch = batch.normalize_against(&graph);
+        graph = graph.apply(&batch).expect("normalized batch");
+
+        let t_gb = Instant::now();
+        gb.apply_batch(&batch).expect("normalized batch");
+        let t_gb = t_gb.elapsed();
+        let t_ks = Instant::now();
+        ks.apply_batch(&graph, &batch);
+        let t_ks = t_ks.elapsed();
+        let t_dd = Instant::now();
+        dd.apply_batch(&batch);
+        let t_dd = t_dd.elapsed();
+
+        // All three agree.
+        let dd_dist = dd.distances();
+        let mut max_err = 0.0f64;
+        for v in 0..graph.num_vertices() {
+            let (a, b, c) = (gb.values()[v], ks.distances()[v], dd_dist[v]);
+            if a.is_finite() || b.is_finite() || c.is_finite() {
+                max_err = max_err.max((a - b).abs()).max((a - c).abs());
+            }
+        }
+        assert!(max_err < 1e-9, "engines disagree: {max_err}");
+
+        let reachable = gb.values().iter().filter(|d| d.is_finite()).count();
+        println!(
+            "round {round}: {} mutations | GraphBolt {:?}, KickStarter {:?}, mini-DD {:?} | {} reachable, agree ✓",
+            batch.len(),
+            t_gb,
+            t_ks,
+            t_dd,
+            reachable
+        );
+    }
+}

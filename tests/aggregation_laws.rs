@@ -1,0 +1,301 @@
+//! Property tests of the §3.3 aggregation preconditions.
+//!
+//! The paper requires every aggregation to be **commutative and
+//! associative** ("to relax the order in which values get combined and
+//! reverted during regular and incremental computation"), decomposable
+//! aggregations to support exact **retraction**, and fused **deltas** to
+//! equal their retract+combine expansion. Refinement correctness rests on
+//! these laws, so they are verified here for every built-in algorithm
+//! over randomized values.
+
+use graphbolt::algorithms::{
+    BeliefPropagation, CoEm, CollaborativeFiltering, ConnectedComponents, LabelPropagation,
+    LandmarkDistances, PageRank, ShortestPaths, ShortestPathsMultiset,
+};
+use graphbolt::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Test graph giving contributions a realistic structural context.
+fn context_graph() -> GraphSnapshot {
+    GraphBuilder::new(4)
+        .add_edge(0, 1, 0.5)
+        .add_edge(0, 2, 1.5)
+        .add_edge(1, 2, 0.25)
+        .add_edge(2, 3, 2.0)
+        .build()
+}
+
+/// Max absolute difference between two aggregations, observed through
+/// `∮` and a caller-supplied projection to `Vec<f64>` (aggregation types
+/// are heterogeneous; for the algorithms under test `∮` is injective
+/// enough to catch violations).
+fn agg_distance<A: Algorithm>(
+    alg: &A,
+    proj: impl Fn(&A::Value) -> Vec<f64>,
+    a: &A::Agg,
+    b: &A::Agg,
+) -> f64 {
+    let g = context_graph();
+    let va = proj(&alg.compute(3, a, &g));
+    let vb = proj(&alg.compute(3, b, &g));
+    va.iter()
+        .zip(&vb)
+        .map(|(x, y)| {
+            if x.is_infinite() && y.is_infinite() {
+                0.0
+            } else {
+                (x - y).abs()
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Checks the laws for one algorithm given a generator of plausible
+/// vertex values and a projection of values to comparable floats.
+fn check_laws<A, F, P>(alg: &A, mut gen_value: F, proj: P, seed: u64, decomposable: bool, tol: f64)
+where
+    A: Algorithm,
+    F: FnMut(&mut SmallRng) -> A::Value,
+    P: Fn(&A::Value) -> Vec<f64> + Copy,
+{
+    let g = context_graph();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sources = [0u32, 1, 0, 1, 2];
+    let contribs: Vec<A::Agg> = sources
+        .iter()
+        .map(|&u| {
+            let val = gen_value(&mut rng);
+            let w = rng.gen_range(0.1..2.0);
+            alg.contribution(&g, u, 3, w, &val)
+        })
+        .collect();
+
+    // Commutativity + associativity: any fold order gives the same agg.
+    let fold = |order: &[usize]| -> A::Agg {
+        let mut agg = alg.identity();
+        for &i in order {
+            alg.combine(&mut agg, &contribs[i]);
+        }
+        agg
+    };
+    let forward = fold(&[0, 1, 2, 3, 4]);
+    let backward = fold(&[4, 3, 2, 1, 0]);
+    let shuffled = fold(&[2, 0, 4, 1, 3]);
+    assert!(
+        agg_distance(alg, proj, &forward, &backward) <= tol,
+        "fold order changed the aggregation (reverse)"
+    );
+    assert!(
+        agg_distance(alg, proj, &forward, &shuffled) <= tol,
+        "fold order changed the aggregation (shuffle)"
+    );
+
+    if decomposable {
+        // Retraction inverts combination, in any interleaving.
+        let mut agg = forward.clone();
+        alg.retract(&mut agg, &contribs[1]);
+        alg.retract(&mut agg, &contribs[3]);
+        let expected = fold(&[0, 2, 4]);
+        assert!(
+            agg_distance(alg, proj, &agg, &expected) <= tol,
+            "retraction did not invert combination"
+        );
+
+        // Fused delta (when provided) equals retract+combine.
+        let old = gen_value(&mut rng);
+        let new = gen_value(&mut rng);
+        if let Some(d) = alg.delta(&g, 1, 3, 0.75, &old, &new) {
+            let mut via_delta = forward.clone();
+            alg.combine(&mut via_delta, &d);
+            let mut via_rp = forward.clone();
+            alg.retract(&mut via_rp, &alg.contribution(&g, 1, 3, 0.75, &old));
+            alg.combine(&mut via_rp, &alg.contribution(&g, 1, 3, 0.75, &new));
+            assert!(
+                agg_distance(alg, proj, &via_delta, &via_rp) <= tol,
+                "fused delta diverged from retract+combine"
+            );
+        }
+    }
+}
+
+fn scalar(v: &f64) -> Vec<f64> {
+    vec![*v]
+}
+
+fn vector(v: &Vec<f64>) -> Vec<f64> {
+    v.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pagerank_laws(seed in 0u64..10_000) {
+        check_laws(
+            &PageRank::default(),
+            |rng| rng.gen_range(0.1..3.0),
+            scalar,
+            seed,
+            true,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn coem_laws(seed in 0u64..10_000) {
+        check_laws(
+            &CoEm::with_synthetic_seeds(4, 100),
+            |rng| rng.gen_range(0.0..1.0),
+            scalar,
+            seed,
+            true,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn label_propagation_laws(seed in 0u64..10_000) {
+        check_laws(
+            &LabelPropagation::new(3, vec![None; 4]),
+            |rng| {
+                let raw: Vec<f64> = (0..3).map(|_| rng.gen_range(0.01..1.0)).collect();
+                let sum: f64 = raw.iter().sum();
+                raw.into_iter().map(|x| x / sum).collect()
+            },
+            vector,
+            seed,
+            true,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn belief_propagation_laws(seed in 0u64..10_000) {
+        check_laws(
+            &BeliefPropagation::with_states(3),
+            |rng| {
+                let raw: Vec<f64> = (0..3).map(|_| rng.gen_range(0.05..1.0)).collect();
+                let sum: f64 = raw.iter().sum();
+                raw.into_iter().map(|x| x / sum).collect()
+            },
+            vector,
+            seed,
+            true,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn collaborative_filtering_laws(seed in 0u64..10_000) {
+        check_laws(
+            &CollaborativeFiltering::with_dim(3),
+            |rng| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            vector,
+            seed,
+            true,
+            1e-7,
+        );
+    }
+
+    #[test]
+    fn sssp_min_laws(seed in 0u64..10_000) {
+        // Non-decomposable: only order-independence is required.
+        check_laws(
+            &ShortestPaths::new(0),
+            |rng| rng.gen_range(0.0..20.0),
+            scalar,
+            seed,
+            false,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn connected_components_laws(seed in 0u64..10_000) {
+        check_laws(
+            &ConnectedComponents::new(),
+            |rng| rng.gen_range(0..50u32) as f64,
+            scalar,
+            seed,
+            false,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn sssp_multiset_laws(seed in 0u64..10_000) {
+        // The ordered-map variant IS decomposable — the point of §5.4's
+        // extension.
+        check_laws(
+            &ShortestPathsMultiset::new(0),
+            |rng| rng.gen_range(0.0..20.0),
+            scalar,
+            seed,
+            true,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn landmark_distances_laws(seed in 0u64..10_000) {
+        check_laws(
+            &LandmarkDistances::new(vec![0, 2]),
+            |rng| (0..2).map(|_| rng.gen_range(0.0..20.0)).collect(),
+            vector,
+            seed,
+            false,
+            0.0,
+        );
+    }
+}
+
+#[test]
+fn law_harness_detects_violations() {
+    // A deliberately non-commutative "aggregation" must fail the check —
+    // guard against the harness silently passing everything.
+    #[derive(Clone, Debug)]
+    struct Broken;
+    impl Algorithm for Broken {
+        type Value = f64;
+        type Agg = f64;
+        fn initial_value(&self, _v: VertexId) -> f64 {
+            0.0
+        }
+        fn identity(&self) -> f64 {
+            1.0
+        }
+        fn contribution(
+            &self,
+            _g: &GraphSnapshot,
+            _u: VertexId,
+            _v: VertexId,
+            w: f64,
+            cu: &f64,
+        ) -> f64 {
+            cu + w
+        }
+        fn combine(&self, agg: &mut f64, c: &f64) {
+            // Order-dependent on purpose.
+            *agg = *agg * 2.0 + c;
+        }
+        fn compute(&self, _v: VertexId, agg: &f64, _g: &GraphSnapshot) -> f64 {
+            *agg
+        }
+    }
+    let result = std::panic::catch_unwind(|| {
+        check_laws(
+            &Broken,
+            |rng| rng.gen_range(0.1..2.0),
+            scalar,
+            7,
+            false,
+            1e-9,
+        );
+    });
+    assert!(
+        result.is_err(),
+        "harness failed to flag a broken aggregation"
+    );
+}

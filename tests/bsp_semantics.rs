@@ -1,0 +1,173 @@
+//! The headline guarantee (Theorem 4.1): after any mutation batch,
+//! dependency-driven refinement produces exactly what a from-scratch
+//! synchronous execution on the new snapshot would — for every algorithm
+//! in the suite, across additions, deletions, and mixed batches.
+
+use graphbolt::algorithms::{
+    BeliefPropagation, CoEm, CollaborativeFiltering, LabelPropagation, PageRank, ShortestPaths,
+};
+use graphbolt::core::{run_bsp, Algorithm, EngineOptions, EngineStats, ExecutionMode};
+use graphbolt::graph::generators::erdos_renyi;
+use graphbolt::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ITERS: usize = 8;
+
+/// Builds a random graph and a sequence of consistent mutation batches.
+fn random_instance(seed: u64, n: usize, m: usize) -> (GraphSnapshot, Vec<MutationBatch>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges = erdos_renyi(n, m, true, &mut rng);
+    let mut g = GraphSnapshot::from_edges(n, &edges);
+    let g0 = g.clone();
+    let mut batches = Vec::new();
+    for _ in 0..4 {
+        let mut batch = MutationBatch::new();
+        for _ in 0..rng.gen_range(1..8) {
+            let u = rng.gen_range(0..n) as VertexId;
+            let v = rng.gen_range(0..n) as VertexId;
+            if u == v {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                batch.delete(Edge::new(u, v, g.edge_weight(u, v).unwrap()));
+            } else {
+                batch.add(Edge::new(u, v, rng.gen_range(0.1..1.0)));
+            }
+        }
+        let batch = batch.normalize_against(&g);
+        if !batch.is_empty() {
+            g = g.apply(&batch).unwrap();
+            batches.push(batch);
+        }
+    }
+    (g0, batches)
+}
+
+/// Runs the engine through the batches, asserting scalar closeness to a
+/// from-scratch run after every batch.
+fn check_scalar<A: Algorithm<Value = f64> + Clone>(alg: A, seed: u64, tol: f64) {
+    let (g0, batches) = random_instance(seed, 40, 200);
+    let opts = EngineOptions::with_iterations(ITERS);
+    let mut engine = StreamingEngine::new(g0, alg.clone(), opts);
+    engine.run_initial();
+    for batch in &batches {
+        engine.apply_batch(batch).unwrap();
+        let scratch = run_bsp(
+            &alg,
+            engine.graph(),
+            &opts,
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (v, (a, b)) in engine.values().iter().zip(&scratch.vals).enumerate() {
+            let ok = (a.is_infinite() && b.is_infinite()) || (a - b).abs() < tol;
+            assert!(ok, "seed {seed} vertex {v}: refined {a} vs scratch {b}");
+        }
+    }
+}
+
+/// Same for vector-valued algorithms.
+fn check_vector<A: Algorithm<Value = Vec<f64>> + Clone>(alg: A, seed: u64, tol: f64) {
+    let (g0, batches) = random_instance(seed, 40, 200);
+    let opts = EngineOptions::with_iterations(ITERS);
+    let mut engine = StreamingEngine::new(g0, alg.clone(), opts);
+    engine.run_initial();
+    for batch in &batches {
+        engine.apply_batch(batch).unwrap();
+        let scratch = run_bsp(
+            &alg,
+            engine.graph(),
+            &opts,
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (v, (a, b)) in engine.values().iter().zip(&scratch.vals).enumerate() {
+            for (x, y) in a.iter().zip(b) {
+                assert!(
+                    (x - y).abs() < tol,
+                    "seed {seed} vertex {v}: refined {a:?} vs scratch {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_refinement_matches_scratch() {
+    for seed in 0..10 {
+        check_scalar(PageRank::with_tolerance(1e-12), seed, 1e-7);
+    }
+}
+
+#[test]
+fn coem_refinement_matches_scratch() {
+    for seed in 0..10 {
+        let mut alg = CoEm::with_synthetic_seeds(40, 7);
+        alg.tolerance = 1e-12;
+        check_scalar(alg, seed, 1e-7);
+    }
+}
+
+#[test]
+fn sssp_refinement_matches_scratch_exactly() {
+    for seed in 0..10 {
+        check_scalar(ShortestPaths::new(0), seed, 1e-12);
+    }
+}
+
+#[test]
+fn label_propagation_refinement_matches_scratch() {
+    for seed in 0..10 {
+        let mut alg = LabelPropagation::with_synthetic_seeds(3, 40, 7);
+        alg.tolerance = 1e-12;
+        check_vector(alg, seed, 1e-7);
+    }
+}
+
+#[test]
+fn belief_propagation_refinement_matches_scratch() {
+    for seed in 0..10 {
+        let mut alg = BeliefPropagation::with_states(3);
+        alg.tolerance = 1e-12;
+        check_vector(alg, seed, 1e-6);
+    }
+}
+
+#[test]
+fn collaborative_filtering_refinement_matches_scratch() {
+    for seed in 0..10 {
+        let mut alg = CollaborativeFiltering::with_dim(3);
+        alg.tolerance = 1e-12;
+        check_vector(alg, seed, 1e-5);
+    }
+}
+
+/// With a coarse scheduling tolerance, refined results may deviate from
+/// the exact run by the tolerance (the selective-scheduling trade-off the
+/// paper describes) — but must stay *bounded* by a small multiple of it.
+#[test]
+fn coarse_tolerance_bounds_deviation() {
+    let (g0, batches) = random_instance(77, 60, 300);
+    let opts = EngineOptions::with_iterations(ITERS);
+    let alg = PageRank::with_tolerance(1e-4);
+    let mut engine = StreamingEngine::new(g0, alg.clone(), opts);
+    engine.run_initial();
+    for batch in &batches {
+        engine.apply_batch(batch).unwrap();
+    }
+    let exact = run_bsp(
+        &PageRank::with_tolerance(0.0),
+        engine.graph(),
+        &opts,
+        ExecutionMode::Full,
+        &EngineStats::new(),
+    );
+    for (a, b) in engine.values().iter().zip(&exact.vals) {
+        assert!(
+            (a - b).abs() < 1e-2,
+            "deviation {} exceeds tolerance budget",
+            (a - b).abs()
+        );
+    }
+}

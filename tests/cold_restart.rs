@@ -1,0 +1,66 @@
+//! Full cold-restart simulation: graph and engine state persisted to
+//! disk, process "restarts" (everything dropped), state reloaded from
+//! files, and the stream continues — the deployment story end to end.
+
+use graphbolt::algorithms::PageRank;
+use graphbolt::core::{Checkpoint, F64Codec};
+use graphbolt::graph::io;
+use graphbolt::prelude::*;
+
+#[test]
+fn stream_survives_a_cold_restart_via_files() {
+    let dir = std::env::temp_dir().join("graphbolt-cold-restart");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("graph.bin");
+    let ck_path = dir.join("engine.gbck");
+
+    let opts = EngineOptions::with_iterations(10).cutoff(6);
+    let alg = PageRank::with_tolerance(1e-12);
+
+    // Phase 1: run, stream one batch, persist everything, drop.
+    let reference_values;
+    {
+        let g = GraphBuilder::new(6)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0)
+            .add_edge(3, 4, 1.0)
+            .add_edge(4, 5, 1.0)
+            .add_edge(5, 0, 1.0)
+            .build();
+        let mut engine = StreamingEngine::new(g, alg.clone(), opts);
+        engine.run_initial();
+        let mut b1 = MutationBatch::new();
+        b1.add(Edge::new(0, 3, 1.0));
+        engine.apply_batch(&b1).unwrap();
+
+        io::write_binary(&graph_path, &engine.graph().edges()).unwrap();
+        let ck = Checkpoint::capture(&engine, &F64Codec, &F64Codec);
+        std::fs::write(&ck_path, ck.as_bytes()).unwrap();
+
+        // What the original process would compute for the next batch.
+        let mut b2 = MutationBatch::new();
+        b2.delete(Edge::new(2, 3, 1.0)).add(Edge::new(3, 1, 1.0));
+        engine.apply_batch(&b2).unwrap();
+        reference_values = engine.values().to_vec();
+    } // everything dropped: "process exit"
+
+    // Phase 2: reload from disk, continue the stream.
+    let edges = io::read_binary(&graph_path).unwrap();
+    let n = graphbolt::graph::generators::vertex_count(&edges);
+    let graph = GraphSnapshot::from_edges(n, &edges);
+    let ck = Checkpoint::from_bytes(std::fs::read(&ck_path).unwrap());
+    let mut restored = ck
+        .restore(graph, alg, opts, &F64Codec, &F64Codec)
+        .expect("persisted state loads");
+
+    let mut b2 = MutationBatch::new();
+    b2.delete(Edge::new(2, 3, 1.0)).add(Edge::new(3, 1, 1.0));
+    restored.apply_batch(&b2).unwrap();
+
+    assert_eq!(
+        restored.values(),
+        &reference_values[..],
+        "restarted trajectory must be indistinguishable"
+    );
+}

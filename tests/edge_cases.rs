@@ -1,0 +1,275 @@
+//! Boundary-condition integration tests: degenerate graphs, destructive
+//! batches, reweights, vertex removal, and parallel execution.
+
+use graphbolt::algorithms::{ConnectedComponents, PageRank, ShortestPaths};
+use graphbolt::core::{run_bsp, EngineOptions, EngineStats, ExecutionMode};
+use graphbolt::engine::parallel;
+use graphbolt::prelude::*;
+
+fn assert_matches_scratch(engine: &StreamingEngine<PageRank>, iters: usize) {
+    let scratch = run_bsp(
+        engine.algorithm(),
+        engine.graph(),
+        &EngineOptions::with_iterations(iters),
+        ExecutionMode::Full,
+        &EngineStats::new(),
+    );
+    for (v, (a, b)) in engine.values().iter().zip(&scratch.vals).enumerate() {
+        assert!((a - b).abs() < 1e-7, "vertex {v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn engine_on_edgeless_graph() {
+    let g = GraphSnapshot::empty(5);
+    let mut engine = StreamingEngine::new(
+        g,
+        PageRank::with_tolerance(1e-12),
+        EngineOptions::with_iterations(5),
+    );
+    engine.run_initial();
+    // Every vertex is isolated: rank = (1 - d) = 0.15.
+    for &v in engine.values() {
+        assert!((v - 0.15).abs() < 1e-12);
+    }
+    // The first mutation ever gives the graph its first edge.
+    let mut batch = MutationBatch::new();
+    batch.add(Edge::new(0, 1, 1.0));
+    engine.apply_batch(&batch).unwrap();
+    assert_matches_scratch(&engine, 5);
+}
+
+#[test]
+fn batch_deleting_every_edge() {
+    let g = GraphBuilder::new(4)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 0, 1.0)
+        .build();
+    let mut engine = StreamingEngine::new(
+        g.clone(),
+        PageRank::with_tolerance(1e-12),
+        EngineOptions::with_iterations(6),
+    );
+    engine.run_initial();
+    let mut batch = MutationBatch::new();
+    for e in g.edges() {
+        batch.delete(e);
+    }
+    engine.apply_batch(&batch).unwrap();
+    assert_eq!(engine.graph().num_edges(), 0);
+    for &v in engine.values() {
+        assert!((v - 0.15).abs() < 1e-9, "isolated rank {v}");
+    }
+}
+
+#[test]
+fn reweight_refines_correctly() {
+    let g = GraphBuilder::new(4)
+        .add_edge(0, 1, 1.0)
+        .add_edge(0, 2, 1.0)
+        .add_edge(1, 3, 2.0)
+        .add_edge(2, 3, 3.0)
+        .build();
+    // SSSP is weight-sensitive: reweighting must reroute.
+    let mut engine = StreamingEngine::new(
+        g.clone(),
+        ShortestPaths::new(0),
+        EngineOptions::with_iterations(6),
+    );
+    engine.run_initial();
+    assert_eq!(engine.values()[3], 3.0); // via 1
+    let mut batch = MutationBatch::new();
+    batch.reweight(engine.graph(), 1, 3, 9.0);
+    engine.apply_batch(&batch).unwrap();
+    assert_eq!(engine.values()[3], 4.0); // now via 2
+    assert_eq!(
+        engine.graph().num_edges(),
+        4,
+        "reweight preserves structure"
+    );
+}
+
+#[test]
+fn vertex_removal_via_incident_deletion() {
+    let g = GraphBuilder::new(5)
+        .symmetric(true)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 4, 1.0)
+        .build();
+    let mut engine = StreamingEngine::new(
+        g,
+        ConnectedComponents::new(),
+        EngineOptions::with_iterations(8),
+    );
+    engine.run_initial();
+    assert_eq!(ConnectedComponents::component_count(engine.values()), 1);
+    // Remove vertex 2 entirely: the chain splits around it.
+    let mut batch = MutationBatch::new();
+    batch.delete_vertex_edges(engine.graph(), 2);
+    engine.apply_batch(&batch).unwrap();
+    assert_eq!(ConnectedComponents::component_count(engine.values()), 3);
+    assert_eq!(
+        engine.values()[2],
+        2.0,
+        "removed vertex becomes a singleton"
+    );
+}
+
+#[test]
+fn alternating_add_delete_of_same_edge() {
+    let g = GraphBuilder::new(3)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .build();
+    let mut engine = StreamingEngine::new(
+        g,
+        PageRank::with_tolerance(1e-12),
+        EngineOptions::with_iterations(6),
+    );
+    engine.run_initial();
+    for round in 0..6 {
+        let mut batch = MutationBatch::new();
+        if round % 2 == 0 {
+            batch.add(Edge::new(2, 0, 1.0));
+        } else {
+            batch.delete(Edge::new(2, 0, 1.0));
+        }
+        engine.apply_batch(&batch).unwrap();
+        assert_matches_scratch(&engine, 6);
+    }
+}
+
+#[test]
+fn empty_batch_is_rejected_gracefully() {
+    let g = GraphBuilder::new(2).add_edge(0, 1, 1.0).build();
+    let mut engine =
+        StreamingEngine::new(g, PageRank::default(), EngineOptions::with_iterations(3));
+    engine.run_initial();
+    let before = engine.values().to_vec();
+    let report = engine.apply_batch(&MutationBatch::new()).unwrap();
+    assert_eq!(report.refined_vertices, 0);
+    assert_eq!(report.changed_final_values, 0);
+    assert_eq!(engine.values(), &before[..]);
+}
+
+#[test]
+fn refinement_is_correct_under_parallel_execution() {
+    use graphbolt::graph::generators::{rmat, RmatConfig};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let edges = rmat(&RmatConfig::new(9, 6), &mut rng);
+    let n = graphbolt::graph::generators::vertex_count(&edges);
+    let g = GraphSnapshot::from_edges(n, &edges);
+    let mut batch = MutationBatch::new();
+    batch.add(Edge::new(0, 7, 1.0)).add(Edge::new(3, 11, 1.0));
+    let batch = batch.normalize_against(&g);
+
+    let values = parallel::with_threads(2, || {
+        let mut engine = StreamingEngine::new(
+            g.clone(),
+            PageRank::with_tolerance(1e-12),
+            EngineOptions::with_iterations(8),
+        );
+        engine.run_initial();
+        engine.apply_batch(&batch).unwrap();
+        engine.values().to_vec()
+    });
+    let scratch = run_bsp(
+        &PageRank::with_tolerance(1e-12),
+        &g.apply(&batch).unwrap(),
+        &EngineOptions::with_iterations(8),
+        ExecutionMode::Full,
+        &EngineStats::new(),
+    );
+    for (v, (a, b)) in values.iter().zip(&scratch.vals).enumerate() {
+        assert!((a - b).abs() < 1e-7, "vertex {v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn grid_graph_long_chains_refine_exactly() {
+    use graphbolt::graph::generators::grid;
+    let edges = grid(8, 8, true, 3);
+    let g = GraphSnapshot::from_edges(64, &edges);
+    let mut engine =
+        StreamingEngine::new(g, ShortestPaths::new(0), EngineOptions::with_iterations(20));
+    engine.run_initial();
+    let w = engine.graph().edge_weight(0, 1).unwrap();
+    let mut batch = MutationBatch::new();
+    batch.delete(Edge::new(0, 1, w));
+    engine.apply_batch(&batch).unwrap();
+    let scratch = run_bsp(
+        &ShortestPaths::new(0),
+        engine.graph(),
+        &EngineOptions::with_iterations(20),
+        ExecutionMode::Full,
+        &EngineStats::new(),
+    );
+    for (v, (a, b)) in engine.values().iter().zip(&scratch.vals).enumerate() {
+        assert!(
+            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-12,
+            "vertex {v}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn cutoff_one_is_all_hybrid() {
+    let g = GraphBuilder::new(6)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 4, 1.0)
+        .add_edge(4, 5, 1.0)
+        .add_edge(5, 0, 1.0)
+        .build();
+    let mut engine = StreamingEngine::new(
+        g,
+        PageRank::with_tolerance(1e-12),
+        EngineOptions::with_iterations(10).cutoff(1),
+    );
+    engine.run_initial();
+    let mut batch = MutationBatch::new();
+    batch.add(Edge::new(0, 3, 1.0));
+    let report = engine.apply_batch(&batch).unwrap();
+    assert_eq!(report.refined_iterations, 1);
+    assert_eq!(report.hybrid_iterations, 9);
+    assert_matches_scratch(&engine, 10);
+}
+
+#[test]
+fn rerunning_initial_resets_tracking_cleanly() {
+    // run_initial() after refinement must discard refined history (fresh
+    // store, no frozen tails) and keep answering correctly.
+    let g = GraphBuilder::new(4)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 0, 1.0)
+        .build();
+    let mut engine = StreamingEngine::new(
+        g,
+        PageRank::with_tolerance(1e-12),
+        EngineOptions::with_iterations(8),
+    );
+    engine.run_initial();
+    let mut batch = MutationBatch::new();
+    batch.add(Edge::new(0, 2, 1.0));
+    engine.apply_batch(&batch).unwrap();
+    let after_refine = engine.values().to_vec();
+
+    // Full restart over the mutated snapshot.
+    engine.run_initial();
+    for (a, b) in engine.values().iter().zip(&after_refine) {
+        assert!((a - b).abs() < 1e-9, "restart diverged: {a} vs {b}");
+    }
+    // And it can refine again from the fresh tracking.
+    let mut batch2 = MutationBatch::new();
+    batch2.delete(Edge::new(0, 2, 1.0));
+    engine.apply_batch(&batch2).unwrap();
+    assert_matches_scratch(&engine, 8);
+}

@@ -1,0 +1,200 @@
+//! Cross-system integration: the full streaming stack processes the same
+//! mutation stream and the independent engines (GraphBolt, KickStarter,
+//! mini differential dataflow, plain restart) agree on the results.
+
+use graphbolt::algorithms::{PageRank, ShortestPaths, TriangleCounter};
+use graphbolt::core::{run_bsp, EngineOptions, EngineStats, ExecutionMode};
+use graphbolt::kickstarter::KickStarterSssp;
+use graphbolt::minidd::{DdPageRank, DdSssp};
+use graphbolt::prelude::*;
+
+const ITERS: usize = 10;
+
+fn stream_fixture(seed: u64) -> (MutationStream, GraphSnapshot) {
+    use graphbolt::graph::generators::{rmat, RmatConfig};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let edges = rmat(&RmatConfig::new(9, 6), &mut rng);
+    let cfg = StreamConfig {
+        deletion_fraction: 0.3,
+        ..StreamConfig::default()
+    };
+    let stream = MutationStream::new(edges, cfg);
+    let g0 = stream.initial_snapshot();
+    (stream, g0)
+}
+
+#[test]
+fn sssp_three_engines_agree_across_stream() {
+    let (mut stream, g0) = stream_fixture(11);
+    let source = (0..g0.num_vertices() as u32)
+        .max_by_key(|&v| g0.out_degree(v))
+        .unwrap();
+
+    let mut gb = StreamingEngine::new(
+        g0.clone(),
+        ShortestPaths::new(source),
+        EngineOptions::with_iterations(ITERS),
+    );
+    gb.run_initial();
+    let mut ks = KickStarterSssp::new(&g0, source);
+    let mut dd = DdSssp::new(&g0, source, ITERS);
+
+    let mut g = g0;
+    for _ in 0..6 {
+        let Some(batch) = stream.next_batch(&g, 30) else {
+            break;
+        };
+        g = g.apply(&batch).unwrap();
+        gb.apply_batch(&batch).unwrap();
+        ks.apply_batch(&g, &batch);
+        dd.apply_batch(&batch);
+
+        // GraphBolt and DD run the same fixed-iteration BSP semantics.
+        let dd_dist = dd.distances();
+        for v in 0..g.num_vertices() {
+            let (a, b) = (gb.values()[v], dd_dist[v]);
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "GraphBolt vs DD at vertex {v}: {a} vs {b}"
+            );
+        }
+        // KickStarter computes the true fixpoint; it must agree wherever
+        // the BSP horizon has converged (ITERS covers this graph).
+        for v in 0..g.num_vertices() {
+            let (a, b) = (gb.values()[v], ks.distances()[v]);
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "GraphBolt vs KickStarter at vertex {v}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_dd_and_graphbolt_agree_across_stream() {
+    let (mut stream, g0) = stream_fixture(23);
+    let mut gb = StreamingEngine::new(
+        g0.clone(),
+        PageRank::with_tolerance(1e-12),
+        EngineOptions::with_iterations(6),
+    );
+    gb.run_initial();
+    let mut dd = DdPageRank::new(&g0, 6);
+
+    let mut g = g0;
+    for _ in 0..4 {
+        let Some(batch) = stream.next_batch(&g, 20) else {
+            break;
+        };
+        g = g.apply(&batch).unwrap();
+        gb.apply_batch(&batch).unwrap();
+        dd.apply_batch(&batch);
+        let ranks = dd.ranks();
+        for v in 0..g.num_vertices() {
+            assert!(
+                (gb.values()[v] - ranks[v]).abs() < 1e-5,
+                "vertex {v}: GraphBolt {} vs DD {}",
+                gb.values()[v],
+                ranks[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn triangle_counts_stay_exact_across_stream() {
+    let (mut stream, g0) = stream_fixture(37);
+    let mut tc = TriangleCounter::new(&g0);
+    let mut g = g0;
+    for _ in 0..8 {
+        let Some(batch) = stream.next_batch(&g, 50) else {
+            break;
+        };
+        tc.apply_batch(&batch);
+        g = g.apply(&batch).unwrap();
+        assert_eq!(tc.incidences(), graphbolt::algorithms::count_full(&g));
+    }
+}
+
+#[test]
+fn long_stream_with_pruning_stays_correct() {
+    let (mut stream, g0) = stream_fixture(53);
+    let opts = EngineOptions::with_iterations(10).cutoff(4);
+    let alg = PageRank::with_tolerance(1e-12);
+    let mut engine = StreamingEngine::new(g0, alg.clone(), opts);
+    engine.run_initial();
+    let mut g = engine.graph().clone();
+    for round in 0..10 {
+        let Some(batch) = stream.next_batch(&g, 10) else {
+            break;
+        };
+        g = g.apply(&batch).unwrap();
+        engine.apply_batch(&batch).unwrap();
+        let scratch = run_bsp(
+            &alg,
+            &g,
+            &EngineOptions::with_iterations(10),
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for v in 0..g.num_vertices() {
+            assert!(
+                (engine.values()[v] - scratch.vals[v]).abs() < 1e-6,
+                "round {round} vertex {v}: {} vs {}",
+                engine.values()[v],
+                scratch.vals[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_reports_plausible_refinement_stats() {
+    let (mut stream, g0) = stream_fixture(71);
+    let mut engine =
+        StreamingEngine::new(g0, PageRank::default(), EngineOptions::with_iterations(10));
+    engine.run_initial();
+    let g = engine.graph().clone();
+    let batch = stream.next_batch(&g, 5).unwrap();
+    let report = engine.apply_batch(&batch).unwrap();
+    assert!(report.refined_vertices > 0);
+    assert!(report.refined_iterations == 10);
+    assert_eq!(report.hybrid_iterations, 0);
+    assert!(report.duration >= report.structure_duration);
+    assert!(report.edge_computations > 0);
+}
+
+#[test]
+fn checkpoint_round_trip_resumes_vector_algorithm() {
+    use graphbolt::algorithms::LabelPropagation;
+    use graphbolt::core::{Checkpoint, VecF64Codec};
+
+    let (mut stream, g0) = stream_fixture(91);
+    let n = g0.num_vertices();
+    let mut alg = LabelPropagation::with_synthetic_seeds(3, n, 9);
+    alg.tolerance = 1e-12;
+    let opts = EngineOptions::with_iterations(8);
+    let mut original = StreamingEngine::new(g0, alg.clone(), opts);
+    original.run_initial();
+
+    // Advance one batch, then checkpoint mid-stream.
+    let b1 = stream.next_batch(original.graph(), 15).unwrap();
+    original.apply_batch(&b1).unwrap();
+    let ck = Checkpoint::capture(&original, &VecF64Codec, &VecF64Codec);
+
+    // Simulate restart: restore and continue with the same stream.
+    let mut restored = ck
+        .restore(
+            original.graph().clone(),
+            alg,
+            opts,
+            &VecF64Codec,
+            &VecF64Codec,
+        )
+        .unwrap();
+    let b2 = stream.next_batch(original.graph(), 15).unwrap();
+    original.apply_batch(&b2).unwrap();
+    restored.apply_batch(&b2).unwrap();
+    assert_eq!(original.values(), restored.values());
+}

@@ -38,7 +38,9 @@ impl CoEm {
     /// positive / negative.
     pub fn with_synthetic_seeds(n: usize, stride: usize) -> Self {
         let labels = (0..n)
-            .map(|v| (v % stride == 0).then(|| if (v / stride) % 2 == 0 { 1.0 } else { 0.0 }))
+            .map(|v| {
+                (v % stride == 0).then(|| if (v / stride).is_multiple_of(2) { 1.0 } else { 0.0 })
+            })
             .collect();
         Self::new(labels)
     }

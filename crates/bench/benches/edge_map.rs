@@ -1,0 +1,165 @@
+//! Frontier-density sweep of `edge_map` on a skewed (R-MAT) graph.
+//!
+//! The incremental engine's refinement frontiers are usually tiny and
+//! power-law shaped (a handful of hubs plus a tail of low-degree
+//! vertices), so the sparse (push) path's load balance and per-edge
+//! bookkeeping dominate end-to-end refinement cost. This bench sweeps
+//! frontier density — 0.1%, 1%, 10%, and full — against the forced
+//! sparse, forced dense, and auto (Ligra heuristic) paths.
+//!
+//! Besides the criterion groups, the bench writes a machine-readable
+//! `BENCH_edge_map.json` at the workspace root (median-of-runs,
+//! edges/second per configuration) so successive PRs can track the
+//! trajectory without parsing criterion's output directory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+
+use graphbolt_bench::workloads::{standard_graph, GraphSpec};
+use graphbolt_engine::{edge_map, EdgeMapOptions, VertexSubset};
+use graphbolt_graph::{GraphSnapshot, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SCALE: u32 = 14;
+const FRONTIER_SEED: u64 = 0x5EED;
+
+/// (label, member fraction) pairs swept below.
+const DENSITIES: &[(&str, f64)] = &[
+    ("0.1%", 0.001),
+    ("1%", 0.01),
+    ("10%", 0.1),
+    ("full", 1.0),
+];
+
+const MODES: &[&str] = &["sparse", "dense", "auto"];
+
+fn mode_options(mode: &str) -> EdgeMapOptions {
+    match mode {
+        "sparse" => EdgeMapOptions::sparse(),
+        "dense" => EdgeMapOptions::dense(),
+        _ => EdgeMapOptions::default(),
+    }
+}
+
+/// Uniform vertex sample at the requested density (hubs and leaves drawn
+/// alike, so per-member degree is as skewed as the graph itself).
+fn make_frontier(n: usize, density: f64) -> VertexSubset {
+    if density >= 1.0 {
+        return VertexSubset::full(n);
+    }
+    let mut rng = SmallRng::seed_from_u64(FRONTIER_SEED);
+    let ids: Vec<VertexId> = (0..n as VertexId)
+        .filter(|_| rng.gen_bool(density))
+        .collect();
+    VertexSubset::from_ids(n, ids)
+}
+
+/// One traversal; returns a value derived from the result so the work
+/// cannot be optimized away. The update function is deliberately cheap —
+/// the bench measures frontier machinery, not algorithm math.
+fn traverse(g: &GraphSnapshot, frontier: &VertexSubset, opts: EdgeMapOptions) -> u64 {
+    let work = AtomicU64::new(0);
+    let next = edge_map(
+        g,
+        frontier,
+        |u, v, _w| (u ^ v) & 1 == 0,
+        |_| true,
+        opts,
+        &work,
+    );
+    work.load(Ordering::Relaxed) + next.len() as u64
+}
+
+fn benches(c: &mut Criterion) {
+    let g = standard_graph(GraphSpec::at_scale(SCALE));
+    let mut group = c.benchmark_group("edge_map");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for &(label, density) in DENSITIES {
+        let frontier = make_frontier(g.num_vertices(), density);
+        let touched = (frontier.len() + frontier.out_degree_sum(&g)) as u64;
+        group.throughput(Throughput::Elements(touched));
+        for &mode in MODES {
+            group.bench_with_input(
+                BenchmarkId::new(mode, label),
+                &frontier,
+                |b, frontier| b.iter(|| traverse(&g, frontier, mode_options(mode))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Median-of-`RUNS` wall-clock sweep, written as JSON next to the
+/// workspace `Cargo.toml`. Kept separate from criterion so the numbers
+/// are trivially diffable across PRs.
+fn write_summary() {
+    const RUNS: usize = 7;
+    let g = standard_graph(GraphSpec::at_scale(SCALE));
+    let mut entries = Vec::new();
+    for &(label, density) in DENSITIES {
+        let frontier = make_frontier(g.num_vertices(), density);
+        let touched = (frontier.len() + frontier.out_degree_sum(&g)) as u64;
+        for &mode in MODES {
+            let opts = mode_options(mode);
+            traverse(&g, &frontier, opts); // warm-up
+            let mut samples: Vec<f64> = (0..RUNS)
+                .map(|_| {
+                    let t = Instant::now();
+                    std::hint::black_box(traverse(&g, &frontier, opts));
+                    t.elapsed().as_secs_f64()
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let median = samples[RUNS / 2];
+            entries.push(format!(
+                concat!(
+                    "    {{\"density\": \"{}\", \"mode\": \"{}\", ",
+                    "\"frontier_vertices\": {}, \"edges_plus_frontier\": {}, ",
+                    "\"median_ms\": {:.4}, \"medges_per_sec\": {:.2}}}"
+                ),
+                label,
+                mode,
+                frontier.len(),
+                touched,
+                median * 1e3,
+                touched as f64 / median / 1e6,
+            ));
+        }
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"edge_map\",\n  \"graph\": ",
+            "{{\"generator\": \"rmat\", \"scale\": {}, \"vertices\": {}, \"edges\": {}}},\n",
+            "  \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        SCALE,
+        g.num_vertices(),
+        g.num_edges(),
+        graphbolt_engine::parallel::default_threads(),
+        entries.join(",\n"),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_edge_map.json");
+    std::fs::write(&path, json).expect("write BENCH_edge_map.json");
+    eprintln!("wrote {}", path.display());
+}
+
+criterion_group!(edge_map_benches, benches);
+
+fn main() {
+    // `cargo test` runs harness-less bench targets with `--test`; keep
+    // that path fast by skipping both criterion and the summary sweep.
+    let smoke = std::env::args().any(|a| a == "--test");
+    if smoke {
+        return;
+    }
+    edge_map_benches();
+    Criterion::default().configure_from_args().final_summary();
+    write_summary();
+}

@@ -72,9 +72,11 @@ pub fn suite(n: usize) -> Vec<(&'static str, SuiteRunner)> {
         (
             "CF",
             Box::new(|g: &GraphSnapshot, b: &[MutationBatch]| {
-                let mut alg = CollaborativeFiltering::default();
-                alg.tolerance = BENCH_TOLERANCE;
-                alg.lambda = 2.0;
+                let alg = CollaborativeFiltering {
+                    tolerance: BENCH_TOLERANCE,
+                    lambda: 2.0,
+                    ..Default::default()
+                };
                 run_engine_algo(alg, g, b)
             }),
         ),

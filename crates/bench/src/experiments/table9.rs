@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn vector_algorithms_cost_more_than_scalar() {
-        let mut stream = standard_stream(GraphSpec::at_scale(8), WorkloadBias::Uniform);
+        let stream = standard_stream(GraphSpec::at_scale(8), WorkloadBias::Uniform);
         let g = stream.initial_snapshot();
         let pr = overhead(&g, PageRank::default());
         let cf = overhead(&g, CollaborativeFiltering::default());

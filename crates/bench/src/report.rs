@@ -93,7 +93,7 @@ pub fn fmt_count(x: u64) -> String {
     let s = x.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -128,7 +128,7 @@ mod tests {
         assert_eq!(fmt_secs(2.5), "2.50s");
         assert_eq!(fmt_secs(0.0025), "2.50ms");
         assert_eq!(fmt_secs(0.0000005), "0.5µs");
-        assert_eq!(fmt_speedup(3.14159), "3.14×");
+        assert_eq!(fmt_speedup(2.468), "2.47×");
         assert_eq!(fmt_count(1234567), "1,234,567");
         assert_eq!(fmt_count(12), "12");
     }

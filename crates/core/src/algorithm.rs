@@ -110,6 +110,7 @@ pub trait Algorithm: Send + Sync {
     /// 3's `propagateDelta` computes `newpr/new_degree −
     /// oldpr/old_degree` in one step). Returning `None` (the default)
     /// makes the engine fall back to the explicit retract+propagate pair.
+    #[allow(clippy::too_many_arguments)]
     fn delta_structural(
         &self,
         old_g: &GraphSnapshot,

@@ -13,6 +13,7 @@
 //!   hybrid execution, §4.2).
 
 use graphbolt_engine::parallel;
+use graphbolt_engine::AtomicBitSet;
 use graphbolt_graph::{GraphSnapshot, VertexId};
 
 use crate::algorithm::Algorithm;
@@ -234,12 +235,7 @@ impl<'a, A: Algorithm> Driver<'a, A> {
         let (alg, g, stats) = (self.alg, self.g, self.stats);
         let changed = std::mem::take(&mut self.changed);
         let vals = &self.vals;
-        let mut touched_bits = vec![false; g.num_vertices()];
-        for &(u, _) in &changed {
-            for v in g.out_neighbors(u) {
-                touched_bits[*v as usize] = true;
-            }
-        }
+        let touched = touched_targets(g, &changed);
         {
             let sharded = ShardedMut::new(&mut self.aggs);
             let work = parallel::par_sum(0..changed.len(), |i| {
@@ -267,11 +263,6 @@ impl<'a, A: Algorithm> Driver<'a, A> {
             });
             stats.add_edge_computations(work);
         }
-        let touched: Vec<VertexId> = touched_bits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &t)| t.then_some(i as VertexId))
-            .collect();
         self.touched = touched.clone();
         self.recompute_values(&touched)
     }
@@ -281,17 +272,7 @@ impl<'a, A: Algorithm> Driver<'a, A> {
     fn step_pull_frontier(&mut self) -> usize {
         let (alg, g) = (self.alg, self.g);
         let changed = std::mem::take(&mut self.changed);
-        let mut touched_bits = vec![false; g.num_vertices()];
-        for &(u, _) in &changed {
-            for v in g.out_neighbors(u) {
-                touched_bits[*v as usize] = true;
-            }
-        }
-        let touched: Vec<VertexId> = touched_bits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &t)| t.then_some(i as VertexId))
-            .collect();
+        let touched = touched_targets(g, &changed);
         let vals = &self.vals;
         let recomputed: Vec<(VertexId, A::Agg)> = parallel::par_map(0..touched.len(), |i| {
             let v = touched[i];
@@ -315,7 +296,7 @@ impl<'a, A: Algorithm> Driver<'a, A> {
     fn recompute_values(&mut self, targets: &[VertexId]) -> usize {
         let (alg, g) = (self.alg, self.g);
         let (vals, aggs) = (&self.vals, &self.aggs);
-        let updated: Vec<Option<(VertexId, A::Value, A::Value)>> =
+        let updated: Vec<_> =
             parallel::par_map(0..targets.len(), |i| {
                 let v = targets[i];
                 let new = alg.compute(v, &aggs[v as usize], g);
@@ -335,6 +316,19 @@ impl<'a, A: Algorithm> Driver<'a, A> {
         }
         self.changed.len()
     }
+}
+
+/// Union of the out-neighborhoods of the `changed` sources as a sorted id
+/// list: a concurrent bit union set in parallel (idempotent `fetch_or`),
+/// flattened with the blocked parallel dense→sparse conversion.
+fn touched_targets<V: Sync>(g: &GraphSnapshot, changed: &[(VertexId, V)]) -> Vec<VertexId> {
+    let bits = AtomicBitSet::new(g.num_vertices());
+    parallel::par_for(0..changed.len(), |i| {
+        for v in g.out_neighbors(changed[i].0) {
+            bits.set(*v as usize);
+        }
+    });
+    bits.to_vec().into_iter().map(|v| v as VertexId).collect()
 }
 
 #[cfg(test)]

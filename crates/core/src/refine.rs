@@ -32,13 +32,13 @@
 //! incremental savings evaporate (the C++ GraphBolt uses flat per-vertex
 //! arrays for the same reason).
 
-use std::collections::HashSet;
-
 use graphbolt_engine::parallel;
+use graphbolt_engine::AtomicBitSet;
 use graphbolt_graph::{GraphSnapshot, MutationBatch, VertexId};
 
 use crate::algorithm::Algorithm;
 use crate::options::EngineOptions;
+use crate::sharded::ShardedMut;
 use crate::stats::{EngineStats, RefineReport};
 use crate::store::DependencyStore;
 
@@ -78,16 +78,6 @@ impl<T> Scratch<T> {
     }
 
     #[inline]
-    fn get_or_insert_with(&mut self, v: VertexId, f: impl FnOnce() -> T) -> &mut T {
-        let slot = &mut self.slots[v as usize];
-        if slot.is_none() {
-            *slot = Some(f());
-            self.touched.push(v);
-        }
-        slot.as_mut().expect("just filled")
-    }
-
-    #[inline]
     fn insert(&mut self, v: VertexId, value: T) {
         if self.slots[v as usize].is_none() {
             self.touched.push(v);
@@ -99,6 +89,13 @@ impl<T> Scratch<T> {
         for v in self.touched.drain(..) {
             self.slots[v as usize] = None;
         }
+    }
+
+    /// Exclusive view of the dense slot array, for shard-locked parallel
+    /// mutation of already-occupied slots. Callers must not create or
+    /// clear entries through this view — `touched` would go stale.
+    fn slots_mut(&mut self) -> &mut [Option<T>] {
+        &mut self.slots
     }
 
     fn drain(&mut self) -> impl Iterator<Item = (VertexId, T)> + '_ {
@@ -172,30 +169,35 @@ pub fn refine<A: Algorithm>(
         state.changed_at_cutoff.resize(new_n, false);
     }
 
-    // Index the batch.
-    let added: HashSet<(VertexId, VertexId)> =
+    // Index the batch: a sorted added-edge list for O(log) membership
+    // probes, and bit-set indexes over endpoints built with concurrent
+    // set (idempotent union — safe to materialize in parallel).
+    let mut added: Vec<(VertexId, VertexId)> =
         batch.additions().iter().map(|e| e.endpoints()).collect();
+    added.sort_unstable();
+    added.dedup();
+    let adds = batch.additions();
+    let dels = batch.deletions();
+    let is_structural = AtomicBitSet::new(new_n);
     let structural_sources: Vec<VertexId> = if alg.source_structure_dependent() {
-        let set: HashSet<VertexId> = batch
-            .additions()
-            .iter()
-            .chain(batch.deletions().iter())
-            .map(|e| e.src)
-            .collect();
-        set.into_iter().collect()
+        parallel::par_for(0..adds.len() + dels.len(), |k| {
+            let e = if k < adds.len() {
+                &adds[k]
+            } else {
+                &dels[k - adds.len()]
+            };
+            is_structural.set(e.src as usize);
+        });
+        is_structural.to_vec().into_iter().map(|v| v as VertexId).collect()
     } else {
         Vec::new()
     };
-    let mut is_structural = vec![false; new_n];
-    for &u in &structural_sources {
-        is_structural[u as usize] = true;
-    }
     // Sources with at least one added out-edge: only their ⋃△ loops need
     // the per-edge added-set probe.
-    let mut has_added_out = vec![false; new_n];
-    for e in batch.additions() {
-        has_added_out[e.src as usize] = true;
-    }
+    let has_added_out = AtomicBitSet::new(new_n);
+    parallel::par_for(0..adds.len(), |k| {
+        has_added_out.set(adds[k].src as usize);
+    });
 
     let identity = alg.identity();
     // Reads `c_i(v)` of the *current* store content; correct for the old
@@ -232,107 +234,187 @@ pub fn refine<A: Algorithm>(
         pair_cache.clear();
 
         if alg.decomposable() {
-            // Derived (old, new) pair of source `u` at iteration i-1.
-            macro_rules! pair_of {
-                ($u:expr) => {{
-                    let u = $u;
-                    match prev_changed.get(u) {
-                        Some(p) => p.clone(),
-                        None => pair_cache
-                            .get_or_insert_with(u, || {
-                                let val = value_from_store(state.store, u, i - 1, new_g);
-                                (val.clone(), val)
-                            })
-                            .clone(),
-                    }
-                }};
-            }
-            // ⊎ — contributions of added edges (new structural context).
-            for e in batch.additions() {
-                let (_, cu) = pair_of!(e.src);
-                let contrib = alg.contribution(new_g, e.src, e.dst, e.weight, &cu);
-                let slot = new_aggs.get_or_insert_with(e.dst, || {
-                    seed_slot(alg, state.store, e.dst, i, old_g, &identity)
-                });
-                alg.combine(&mut slot.0, &contrib);
-                edge_work += 1;
-            }
-            // ⋃- — retract contributions of deleted edges (old context,
-            // old trajectory value).
-            for e in batch.deletions() {
-                let (cu, _) = pair_of!(e.src);
-                let contrib = alg.contribution(old_g, e.src, e.dst, e.weight, &cu);
-                let slot = new_aggs.get_or_insert_with(e.dst, || {
-                    seed_slot(alg, state.store, e.dst, i, old_g, &identity)
-                });
-                alg.retract(&mut slot.0, &contrib);
-                edge_work += 1;
-            }
-            // ⋃△ — transitive and structural updates over surviving edges.
-            // (Structural sources not in the changed set still need their
-            // surviving contributions re-derived under the new context.)
+            // ⋃△ sources: changed at i-1, plus structural sources whose
+            // surviving contributions must be re-derived under the new
+            // context even when their value didn't move.
             let mut dirty: Vec<VertexId> = prev_changed.touched().to_vec();
             for &u in &structural_sources {
                 if prev_changed.get(u).is_none() {
                     dirty.push(u);
                 }
             }
-            for u in dirty {
-                let structural = is_structural[u as usize];
-                let check_added = has_added_out[u as usize];
-                let (old_u, new_u) = pair_of!(u);
-                for (v, w) in new_g.out_edges(u) {
-                    if check_added && added.contains(&(u, v)) {
-                        // Added this batch — already handled with ⊎.
-                        continue;
-                    }
-                    let slot = new_aggs.get_or_insert_with(v, || {
-                        seed_slot(alg, state.store, v, i, old_g, &identity)
-                    });
-                    let agg = &mut slot.0;
-                    if opts.fused_delta {
-                        let d = if structural {
-                            alg.delta_structural(old_g, new_g, u, v, w, &old_u, &new_u)
-                        } else {
-                            alg.delta(new_g, u, v, w, &old_u, &new_u)
-                        };
-                        if let Some(d) = d {
-                            alg.combine(agg, &d);
-                            edge_work += 1;
-                            continue;
-                        }
-                    }
-                    // Explicit retract + propagate (GraphBolt-RP shape,
-                    // and the fallback under structural change).
-                    let oc = alg.contribution(old_g, u, v, w, &old_u);
-                    let nc = alg.contribution(new_g, u, v, w, &new_u);
-                    alg.retract(agg, &oc);
-                    alg.combine(agg, &nc);
-                    edge_work += 2;
+
+            // Pre-derive the (old, new) value pair of every source the
+            // three unions read, in parallel; the application phase then
+            // only does read-only pair lookups.
+            let mut needed: Vec<VertexId> = adds
+                .iter()
+                .chain(dels.iter())
+                .map(|e| e.src)
+                .chain(dirty.iter().copied())
+                .filter(|&u| prev_changed.get(u).is_none() && pair_cache.get(u).is_none())
+                .collect();
+            needed.sort_unstable();
+            needed.dedup();
+            {
+                let store_ref: &DependencyStore<A::Agg> = state.store;
+                let derived: Vec<A::Value> = parallel::par_map(0..needed.len(), |k| {
+                    value_from_store(store_ref, needed[k], i - 1, new_g)
+                });
+                for (u, val) in needed.into_iter().zip(derived) {
+                    pair_cache.insert(u, (val.clone(), val));
                 }
             }
+
+            // Impacted destinations this iteration: batch endpoints plus
+            // the out-neighborhoods of dirty sources. (A dirty source's
+            // neighbor reached only through an added edge is an addition
+            // dst, so this union equals the set the unions below touch.)
+            let impacted = AtomicBitSet::new(new_n);
+            parallel::par_for(0..adds.len() + dels.len(), |k| {
+                let e = if k < adds.len() {
+                    &adds[k]
+                } else {
+                    &dels[k - adds.len()]
+                };
+                impacted.set(e.dst as usize);
+            });
+            {
+                let dirty_ref = &dirty;
+                parallel::par_for(0..dirty_ref.len(), |k| {
+                    for v in new_g.out_neighbors(dirty_ref[k]) {
+                        impacted.set(*v as usize);
+                    }
+                });
+            }
+            // Seed every impacted slot in parallel (store reads + one old
+            // value derivation each), then install sequentially — O(|set|)
+            // pointer writes.
+            let targets: Vec<VertexId> =
+                impacted.to_vec().into_iter().map(|v| v as VertexId).collect();
+            {
+                let store_ref: &DependencyStore<A::Agg> = state.store;
+                let seeded: Vec<(A::Agg, A::Value)> = parallel::par_map(0..targets.len(), |k| {
+                    seed_slot(alg, store_ref, targets[k], i, old_g, &identity)
+                });
+                for (&v, slot) in targets.iter().zip(seeded) {
+                    new_aggs.insert(v, slot);
+                }
+            }
+
+            // Apply the three unions in parallel. Destinations are guarded
+            // by shard locks (multiple workers may combine into the same
+            // aggregation); counts accumulate in per-task locals published
+            // once to a striped counter.
+            let edge_counter = parallel::StripedCounter::new();
+            {
+                let prev_ref = &prev_changed;
+                let cache_ref = &pair_cache;
+                let pair_of = |u: VertexId| -> (A::Value, A::Value) {
+                    match prev_ref.get(u) {
+                        Some(p) => p.clone(),
+                        None => cache_ref.get(u).expect("pair pre-derived above").clone(),
+                    }
+                };
+                let slots = ShardedMut::new(new_aggs.slots_mut());
+                let combine_into = |v: VertexId, f: &dyn Fn(&mut A::Agg)| {
+                    slots.with(v as usize, |slot| {
+                        f(&mut slot.as_mut().expect("impacted slot pre-seeded").0);
+                    });
+                };
+                // ⊎ — contributions of added edges (new structural
+                // context).
+                parallel::par_for(0..adds.len(), |k| {
+                    let e = &adds[k];
+                    let (_, cu) = pair_of(e.src);
+                    let contrib = alg.contribution(new_g, e.src, e.dst, e.weight, &cu);
+                    combine_into(e.dst, &|agg| alg.combine(agg, &contrib));
+                    edge_counter.add(k, 1);
+                });
+                // ⋃- — retract contributions of deleted edges (old
+                // context, old trajectory value).
+                parallel::par_for(0..dels.len(), |k| {
+                    let e = &dels[k];
+                    let (cu, _) = pair_of(e.src);
+                    let contrib = alg.contribution(old_g, e.src, e.dst, e.weight, &cu);
+                    combine_into(e.dst, &|agg| alg.retract(agg, &contrib));
+                    edge_counter.add(k, 1);
+                });
+                // ⋃△ — transitive and structural updates over surviving
+                // edges.
+                let dirty_ref = &dirty;
+                let added_ref = &added;
+                parallel::par_for(0..dirty_ref.len(), |di| {
+                    let u = dirty_ref[di];
+                    let structural = is_structural.get(u as usize);
+                    let check_added = has_added_out.get(u as usize);
+                    let (old_u, new_u) = pair_of(u);
+                    let mut local = 0u64;
+                    for (v, w) in new_g.out_edges(u) {
+                        if check_added && added_ref.binary_search(&(u, v)).is_ok() {
+                            // Added this batch — already handled with ⊎.
+                            continue;
+                        }
+                        let fused = if opts.fused_delta {
+                            if structural {
+                                alg.delta_structural(old_g, new_g, u, v, w, &old_u, &new_u)
+                            } else {
+                                alg.delta(new_g, u, v, w, &old_u, &new_u)
+                            }
+                        } else {
+                            None
+                        };
+                        if let Some(d) = fused {
+                            combine_into(v, &|agg| alg.combine(agg, &d));
+                            local += 1;
+                            continue;
+                        }
+                        // Explicit retract + propagate (GraphBolt-RP
+                        // shape, and the fallback under structural
+                        // change).
+                        let oc = alg.contribution(old_g, u, v, w, &old_u);
+                        let nc = alg.contribution(new_g, u, v, w, &new_u);
+                        combine_into(v, &|agg| {
+                            alg.retract(agg, &oc);
+                            alg.combine(agg, &nc);
+                        });
+                        local += 2;
+                    }
+                    edge_counter.add(di, local);
+                });
+            }
+            edge_work += edge_counter.sum();
         } else {
             // Non-decomposable: re-evaluate impacted aggregations from the
             // complete updated input set (§3.3 re-evaluation strategy).
-            let mut target_bits = vec![false; new_n];
-            for e in batch.additions().iter().chain(batch.deletions()) {
-                target_bits[e.dst as usize] = true;
-            }
-            for &u in prev_changed.touched() {
-                for v in new_g.out_neighbors(u) {
-                    target_bits[*v as usize] = true;
+            // The impacted set is a concurrent bit union materialized in
+            // parallel, then flattened to ids with the blocked parallel
+            // conversion.
+            let target_bits = AtomicBitSet::new(new_n);
+            parallel::par_for(0..adds.len() + dels.len(), |k| {
+                let e = if k < adds.len() {
+                    &adds[k]
+                } else {
+                    &dels[k - adds.len()]
+                };
+                target_bits.set(e.dst as usize);
+            });
+            let prev_touched = prev_changed.touched();
+            parallel::par_for(0..prev_touched.len(), |k| {
+                for v in new_g.out_neighbors(prev_touched[k]) {
+                    target_bits.set(*v as usize);
                 }
+            });
+            {
+                let structural_ref = &structural_sources;
+                parallel::par_for(0..structural_ref.len(), |k| {
+                    for v in new_g.out_neighbors(structural_ref[k]) {
+                        target_bits.set(*v as usize);
+                    }
+                });
             }
-            for &u in &structural_sources {
-                for v in new_g.out_neighbors(u) {
-                    target_bits[*v as usize] = true;
-                }
-            }
-            let target_list: Vec<VertexId> = target_bits
-                .iter()
-                .enumerate()
-                .filter_map(|(v, &t)| t.then_some(v as VertexId))
-                .collect();
+            let target_list: Vec<VertexId> =
+                target_bits.to_vec().into_iter().map(|v| v as VertexId).collect();
             // Derive every needed source value once, in parallel.
             let mut needed: Vec<VertexId> = target_list
                 .iter()
@@ -382,7 +464,7 @@ pub fn refine<A: Algorithm>(
         // Commit: derive new values, write refined aggregations, and
         // build the next iteration's changed set (the old value was
         // derived when the slot was seeded).
-        let committed: Vec<(VertexId, (A::Agg, A::Value))> = new_aggs.drain().collect();
+        let committed: Vec<_> = new_aggs.drain().collect();
         prev_changed.clear();
         for (v, (agg, old_c)) in committed {
             refined.insert(v, ());
@@ -427,19 +509,27 @@ pub fn refine<A: Algorithm>(
         // from the refined store, so the bit is maintained exactly
         // (a conservative union would otherwise grow monotonically across
         // batches and bloat every future hybrid seed).
-        for &v in refined.touched() {
-            let at_k = value_from_store(state.store, v, refine_upto, new_g);
-            let at_km1 = value_from_store(state.store, v, refine_upto - 1, new_g);
-            state.changed_at_cutoff[v as usize] = alg.changed(&at_km1, &at_k);
-            state.vals_at_cutoff[v as usize] = at_k;
+        {
+            let refined_ids = refined.touched();
+            let store_ref: &DependencyStore<A::Agg> = state.store;
+            let updates: Vec<(A::Value, bool)> =
+                parallel::par_map(0..refined_ids.len(), |k| {
+                    let v = refined_ids[k];
+                    let at_k = value_from_store(store_ref, v, refine_upto, new_g);
+                    let at_km1 = value_from_store(store_ref, v, refine_upto - 1, new_g);
+                    let changed = alg.changed(&at_km1, &at_k);
+                    (at_k, changed)
+                });
+            for (&v, (at_k, changed)) in refined_ids.iter().zip(updates) {
+                state.changed_at_cutoff[v as usize] = changed;
+                state.vals_at_cutoff[v as usize] = at_k;
+            }
         }
         // Hybrid seed: everything in motion at the cut-off.
-        let seed: HashSet<VertexId> = state
-            .changed_at_cutoff
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &c)| c.then_some(v as VertexId))
-            .collect();
+        let changed_ref: &[bool] = state.changed_at_cutoff;
+        let mut seed: Vec<VertexId> =
+            parallel::par_filter_map(0..new_n, |v| changed_ref[v].then_some(v as VertexId));
+        seed.sort_unstable();
         let hybrid = run_hybrid(
             alg,
             new_g,
@@ -478,7 +568,7 @@ fn run_hybrid<A: Algorithm>(
     alg: &A,
     g: &GraphSnapshot,
     vals_at_cutoff: &[A::Value],
-    seed: HashSet<VertexId>,
+    seed: Vec<VertexId>,
     from_iter: usize,
     to_iter: usize,
     stats: &EngineStats,
@@ -486,7 +576,7 @@ fn run_hybrid<A: Algorithm>(
     let mut cur: Vec<A::Value> = vals_at_cutoff.to_vec();
     // `moving` holds vertices whose value differed between the last two
     // completed iterations.
-    let mut moving: Vec<VertexId> = seed.into_iter().collect();
+    let mut moving: Vec<VertexId> = seed;
     let mut iterations = 0;
     let mut edge_work = 0u64;
     for _ in from_iter + 1..=to_iter {
@@ -495,17 +585,19 @@ fn run_hybrid<A: Algorithm>(
         if moving.is_empty() {
             continue;
         }
-        let mut target_bits = vec![false; g.num_vertices()];
-        for &u in &moving {
-            for v in g.out_neighbors(u) {
-                target_bits[*v as usize] = true;
-            }
+        // Frontier out-neighborhood as a concurrent bit union, flattened
+        // with the blocked parallel conversion (ascending ids).
+        let target_bits = AtomicBitSet::new(g.num_vertices());
+        {
+            let moving_ref = &moving;
+            parallel::par_for(0..moving_ref.len(), |k| {
+                for v in g.out_neighbors(moving_ref[k]) {
+                    target_bits.set(*v as usize);
+                }
+            });
         }
-        let targets: Vec<VertexId> = target_bits
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &t)| t.then_some(v as VertexId))
-            .collect();
+        let targets: Vec<VertexId> =
+            target_bits.to_vec().into_iter().map(|v| v as VertexId).collect();
         let cur_ref = &cur;
         let updated: Vec<(VertexId, A::Value, u64)> = parallel::par_map(0..targets.len(), |ti| {
             let v = targets[ti];

@@ -8,15 +8,22 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use graphbolt_engine::parallel::CachePadded;
+
 /// Shared counters, safe to update from parallel workers.
+///
+/// Each counter sits on its own cache line: workers bumping
+/// `edge_computations` would otherwise invalidate the line under
+/// `iterations`/`vertex_computations` readers (false sharing), turning
+/// independent counters into a single contention point.
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Contribution / delta / retraction evaluations.
-    edge_computations: AtomicU64,
+    edge_computations: CachePadded<AtomicU64>,
     /// `∮` (vertex compute) evaluations.
-    vertex_computations: AtomicU64,
+    vertex_computations: CachePadded<AtomicU64>,
     /// BSP iterations executed (initial + refinement + hybrid).
-    iterations: AtomicU64,
+    iterations: CachePadded<AtomicU64>,
 }
 
 impl EngineStats {
@@ -28,41 +35,41 @@ impl EngineStats {
     /// Adds `n` edge computations.
     #[inline]
     pub fn add_edge_computations(&self, n: u64) {
-        self.edge_computations.fetch_add(n, Ordering::Relaxed);
+        self.edge_computations.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds `n` vertex computations.
     #[inline]
     pub fn add_vertex_computations(&self, n: u64) {
-        self.vertex_computations.fetch_add(n, Ordering::Relaxed);
+        self.vertex_computations.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Marks one completed iteration.
     #[inline]
     pub fn add_iteration(&self) {
-        self.iterations.fetch_add(1, Ordering::Relaxed);
+        self.iterations.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total edge computations so far.
     pub fn edge_computations(&self) -> u64 {
-        self.edge_computations.load(Ordering::Relaxed)
+        self.edge_computations.0.load(Ordering::Relaxed)
     }
 
     /// Total vertex computations so far.
     pub fn vertex_computations(&self) -> u64 {
-        self.vertex_computations.load(Ordering::Relaxed)
+        self.vertex_computations.0.load(Ordering::Relaxed)
     }
 
     /// Total iterations so far.
     pub fn iterations(&self) -> u64 {
-        self.iterations.load(Ordering::Relaxed)
+        self.iterations.0.load(Ordering::Relaxed)
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.edge_computations.store(0, Ordering::Relaxed);
-        self.vertex_computations.store(0, Ordering::Relaxed);
-        self.iterations.store(0, Ordering::Relaxed);
+        self.edge_computations.0.store(0, Ordering::Relaxed);
+        self.vertex_computations.0.store(0, Ordering::Relaxed);
+        self.iterations.0.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters as plain integers.

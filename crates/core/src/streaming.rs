@@ -608,4 +608,32 @@ mod tests {
             }
         }
     }
+
+    /// The work counters must be *exact*, not approximate: striped
+    /// counters and per-chunk locals publish integer sums whose total is
+    /// independent of thread count and scheduling, so the same execution
+    /// on 1 and 4 workers reports identical statistics.
+    #[test]
+    fn edge_work_is_deterministic_across_thread_counts() {
+        use crate::stats::StatsSnapshot;
+        let run = || -> (StatsSnapshot, Vec<f64>) {
+            let mut engine = StreamingEngine::new(
+                base_graph(),
+                TestRank,
+                EngineOptions::with_iterations(8).cutoff(4),
+            );
+            engine.run_initial();
+            let mut batch = MutationBatch::new();
+            batch.add(Edge::new(0, 4, 1.0));
+            batch.delete(Edge::new(2, 3, 2.0));
+            engine.apply_batch(&batch).unwrap();
+            (engine.stats().snapshot(), engine.values().to_vec())
+        };
+        let (stats_1, vals_1) = graphbolt_engine::parallel::with_threads(1, run);
+        let (stats_4, vals_4) = graphbolt_engine::parallel::with_threads(4, run);
+        assert_eq!(stats_1, stats_4, "work counters must not depend on thread count");
+        for (v, (a, b)) in vals_1.iter().zip(vals_4.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
+        }
+    }
 }

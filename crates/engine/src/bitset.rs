@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::parallel;
+
 /// A fixed-capacity bit set supporting concurrent set/test from parallel
 /// edge-map workers.
 ///
@@ -18,7 +20,7 @@ pub struct AtomicBitSet {
 impl AtomicBitSet {
     /// Creates a cleared bit set with room for `capacity` bits.
     pub fn new(capacity: usize) -> Self {
-        let words = (capacity + 63) / 64;
+        let words = capacity.div_ceil(64);
         Self {
             words: (0..words).map(|_| AtomicU64::new(0)).collect(),
             capacity,
@@ -58,10 +60,27 @@ impl AtomicBitSet {
 
     /// Number of set bits.
     pub fn count(&self) -> usize {
+        if self.words.len() >= PAR_BLOCK_WORDS * 2 {
+            return parallel::par_sum(0..self.words.len(), |wi| {
+                self.words[wi].load(Ordering::Relaxed).count_ones() as usize
+            });
+        }
         self.words
             .iter()
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
+    }
+
+    /// Number of 64-bit words backing the set.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw word `wi` (bits `wi * 64 .. wi * 64 + 64`).
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words[wi].load(Ordering::Relaxed)
     }
 
     /// Clears all bits.
@@ -87,11 +106,55 @@ impl AtomicBitSet {
         })
     }
 
-    /// Collects set bits into a vector.
+    /// Collects set bits into a vector, ascending.
+    ///
+    /// Large sets convert in parallel: block-wise popcount, an exclusive
+    /// prefix sum over the block counts, then a scatter where each block
+    /// writes its indices into a disjoint, pre-sized slice of the output.
+    /// Output is identical to the sequential walk (ascending order) — the
+    /// prefix sum fixes each block's output position up front.
     pub fn to_vec(&self) -> Vec<usize> {
-        self.iter().collect()
+        if self.words.len() < PAR_BLOCK_WORDS * 2 {
+            return self.iter().collect();
+        }
+        let blocks = self.words.len().div_ceil(PAR_BLOCK_WORDS);
+        let mut offsets = parallel::par_map(0..blocks, |b| {
+            self.words[b * PAR_BLOCK_WORDS..((b + 1) * PAR_BLOCK_WORDS).min(self.words.len())]
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+                .sum::<usize>()
+        });
+        let total = parallel::exclusive_prefix_sum(&mut offsets);
+        let mut out = vec![0usize; total];
+        let mut tail: &mut [usize] = &mut out;
+        let mut tasks: Vec<(usize, &mut [usize])> = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let end = offsets.get(b + 1).copied().unwrap_or(total);
+            let (head, rest) = tail.split_at_mut(end - offsets[b]);
+            tasks.push((b, head));
+            tail = rest;
+        }
+        parallel::par_for_each(tasks, |(b, slot)| {
+            let mut cursor = 0;
+            let lo = b * PAR_BLOCK_WORDS;
+            let hi = (lo + PAR_BLOCK_WORDS).min(self.words.len());
+            for wi in lo..hi {
+                let mut bits = self.words[wi].load(Ordering::Relaxed);
+                while bits != 0 {
+                    slot[cursor] = wi * 64 + bits.trailing_zeros() as usize;
+                    cursor += 1;
+                    bits &= bits - 1;
+                }
+            }
+            debug_assert_eq!(cursor, slot.len());
+        });
+        out
     }
 }
+
+/// Words per parallel-conversion block (256 words = 16 Kbit ≈ one L1-ish
+/// tile); sets smaller than two blocks take the sequential path.
+const PAR_BLOCK_WORDS: usize = 256;
 
 impl Clone for AtomicBitSet {
     fn clone(&self) -> Self {
@@ -160,6 +223,20 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(bs.count(), 10_000);
+    }
+
+    #[test]
+    fn parallel_to_vec_matches_sequential_iter() {
+        // Big enough to take the blocked parallel path (> 2 blocks of
+        // words), with an irregular pattern crossing block boundaries.
+        let n = PAR_BLOCK_WORDS * 64 * 3 + 101;
+        let bs = AtomicBitSet::new(n);
+        for i in (0..n).filter(|i| i % 7 == 0 || i % 1013 == 5) {
+            bs.set(i);
+        }
+        let expected: Vec<usize> = bs.iter().collect();
+        assert_eq!(bs.to_vec(), expected);
+        assert_eq!(bs.count(), expected.len());
     }
 
     #[test]

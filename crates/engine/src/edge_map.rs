@@ -95,6 +95,20 @@ where
     }
 }
 
+/// Edges per chunk floor for the edge-balanced sparse partition; below
+/// this, splitting costs more (scheduling + partition_point) than the
+/// work it distributes.
+const MIN_CHUNK_EDGES: usize = 2048;
+
+/// Work chunks per worker thread in the sparse path — enough slack for
+/// the scheduler to even out chunks whose `update` costs differ.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Vertices per chunk in the dense (pull) path. Work per vertex is the
+/// in-degree scan, so vertex chunks this size keep per-chunk counter
+/// publication negligible while bounding skew from hub vertices.
+const DENSE_CHUNK_VERTICES: usize = 1024;
+
 fn edge_map_sparse<U, C>(
     g: &GraphSnapshot,
     frontier: &VertexSubset,
@@ -108,20 +122,64 @@ where
 {
     let n = g.num_vertices();
     let next = AtomicBitSet::new(n);
-    let ids: Vec<VertexId> = frontier.iter().collect();
-    let work = AtomicU64::new(0);
-    parallel::par_for(0..ids.len(), |i| {
-        let u = ids[i];
-        for (v, w) in g.out_edges(u) {
-            if cond(v) {
-                work.fetch_add(1, Ordering::Relaxed);
-                if update(u, v, w) {
-                    next.set(v as usize);
+    // Borrow the id list when the frontier is already sparse; only a
+    // dense frontier pays for materialization (blocked parallel
+    // conversion inside `to_ids`).
+    let collected;
+    let ids: &[VertexId] = match frontier.sparse_ids() {
+        Some(ids) => ids,
+        None => {
+            collected = frontier.to_ids();
+            &collected
+        }
+    };
+
+    // Edge-balanced partition: offsets[i] is the global rank of the
+    // first out-edge of ids[i]; the trailing sentinel becomes the total.
+    // Chunks own equal *edge-count* ranges, so one hub vertex is split
+    // across chunks instead of serializing a worker (power-law degree
+    // skew is the sparse path's worst case).
+    let mut offsets: Vec<usize> = parallel::par_map(0..ids.len(), |i| g.out_degree(ids[i]));
+    offsets.push(0);
+    let total_edges = parallel::par_exclusive_prefix_sum(&mut offsets);
+    if total_edges == 0 {
+        return VertexSubset::empty(n);
+    }
+
+    let target_chunks = parallel::default_threads() * CHUNKS_PER_THREAD;
+    let chunk_edges = total_edges.div_ceil(target_chunks).max(MIN_CHUNK_EDGES);
+    let chunks = total_edges.div_ceil(chunk_edges);
+    let csr = g.csr();
+    let work = parallel::StripedCounter::new();
+    parallel::par_for(0..chunks, |c| {
+        let lo = c * chunk_edges;
+        let hi = (lo + chunk_edges).min(total_edges);
+        // Last frontier position whose edge range starts at or before
+        // `lo`; zero-degree vertices sharing that offset have empty
+        // ranges and fall through the loop.
+        let mut vi = offsets.partition_point(|&o| o <= lo) - 1;
+        let mut local = 0u64;
+        while vi < ids.len() && offsets[vi] < hi {
+            let u = ids[vi];
+            let targets = csr.neighbors(u);
+            let weights = csr.weights(u);
+            let base = offsets[vi];
+            let estart = lo.saturating_sub(base);
+            let eend = (hi - base).min(targets.len());
+            for k in estart..eend {
+                let v = targets[k];
+                if cond(v) {
+                    local += 1;
+                    if update(u, v, weights[k]) {
+                        next.set(v as usize);
+                    }
                 }
             }
+            vi += 1;
         }
+        work.add(c, local);
     });
-    edge_work.fetch_add(work.load(Ordering::Relaxed), Ordering::Relaxed);
+    edge_work.fetch_add(work.sum(), Ordering::Relaxed);
     VertexSubset::from_bits(next).into_sparse()
 }
 
@@ -137,28 +195,38 @@ where
     C: Fn(VertexId) -> bool + Sync + Send,
 {
     let n = g.num_vertices();
-    let in_frontier = frontier.clone().into_dense();
+    // Borrows the membership bits when the frontier is already dense
+    // (the common case in pull-mode loops) instead of cloning it.
+    let in_frontier = frontier.to_dense_bits();
+    let in_frontier = in_frontier.as_ref();
     let next = AtomicBitSet::new(n);
-    let work = AtomicU64::new(0);
-    parallel::par_for(0..n, |vi| {
-        let v = vi as VertexId;
-        if !cond(v) {
-            return;
-        }
-        let mut activated = false;
-        for (u, w) in g.in_edges(v) {
-            if in_frontier.contains(u) {
-                work.fetch_add(1, Ordering::Relaxed);
-                if update(u, v, w) {
-                    activated = true;
+    let csc = g.csc();
+    let work = parallel::StripedCounter::new();
+    parallel::par_for_chunks(n, DENSE_CHUNK_VERTICES, |c, range| {
+        let mut local = 0u64;
+        for vi in range {
+            let v = vi as VertexId;
+            if !cond(v) {
+                continue;
+            }
+            let sources = csc.neighbors(v);
+            let weights = csc.weights(v);
+            let mut activated = false;
+            for (k, &u) in sources.iter().enumerate() {
+                if in_frontier.get(u as usize) {
+                    local += 1;
+                    if update(u, v, weights[k]) {
+                        activated = true;
+                    }
                 }
             }
+            if activated {
+                next.set(vi);
+            }
         }
-        if activated {
-            next.set(vi);
-        }
+        work.add(c, local);
     });
-    edge_work.fetch_add(work.load(Ordering::Relaxed), Ordering::Relaxed);
+    edge_work.fetch_add(work.sum(), Ordering::Relaxed);
     VertexSubset::from_bits(next)
 }
 
@@ -298,9 +366,9 @@ mod tests {
             let frontier = VertexSubset::from_ids(n, members);
             let blocked: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.2)).collect();
 
-            let run = |opts: EdgeMapOptions| -> Vec<VertexId> {
+            let run = |opts: EdgeMapOptions| -> (Vec<VertexId>, u64) {
                 let work = AtomicU64::new(0);
-                edge_map(
+                let next = edge_map(
                     &g,
                     &frontier,
                     |_u, _v, _w| true,
@@ -308,12 +376,82 @@ mod tests {
                     opts,
                     &work,
                 )
-                .to_ids()
+                .to_ids();
+                (next, work.load(Ordering::Relaxed))
             };
-            let pushed = run(EdgeMapOptions::sparse());
-            let pulled = run(EdgeMapOptions::dense());
-            proptest::prop_assert_eq!(pushed, pulled);
+            let (pushed, push_work) = run(EdgeMapOptions::sparse());
+            let (pulled, pull_work) = run(EdgeMapOptions::dense());
+            let (auto, _) = run(EdgeMapOptions::default());
+            proptest::prop_assert_eq!(&pushed, &pulled);
+            proptest::prop_assert_eq!(&pushed, &auto);
+            // Both directions visit the same live edge set, so the work
+            // counters must agree exactly.
+            proptest::prop_assert_eq!(push_work, pull_work);
+            // Dense→sparse→dense round-trip preserves membership.
+            let round_trip = frontier
+                .clone()
+                .into_dense()
+                .into_sparse()
+                .to_ids();
+            proptest::prop_assert_eq!(round_trip, frontier.to_ids());
         }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        /// The blocked parallel dense→sparse conversion (popcount +
+        /// prefix sum + scatter) must produce exactly the sequential
+        /// ascending id walk, including at block boundaries. Sizes here
+        /// exceed the parallel-path threshold.
+        #[test]
+        fn parallel_dense_to_sparse_round_trip_matches_sequential(seed in 0u64..200) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(40_000..90_000usize);
+            let density = rng.gen_range(0.001..0.3f64);
+            let bits = AtomicBitSet::new(n);
+            let mut expected = Vec::new();
+            for i in 0..n {
+                if rng.gen_bool(density) {
+                    bits.set(i);
+                    expected.push(i as VertexId);
+                }
+            }
+            let sequential: Vec<VertexId> =
+                bits.iter().map(|i| i as VertexId).collect();
+            proptest::prop_assert_eq!(&sequential, &expected);
+            let sparse = VertexSubset::from_bits(bits).into_sparse();
+            proptest::prop_assert_eq!(sparse.to_ids(), expected);
+        }
+    }
+
+    /// A hub whose out-degree spans several edge-balanced chunks must be
+    /// split across workers without dropping, duplicating, or
+    /// double-counting edges (offsets with zero-degree duplicates
+    /// included).
+    #[test]
+    fn edge_balanced_sparse_splits_hub_correctly() {
+        let hub_deg = 9000u32;
+        let n = hub_deg as usize + 1;
+        let mut b = GraphBuilder::new(n);
+        for v in 1..=hub_deg {
+            b = b.add_edge(0, v, 1.0);
+        }
+        b = b.add_edge(100, 50, 1.0).add_edge(200, 60, 1.0);
+        let g = b.build();
+        // 300 has no out-edges: its offset duplicates its successor's.
+        let frontier = VertexSubset::from_ids(n, vec![0, 100, 200, 300]);
+        let run = |opts: EdgeMapOptions| -> (Vec<VertexId>, u64) {
+            let work = AtomicU64::new(0);
+            let next = edge_map(&g, &frontier, |_u, _v, _w| true, |_| true, opts, &work);
+            (next.to_ids(), work.load(Ordering::Relaxed))
+        };
+        let (pushed, push_work) = run(EdgeMapOptions::sparse());
+        let (pulled, pull_work) = run(EdgeMapOptions::dense());
+        assert_eq!(pushed, pulled);
+        assert_eq!(pushed, (1..=hub_deg).collect::<Vec<_>>());
+        assert_eq!(push_work, u64::from(hub_deg) + 2);
+        assert_eq!(pull_work, push_work);
     }
 
     #[test]

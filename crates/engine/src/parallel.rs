@@ -74,6 +74,32 @@ where
     range.into_par_iter().filter_map(f).collect()
 }
 
+/// Parallel for-each over any collection of owned items.
+#[inline]
+pub fn par_for_each<I, F>(items: I, f: F)
+where
+    I: IntoParallelIterator,
+    F: Fn(I::Item) + Sync + Send,
+{
+    items.into_par_iter().for_each(f);
+}
+
+/// Parallel loop over contiguous chunks of `0..len`: `f(chunk_index,
+/// index_range)`. The chunk index doubles as a contention-avoidance hint
+/// for [`StripedCounter::add`].
+#[inline]
+pub fn par_for_chunks<F>(len: usize, chunk: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync + Send,
+{
+    debug_assert!(chunk > 0);
+    let chunks = len.div_ceil(chunk);
+    par_for(0..chunks, |c| {
+        let lo = c * chunk;
+        f(c, lo..((lo + chunk).min(len)));
+    });
+}
+
 /// Exclusive prefix sum (sequential — used on per-vertex offset arrays
 /// where the scan is memory-bound anyway). Returns the total.
 pub fn exclusive_prefix_sum(values: &mut [usize]) -> usize {
@@ -84,6 +110,102 @@ pub fn exclusive_prefix_sum(values: &mut [usize]) -> usize {
         acc = next;
     }
     acc
+}
+
+/// Block size for [`par_exclusive_prefix_sum`]; arrays shorter than one
+/// block scan sequentially (the scan is memory-bound, so fine-grained
+/// splitting only adds scheduling overhead).
+const SCAN_BLOCK: usize = 1 << 14;
+
+/// Parallel exclusive prefix sum over `values`, returning the total.
+///
+/// Three-phase blocked scan: (1) per-block sums in parallel, (2) a short
+/// sequential scan over the block sums, (3) per-block exclusive scans
+/// rebased on their block offset, in parallel. Identical output to
+/// [`exclusive_prefix_sum`] for every input.
+pub fn par_exclusive_prefix_sum(values: &mut [usize]) -> usize {
+    if values.len() <= SCAN_BLOCK {
+        return exclusive_prefix_sum(values);
+    }
+    let blocks = values.len().div_ceil(SCAN_BLOCK);
+    let mut block_sums = par_map(0..blocks, |b| {
+        values[b * SCAN_BLOCK..((b + 1) * SCAN_BLOCK).min(values.len())]
+            .iter()
+            .sum::<usize>()
+    });
+    let total = exclusive_prefix_sum(&mut block_sums);
+    let tasks: Vec<(&mut [usize], usize)> = values
+        .chunks_mut(SCAN_BLOCK)
+        .zip(block_sums)
+        .collect();
+    par_for_each(tasks, |(chunk, offset)| {
+        let mut acc = offset;
+        for v in chunk.iter_mut() {
+            let next = acc + *v;
+            *v = acc;
+            acc = next;
+        }
+    });
+    total
+}
+
+/// Pads the wrapped value out to a cache line so adjacent values never
+/// share one (no false sharing between per-stripe counters).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+/// Number of stripes in a [`StripedCounter`]; must be a power of two.
+/// Sized for high core counts — the memory cost is one cache line each.
+const COUNTER_STRIPES: usize = 64;
+
+/// A contention-free work counter: `add` lands on one of
+/// [`COUNTER_STRIPES`] cache-line-padded atomics selected by a caller
+/// hint (typically a chunk index), and `sum` folds the stripes.
+///
+/// The intended discipline — accumulate into a plain local integer inside
+/// a work chunk, then publish once per chunk — turns what used to be one
+/// `fetch_add` on a single shared atomic *per edge* into one striped
+/// `fetch_add` *per chunk*, while keeping totals exact (integer adds are
+/// associative and commutative, so totals are independent of both thread
+/// count and interleaving).
+#[derive(Debug)]
+pub struct StripedCounter {
+    stripes: Box<[CachePadded<std::sync::atomic::AtomicU64>]>,
+}
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StripedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..COUNTER_STRIPES).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    /// Adds `delta` to the stripe selected by `hint`. Zero deltas are
+    /// skipped so empty chunks cost nothing.
+    #[inline]
+    pub fn add(&self, hint: usize, delta: u64) {
+        if delta != 0 {
+            self.stripes[hint & (COUNTER_STRIPES - 1)]
+                .0
+                .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Exact total across all stripes.
+    pub fn sum(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +254,49 @@ mod tests {
         let mut v = par_filter_map(0..100, |i| (i % 10 == 0).then_some(i));
         v.sort_unstable();
         assert_eq!(v, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn par_for_chunks_covers_range_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        par_for_chunks(1000, 64, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_prefix_sum_matches_sequential() {
+        // Longer than one block so the parallel path actually splits.
+        let src: Vec<usize> = (0..(SCAN_BLOCK * 3 + 17)).map(|i| i % 7).collect();
+        let mut seq = src.clone();
+        let mut par = src;
+        let t_seq = exclusive_prefix_sum(&mut seq);
+        let t_par = par_exclusive_prefix_sum(&mut par);
+        assert_eq!(t_seq, t_par);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_prefix_sum_short_input() {
+        let mut v = vec![3, 0, 2, 5];
+        assert_eq!(par_exclusive_prefix_sum(&mut v), 10);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn striped_counter_sums_exactly() {
+        let c = StripedCounter::new();
+        par_for(0..10_000, |i| c.add(i, (i % 3) as u64));
+        let expected: u64 = (0..10_000u64).map(|i| i % 3).sum();
+        assert_eq!(c.sum(), expected);
+    }
+
+    #[test]
+    fn cache_padding_separates_lines() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 64);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 64);
     }
 }

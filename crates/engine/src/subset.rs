@@ -3,6 +3,11 @@
 use graphbolt_graph::{GraphSnapshot, VertexId};
 
 use crate::bitset::AtomicBitSet;
+use crate::parallel;
+
+/// Member count below which representation conversions stay sequential
+/// (parallel fan-out costs more than it saves on tiny frontiers).
+const PAR_CONVERT_THRESHOLD: usize = 4096;
 
 /// A subset of vertices — the frontier flowing between BSP iterations.
 ///
@@ -97,11 +102,60 @@ impl VertexSubset {
         }
     }
 
+    /// Borrows the id list when the subset is already sparse, letting
+    /// hot paths (sparse `edge_map`, `vertex_map`) skip re-collecting
+    /// ids on every call.
+    #[inline]
+    pub fn sparse_ids(&self) -> Option<&[VertexId]> {
+        match self {
+            Self::Sparse { ids, .. } => Some(ids),
+            Self::Dense { .. } => None,
+        }
+    }
+
+    /// Borrows the bit set when the subset is already dense.
+    #[inline]
+    pub fn dense_bits(&self) -> Option<&AtomicBitSet> {
+        match self {
+            Self::Dense { bits } => Some(bits),
+            Self::Sparse { .. } => None,
+        }
+    }
+
+    /// Materializes the membership bit set without consuming the subset:
+    /// borrowed when already dense, built (in parallel for large
+    /// frontiers) when sparse.
+    pub fn to_dense_bits(&self) -> std::borrow::Cow<'_, AtomicBitSet> {
+        match self {
+            Self::Dense { bits } => std::borrow::Cow::Borrowed(bits),
+            Self::Sparse { n, ids } => {
+                let bits = AtomicBitSet::new(*n);
+                if ids.len() >= PAR_CONVERT_THRESHOLD {
+                    parallel::par_for(0..ids.len(), |i| {
+                        bits.set(ids[i] as usize);
+                    });
+                } else {
+                    for &v in ids {
+                        bits.set(v as usize);
+                    }
+                }
+                std::borrow::Cow::Owned(bits)
+            }
+        }
+    }
+
     /// Collects member ids into a sorted vector.
     pub fn to_ids(&self) -> Vec<VertexId> {
-        let mut ids: Vec<VertexId> = self.iter().collect();
-        ids.sort_unstable();
-        ids
+        match self {
+            // `AtomicBitSet::to_vec` is already ascending (and parallel
+            // for large sets) — no extra sort needed.
+            Self::Dense { bits } => bits.to_vec().into_iter().map(|i| i as VertexId).collect(),
+            Self::Sparse { ids, .. } => {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                ids
+            }
+        }
     }
 
     /// Converts to the dense representation (no-op if already dense).
@@ -110,8 +164,14 @@ impl VertexSubset {
             Self::Dense { .. } => self,
             Self::Sparse { n, ids } => {
                 let bits = AtomicBitSet::new(n);
-                for v in ids {
-                    bits.set(v as usize);
+                if ids.len() >= PAR_CONVERT_THRESHOLD {
+                    parallel::par_for(0..ids.len(), |i| {
+                        bits.set(ids[i] as usize);
+                    });
+                } else {
+                    for v in ids {
+                        bits.set(v as usize);
+                    }
                 }
                 Self::Dense { bits }
             }
@@ -119,12 +179,15 @@ impl VertexSubset {
     }
 
     /// Converts to the sparse representation (no-op if already sparse).
+    /// Large dense subsets convert via the blocked parallel
+    /// popcount/prefix-sum/scatter in [`AtomicBitSet::to_vec`]; the
+    /// resulting id list is ascending either way.
     pub fn into_sparse(self) -> Self {
         match self {
             Self::Sparse { .. } => self,
             Self::Dense { bits } => {
                 let n = bits.capacity();
-                let ids = bits.iter().map(|i| i as VertexId).collect();
+                let ids = bits.to_vec().into_iter().map(|i| i as VertexId).collect();
                 Self::Sparse { n, ids }
             }
         }
@@ -144,9 +207,34 @@ impl VertexSubset {
     }
 
     /// Sum of out-degrees of member vertices — Ligra's density heuristic
-    /// input (`|F| + outdeg(F)` vs `|E| / 20`).
+    /// input (`|F| + outdeg(F)` vs `|E| / 20`). Parallel for large
+    /// frontiers (word-blocked for dense, id-blocked for sparse).
     pub fn out_degree_sum(&self, g: &GraphSnapshot) -> usize {
-        self.iter().map(|v| g.out_degree(v)).sum()
+        match self {
+            Self::Sparse { ids, .. } => {
+                if ids.len() >= PAR_CONVERT_THRESHOLD {
+                    parallel::par_sum(0..ids.len(), |i| g.out_degree(ids[i]))
+                } else {
+                    ids.iter().map(|&v| g.out_degree(v)).sum()
+                }
+            }
+            Self::Dense { bits } => {
+                if bits.capacity() >= PAR_CONVERT_THRESHOLD {
+                    parallel::par_sum(0..bits.num_words(), |wi| {
+                        let mut bits_word = bits.word(wi);
+                        let mut sum = 0usize;
+                        while bits_word != 0 {
+                            let v = wi * 64 + bits_word.trailing_zeros() as usize;
+                            sum += g.out_degree(v as VertexId);
+                            bits_word &= bits_word - 1;
+                        }
+                        sum
+                    })
+                } else {
+                    self.iter().map(|v| g.out_degree(v)).sum()
+                }
+            }
+        }
     }
 }
 

@@ -7,12 +7,26 @@ use crate::parallel;
 use crate::subset::VertexSubset;
 
 /// Applies `f` to every member of `subset` in parallel.
+///
+/// Sparse subsets lend their id list directly; dense subsets iterate
+/// their words in parallel chunks — neither path collects ids per call.
 pub fn vertex_map<F>(subset: &VertexSubset, f: F)
 where
     F: Fn(VertexId) + Sync + Send,
 {
-    let ids: Vec<VertexId> = subset.iter().collect();
-    parallel::par_for(0..ids.len(), |i| f(ids[i]));
+    match subset.sparse_ids() {
+        Some(ids) => parallel::par_for(0..ids.len(), |i| f(ids[i])),
+        None => {
+            let bits = subset.dense_bits().expect("subset is sparse or dense");
+            parallel::par_for(0..bits.num_words(), |wi| {
+                let mut word = bits.word(wi);
+                while word != 0 {
+                    f((wi * 64 + word.trailing_zeros() as usize) as VertexId);
+                    word &= word - 1;
+                }
+            });
+        }
+    }
 }
 
 /// Applies `f` to every member of `subset` in parallel, returning the
@@ -23,11 +37,10 @@ where
     F: Fn(VertexId) -> bool + Sync + Send,
 {
     let n = subset.universe();
-    let ids: Vec<VertexId> = subset.iter().collect();
     let keep = AtomicBitSet::new(n);
-    parallel::par_for(0..ids.len(), |i| {
-        if f(ids[i]) {
-            keep.set(ids[i] as usize);
+    vertex_map(subset, |v| {
+        if f(v) {
+            keep.set(v as usize);
         }
     });
     VertexSubset::from_bits(keep).into_sparse()
@@ -55,6 +68,23 @@ mod tests {
         assert_eq!(
             kept.to_ids(),
             vec![0, 7, 14, 21, 28, 35, 42, 49, 56, 63, 70, 77, 84, 91, 98]
+        );
+    }
+
+    #[test]
+    fn vertex_map_visits_dense_subset_without_collecting() {
+        let s = VertexSubset::from_ids(300, (0..300).filter(|v| v % 3 == 0).collect())
+            .into_dense();
+        let hits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        vertex_map(&s, |v| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(v as usize, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (0..300usize).filter(|v| v % 3 == 0).sum::<usize>()
         );
     }
 

@@ -203,8 +203,7 @@ impl Adjacency {
         }
         let mut targets = vec![0 as VertexId; acc];
         let mut weights = vec![0.0; acc];
-        for v in 0..new_n {
-            let lo = offsets[v];
+        for (v, &lo) in offsets[..new_n].iter().enumerate() {
             match changed.get(&(v as VertexId)) {
                 Some(list) => {
                     let mut list = list.clone();

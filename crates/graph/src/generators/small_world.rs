@@ -86,7 +86,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let edges = watts_strogatz(20, 3, 0.0, false, &mut rng);
         assert_eq!(edges.len(), 60);
-        let mut deg = vec![0usize; 20];
+        let mut deg = [0usize; 20];
         for e in &edges {
             deg[e.src as usize] += 1;
         }

@@ -285,8 +285,10 @@ mod tests {
 
     #[test]
     fn stream_exhausts_eventually() {
-        let mut cfg = StreamConfig::default();
-        cfg.deletion_fraction = 0.0;
+        let cfg = StreamConfig {
+            deletion_fraction: 0.0,
+            ..StreamConfig::default()
+        };
         let mut stream = MutationStream::new(population(4), cfg);
         let mut g = stream.initial_snapshot();
         let mut batches = 0;
@@ -301,9 +303,11 @@ mod tests {
 
     #[test]
     fn high_degree_bias_targets_hubs() {
-        let mut cfg = StreamConfig::default();
-        cfg.bias = WorkloadBias::HighDegree;
-        cfg.deletion_fraction = 0.5;
+        let cfg = StreamConfig {
+            bias: WorkloadBias::HighDegree,
+            deletion_fraction: 0.5,
+            ..StreamConfig::default()
+        };
         let mut stream = MutationStream::new(population(5), cfg);
         let g = stream.initial_snapshot();
         let batch = stream.next_batch(&g, 50).unwrap();
@@ -325,9 +329,11 @@ mod tests {
 
     #[test]
     fn low_degree_bias_avoids_hubs() {
-        let mut cfg = StreamConfig::default();
-        cfg.bias = WorkloadBias::LowDegree;
-        cfg.deletion_fraction = 0.5;
+        let cfg = StreamConfig {
+            bias: WorkloadBias::LowDegree,
+            deletion_fraction: 0.5,
+            ..StreamConfig::default()
+        };
         let mut stream = MutationStream::new(population(6), cfg);
         let g = stream.initial_snapshot();
         let batch = stream.next_batch(&g, 50).unwrap();

@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn edge_ordering_is_lexicographic_on_endpoints() {
-        let mut edges = vec![
+        let mut edges = [
             Edge::new(2, 0, 1.0),
             Edge::new(0, 5, 1.0),
             Edge::new(0, 1, 1.0),

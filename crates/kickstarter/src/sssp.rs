@@ -105,8 +105,8 @@ impl KickStarterSssp {
             // Reset tagged vertices, then recompute a safe approximation
             // from untagged in-neighbors (trimming: approximations are
             // upper bounds, so monotonic propagation restores exactness).
-            for v in 0..n {
-                if tagged[v] {
+            for (v, &is_tagged) in tagged.iter().enumerate() {
+                if is_tagged {
                     self.dist[v] = f64::INFINITY;
                     self.parent[v] = None;
                 }
@@ -346,8 +346,8 @@ mod tests {
                 g = g.apply(&batch).unwrap();
                 ks.apply_batch(&g, &batch);
                 let expected = dijkstra(&g, 0);
-                for v in 0..n {
-                    let (a, b) = (ks.distances()[v], expected[v]);
+                for (v, &b) in expected.iter().enumerate().take(n) {
+                    let a = ks.distances()[v];
                     proptest::prop_assert!(
                         (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
                         "vertex {}: {} vs {}", v, a, b

@@ -47,6 +47,11 @@ impl KickStarterSswp {
         &self.parent
     }
 
+    /// Source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
     /// Edge relaxations performed so far.
     pub fn edge_computations(&self) -> u64 {
         self.edge_computations
@@ -73,8 +78,8 @@ impl KickStarterSswp {
 
         let mut worklist: VecDeque<VertexId> = VecDeque::new();
         if any_tagged {
-            for v in 0..n {
-                if tagged[v] {
+            for (v, &is_tagged) in tagged.iter().enumerate() {
+                if is_tagged {
                     self.width[v] = 0.0;
                     self.parent[v] = None;
                 }

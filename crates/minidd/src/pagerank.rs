@@ -149,7 +149,7 @@ impl DdPageRank {
         }
         let mut removed = Vec::new();
         let mut added = Vec::new();
-        for (&u, _) in &touched {
+        for &u in touched.keys() {
             let old = &self.adj[u as usize];
             let w_old = OrderedF64(1.0 / old.len().max(1) as f64);
             for &v in old {
@@ -163,7 +163,7 @@ impl DdPageRank {
         for e in batch.additions() {
             self.adj[e.src as usize].push(e.dst);
         }
-        for (&u, _) in &touched {
+        for &u in touched.keys() {
             let new = &self.adj[u as usize];
             let w_new = OrderedF64(1.0 / new.len().max(1) as f64);
             for &v in new {
@@ -215,12 +215,12 @@ mod tests {
         let g = sample();
         let pr = DdPageRank::new(&g, 8);
         let expect = reference(&g, 8);
-        for v in 0..5 {
+        for (v, &want) in expect.iter().enumerate().take(5) {
             assert!(
-                (pr.ranks()[v] - expect[v]).abs() < 1e-6,
+                (pr.ranks()[v] - want).abs() < 1e-6,
                 "v{v}: {} vs {}",
                 pr.ranks()[v],
-                expect[v]
+                want
             );
         }
     }
@@ -234,12 +234,12 @@ mod tests {
         let g2 = g.apply(&batch).unwrap();
         pr.apply_batch(&batch);
         let expect = reference(&g2, 8);
-        for v in 0..5 {
+        for (v, &want) in expect.iter().enumerate().take(5) {
             assert!(
-                (pr.ranks()[v] - expect[v]).abs() < 1e-6,
+                (pr.ranks()[v] - want).abs() < 1e-6,
                 "v{v}: {} vs {}",
                 pr.ranks()[v],
-                expect[v]
+                want
             );
         }
     }
@@ -262,12 +262,12 @@ mod tests {
             g = g.apply(&batch).unwrap();
             pr.apply_batch(&batch);
             let expect = reference(&g, 6);
-            for v in 0..5 {
+            for (v, &want) in expect.iter().enumerate().take(5) {
                 assert!(
-                    (pr.ranks()[v] - expect[v]).abs() < 1e-6,
+                    (pr.ranks()[v] - want).abs() < 1e-6,
                     "v{v}: {} vs {}",
                     pr.ranks()[v],
-                    expect[v]
+                    want
                 );
             }
         }
@@ -282,12 +282,12 @@ mod tests {
         let g2 = g.apply(&batch).unwrap();
         pr.apply_batch(&batch);
         let expect = reference(&g2, 5);
-        for v in 0..8 {
+        for (v, &want) in expect.iter().enumerate().take(8) {
             assert!(
-                (pr.ranks()[v] - expect[v]).abs() < 1e-6,
+                (pr.ranks()[v] - want).abs() < 1e-6,
                 "v{v}: {} vs {}",
                 pr.ranks()[v],
-                expect[v]
+                want
             );
         }
     }

@@ -102,8 +102,8 @@ fn main() {
         // All three agree.
         let dd_dist = dd.distances();
         let mut max_err = 0.0f64;
-        for v in 0..graph.num_vertices() {
-            let (a, b, c) = (gb.values()[v], ks.distances()[v], dd_dist[v]);
+        for (v, &c) in dd_dist.iter().enumerate().take(graph.num_vertices()) {
+            let (a, b) = (gb.values()[v], ks.distances()[v]);
             if a.is_finite() || b.is_finite() || c.is_finite() {
                 max_err = max_err.max((a - b).abs()).max((a - c).abs());
             }

@@ -124,6 +124,10 @@ fn scalar(v: &f64) -> Vec<f64> {
     vec![*v]
 }
 
+// The projection must implement `Fn(&A::Value)` and `A::Value` IS
+// `Vec<f64>` for the vector algorithms — a `&[f64]` parameter would not
+// satisfy that bound.
+#[allow(clippy::ptr_arg)]
 fn vector(v: &Vec<f64>) -> Vec<f64> {
     v.clone()
 }

@@ -52,8 +52,8 @@ fn sssp_three_engines_agree_across_stream() {
 
         // GraphBolt and DD run the same fixed-iteration BSP semantics.
         let dd_dist = dd.distances();
-        for v in 0..g.num_vertices() {
-            let (a, b) = (gb.values()[v], dd_dist[v]);
+        for (v, &b) in dd_dist.iter().enumerate().take(g.num_vertices()) {
+            let a = gb.values()[v];
             assert!(
                 (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
                 "GraphBolt vs DD at vertex {v}: {a} vs {b}"
@@ -91,12 +91,12 @@ fn pagerank_dd_and_graphbolt_agree_across_stream() {
         gb.apply_batch(&batch).unwrap();
         dd.apply_batch(&batch);
         let ranks = dd.ranks();
-        for v in 0..g.num_vertices() {
+        for (v, &rank) in ranks.iter().enumerate().take(g.num_vertices()) {
             assert!(
-                (gb.values()[v] - ranks[v]).abs() < 1e-5,
+                (gb.values()[v] - rank).abs() < 1e-5,
                 "vertex {v}: GraphBolt {} vs DD {}",
                 gb.values()[v],
-                ranks[v]
+                rank
             );
         }
     }

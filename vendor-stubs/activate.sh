@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Point cargo at the offline stub crates (see vendor-stubs/README.md).
+#
+# Builds a cargo "directory source" out of vendor-stubs/* under the
+# gitignored .cargo/ dir and replaces crates-io with it via a local,
+# uncommitted .cargo/config.toml. Run from anywhere; idempotent.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+registry="$root/.cargo/stub-registry"
+
+rm -rf "$registry"
+mkdir -p "$registry"
+
+for crate_dir in "$root"/vendor-stubs/*/; do
+    name="$(basename "$crate_dir")"
+    [ -f "$crate_dir/Cargo.toml" ] || continue
+    dest="$registry/$name"
+    mkdir -p "$dest"
+    cp -r "$crate_dir"/* "$dest/"
+    (
+        cd "$dest"
+        {
+            printf '{"files":{'
+            first=1
+            while IFS= read -r f; do
+                f="${f#./}"
+                sum="$(sha256sum "$f" | cut -d' ' -f1)"
+                [ "$first" = 1 ] || printf ','
+                first=0
+                printf '"%s":"%s"' "$f" "$sum"
+            done < <(find . -type f ! -name .cargo-checksum.json | sort)
+            printf '}}'
+        } > .cargo-checksum.json
+    )
+done
+
+{
+    cat <<EOF
+# Local, uncommitted (path is gitignored): build against vendor-stubs
+# because this environment has no network. See vendor-stubs/README.md.
+# Regenerate with vendor-stubs/activate.sh.
+#
+# The directory source keeps resolution fully offline; the patch table
+# layers the same crates as *path* sources so edits under vendor-stubs/
+# are picked up without a cargo clean (directory sources are treated as
+# immutable).
+[source.crates-io]
+replace-with = "stub-registry"
+
+[source.stub-registry]
+directory = "$registry"
+
+[patch.crates-io]
+EOF
+    for crate_dir in "$root"/vendor-stubs/*/; do
+        name="$(basename "$crate_dir")"
+        [ -f "$crate_dir/Cargo.toml" ] || continue
+        echo "$name = { path = \"$root/vendor-stubs/$name\" }"
+    done
+} > "$root/.cargo/config.toml"
+
+echo "stub registry written to $registry"
+echo "crates-io replaced via $root/.cargo/config.toml (uncommitted)"

@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Keeps the registration API (`criterion_group!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, ...) source-compatible and
+//! actually executes each benchmark closure a handful of times, printing
+//! a min/median wall-clock line per benchmark. There is no statistical
+//! analysis, warm-up schedule, or report directory; under `cargo test`
+//! (`--test` in argv) all benchmark bodies are skipped so test runs stay
+//! fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measured iterations per benchmark (plus one untimed warm-up).
+const SAMPLES: usize = 5;
+
+/// Top-level driver handle.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { enabled: true }
+    }
+}
+
+impl Criterion {
+    /// Honors the one argument that matters offline: `--test` (passed by
+    /// `cargo test` to `harness = false` targets) disables execution.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.enabled = false;
+        }
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            enabled: self.enabled,
+            _criterion: self,
+        }
+    }
+
+    /// No-op: the stub has no end-of-run report.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier `function/parameter` within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched`; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    enabled: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.enabled {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort();
+        let (min, median) = match samples.as_slice() {
+            [] => return,
+            s => (s[0], s[s.len() / 2]),
+        };
+        println!(
+            "bench {}/{}: min {:?}, median {:?} ({} samples)",
+            self.name,
+            id,
+            min,
+            median,
+            samples.len()
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs benchmark closures and records wall-clock samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Re-export point used by generated code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("iter", |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(stub_group, sample_bench);
+
+    #[test]
+    fn group_runs_closures() {
+        // `cargo test` passes --test to integration targets but this unit
+        // test binary may not see it; force-enable to exercise the path.
+        let mut c = Criterion { enabled: true };
+        sample_bench(&mut c);
+        c.final_summary();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("sparse", "1%").to_string(), "sparse/1%");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses
+//! (`crossbeam::channel`), layered over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; clonable like crossbeam's.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(match &self.0 {
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+            })
+        }
+    }
+
+    /// Error: the receiving side disconnected; the value is returned.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug regardless of whether T is Debug.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error for `recv` on a closed empty channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for `try_recv`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Inner::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_reply_channel() {
+        let (tx, rx) = channel::bounded(1);
+        std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv(), Ok(42));
+    }
+}

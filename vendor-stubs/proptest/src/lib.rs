@@ -1,0 +1,504 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Implements a deterministic mini property-testing engine: strategies
+//! are generators (no shrinking), and `proptest!` expands each property
+//! into a plain `#[test]` that loops over `cases` deterministic inputs.
+//! A failing case panics with the case index and the `prop_assert!`
+//! message; rerunning is fully reproducible because the RNG stream is a
+//! pure function of the test's module path, name, and case index.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic per-test RNG (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// RNG whose stream depends only on (test identity, case index).
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::new(h.wrapping_add(0x632B_E5AB * case as u64 + 1))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; kept smaller so offline test
+            // runs stay fast. Tests that care set an explicit config.
+            Self { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike real proptest there is no shrinking and
+    /// no `ValueTree`; `generate` produces a value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    /// How many times a filter may reject before the test errors out.
+    const MAX_REJECTS: usize = 10_000;
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..MAX_REJECTS {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map exhausted retries: {}", self.reason);
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_REJECTS {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.reason);
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// Full-domain generator backing [`any`].
+    pub struct Any<T> {
+        _marker: ::std::marker::PhantomData<T>,
+    }
+
+    /// Types [`any`] can produce (mapped down from a raw `u64`).
+    pub trait ArbitraryValue {
+        fn from_raw(raw: u64) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn from_raw(raw: u64) -> Self {
+                    raw as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn from_raw(raw: u64) -> Self {
+            raw & 1 == 1
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_raw(rng.next_u64())
+        }
+    }
+
+    /// Strategy over every value of `T` (subset of `proptest::arbitrary::any`).
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any {
+            _marker: ::std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// `Vec` strategy with a length drawn from `len` each case.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end.saturating_sub(self.len.start).max(1);
+            let n = self.len.start + (rng.next_u64() as usize % span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Expands each `fn name(arg in strategy, ...) { body }` item into a
+/// plain test that runs `cases` deterministic cases. The body runs in a
+/// closure returning `Result<(), TestCaseError>`, so `return Ok(())` and
+/// the early-return `prop_assert*` macros both work as in real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ::core::default::Default::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert_eq failed: {:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert_ne failed: both {:?}", __l),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-4i64..=4).generate(&mut rng);
+            assert!((-4..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(11);
+        let strat = (2usize..5).prop_flat_map(|n| {
+            crate::collection::vec((0u32..10, 0u32..10), 1..n + 1)
+                .prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert!((2..5).contains(&n));
+            assert!(!v.is_empty() && v.len() <= n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = TestRng::for_case("m::t", 3).next_u64();
+        let b = TestRng::for_case("m::t", 3).next_u64();
+        let c = TestRng::for_case("m::t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trip((a, b) in (0u32..50, 0u32..50), extra in 1usize..4) {
+            if a == b { return Ok(()); }
+            prop_assert!(a < 50 && b < 50, "out of range: {} {}", a, b);
+            prop_assert_eq!(extra + 1, 1 + extra);
+        }
+    }
+}

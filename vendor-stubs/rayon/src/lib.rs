@@ -1,0 +1,143 @@
+//! Sequential stand-in for the subset of rayon's API this workspace uses.
+//!
+//! The offline build container cannot reach crates.io, so this stub lets
+//! the workspace compile and run its test suite without the real
+//! dependency (see `vendor-stubs/README.md`). Every "parallel" operation
+//! executes sequentially on the calling thread; the API mirrors rayon
+//! closely enough that code written against it also compiles against the
+//! real crate.
+
+/// Number of worker threads: always 1 in the sequential stub.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Index of the current worker thread within its pool.
+pub fn current_thread_index() -> Option<usize> {
+    Some(0)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; never actually
+/// produced by the stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that runs everything inline.
+#[derive(Debug)]
+pub struct ThreadPool(());
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool (i.e. inline).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (ignored by the stub).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    /// Builds the inline pool; never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool(()))
+    }
+}
+
+/// Runs both closures (sequentially here, in parallel under real rayon).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    //! Sequential mirrors of rayon's parallel iterator traits.
+
+    /// Anything that can become a "parallel" iterator. Blanket-implemented
+    /// for every `IntoIterator` whose items are `Send`.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        type Iter = Sequential<I::IntoIter>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            Sequential(self.into_iter())
+        }
+    }
+
+    /// Wrapper marking a plain iterator as the stub's "parallel" iterator.
+    pub struct Sequential<I>(pub I);
+
+    impl<I: Iterator> Iterator for Sequential<I> {
+        type Item = I::Item;
+
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::ParallelIterator`.
+    ///
+    /// Deliberately declares NO methods that `Iterator` also has (`map`,
+    /// `for_each`, `sum`, ...) — redeclaring them would make every call
+    /// ambiguous (E0034) since `Sequential` is also an `Iterator`, whose
+    /// more permissive `FnMut` bounds accept every rayon-style closure.
+    /// Only rayon-shaped extras with signatures `Iterator` lacks live
+    /// here.
+    pub trait ParallelIterator: Iterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Rayon's `reduce(identity, op)` (distinct from
+        /// `Iterator::reduce`, which takes no identity).
+        fn reduce_with_identity<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync + Send,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        {
+            Iterator::fold(self, identity(), op)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for Sequential<I> where I::Item: Send {}
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}

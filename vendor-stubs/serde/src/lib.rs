@@ -1,0 +1,11 @@
+//! Offline stand-in for serde: marker traits plus no-op derives. The
+//! workspace only *derives* these (hand-rolled binary IO does the actual
+//! encoding), so no methods are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize` by name.
+pub trait SerializeMarker {}
+
+/// Marker trait matching `serde::Deserialize` by name.
+pub trait DeserializeMarker {}

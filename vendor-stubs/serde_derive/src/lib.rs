@@ -1,0 +1,15 @@
+//! Offline stand-in for serde_derive: the derives expand to nothing.
+//! Nothing in this workspace serializes through serde (binary IO is
+//! hand-rolled over `bytes`), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

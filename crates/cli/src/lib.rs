@@ -18,6 +18,18 @@
 //!   --cutoff K          horizontal-pruning cut-off          [track all]
 //!   --symmetric         mirror every edge on load
 //!   --output PATH       write final per-vertex values
+//!   --memory-budget B   dependency-store budget in bytes (degrades to
+//!                       tighter pruning, then per-batch recompute)
+//!
+//! serve mode (scalar algorithms):
+//!   --serve             replay the stream through a fault-isolated
+//!                       StreamSession instead of direct refinement
+//!   --queue-capacity N  bound the session queue (backpressure)
+//!   --checkpoint-dir D  persist recoverable checkpoints into D
+//!   --checkpoint-every N  batches between checkpoints        [1]
+//!   --checkpoint-keep N   newest checkpoints retained        [3]
+//!   --resume            restore from the newest good checkpoint in
+//!                       --checkpoint-dir before replaying the stream
 //! ```
 //!
 //! The binary is a thin wrapper over [`run`], which is exercised directly
@@ -30,7 +42,10 @@ use graphbolt_algorithms::{
     CoEm, ConnectedComponents, LabelPropagation, PageRank, ShortestPaths, TriangleCounter,
     WidestPaths,
 };
-use graphbolt_core::{Algorithm, EngineOptions, StreamingEngine};
+use graphbolt_core::{
+    recover_session, Algorithm, CheckpointPolicy, DegradeLevel, EngineOptions, F64Codec,
+    SessionConfig, StreamSession, StreamingEngine,
+};
 use graphbolt_graph::{io, GraphSnapshot, MutationBatch};
 
 /// Parsed command line.
@@ -58,6 +73,20 @@ pub struct Options {
     pub symmetric: bool,
     /// Optional output path for final values.
     pub output: Option<String>,
+    /// Dependency-store memory budget in bytes.
+    pub memory_budget: Option<usize>,
+    /// Replay the stream through a fault-isolated [`StreamSession`].
+    pub serve: bool,
+    /// Bounded session queue capacity (serve mode).
+    pub queue_capacity: Option<usize>,
+    /// Directory for recoverable checkpoints (serve mode).
+    pub checkpoint_dir: Option<String>,
+    /// Batches between checkpoints (serve mode).
+    pub checkpoint_every: usize,
+    /// Newest checkpoints retained on disk (serve mode).
+    pub checkpoint_keep: usize,
+    /// Restore from the newest good checkpoint before replaying.
+    pub resume: bool,
 }
 
 impl Default for Options {
@@ -74,6 +103,13 @@ impl Default for Options {
             cutoff: None,
             symmetric: false,
             output: None,
+            memory_budget: None,
+            serve: false,
+            queue_capacity: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            checkpoint_keep: 3,
+            resume: false,
         }
     }
 }
@@ -111,6 +147,25 @@ impl Options {
                 "--cutoff" => opts.cutoff = Some(parse_num(&value("--cutoff")?, "--cutoff")?),
                 "--symmetric" => opts.symmetric = true,
                 "--output" => opts.output = Some(value("--output")?),
+                "--memory-budget" => {
+                    opts.memory_budget =
+                        Some(parse_num(&value("--memory-budget")?, "--memory-budget")?)
+                }
+                "--serve" => opts.serve = true,
+                "--queue-capacity" => {
+                    opts.queue_capacity =
+                        Some(parse_num(&value("--queue-capacity")?, "--queue-capacity")?)
+                }
+                "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+                "--checkpoint-every" => {
+                    opts.checkpoint_every =
+                        parse_num(&value("--checkpoint-every")?, "--checkpoint-every")?
+                }
+                "--checkpoint-keep" => {
+                    opts.checkpoint_keep =
+                        parse_num(&value("--checkpoint-keep")?, "--checkpoint-keep")?
+                }
+                "--resume" => opts.resume = true,
                 other => return Err(format!("unknown option {other}\n{}", usage())),
             }
         }
@@ -119,6 +174,15 @@ impl Options {
         }
         if opts.iterations == 0 {
             return Err("--iterations must be positive".into());
+        }
+        if !opts.serve && (opts.queue_capacity.is_some() || opts.checkpoint_dir.is_some() || opts.resume)
+        {
+            return Err(
+                "--queue-capacity/--checkpoint-dir/--resume require --serve".to_string(),
+            );
+        }
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            return Err("--resume requires --checkpoint-dir".to_string());
         }
         Ok(opts)
     }
@@ -133,7 +197,9 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
 pub fn usage() -> String {
     "usage: gbolt <pagerank|labelprop|coem|cc|sssp|bfs|sswp|triangles> --graph PATH \
      [--stream PATH] [--iterations N] [--source V] [--labels F] [--seed-stride S] \
-     [--tolerance X] [--cutoff K] [--symmetric] [--output PATH]"
+     [--tolerance X] [--cutoff K] [--symmetric] [--output PATH] [--memory-budget B] \
+     [--serve [--queue-capacity N] [--checkpoint-dir D] [--checkpoint-every N] \
+     [--checkpoint-keep N] [--resume]]"
         .to_string()
 }
 
@@ -174,6 +240,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
     let engine_opts = {
         let mut o = EngineOptions::with_iterations(opts.iterations);
         o.horizontal_cutoff = opts.cutoff;
+        o.memory_budget = opts.memory_budget;
         o
     };
     let n = graph.num_vertices();
@@ -284,7 +351,7 @@ fn drive_engine<A: Algorithm>(
     Ok(engine)
 }
 
-fn drive_scalar<A: Algorithm<Value = f64>>(
+fn drive_scalar<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
     graph: GraphSnapshot,
     batches: Vec<MutationBatch>,
     alg: A,
@@ -292,11 +359,121 @@ fn drive_scalar<A: Algorithm<Value = f64>>(
     opts: &Options,
 ) -> Result<String, String> {
     let mut report = header(&graph, &batches);
-    let engine = drive_engine(graph, batches, alg, engine_opts, &mut report)?;
+    let engine = if opts.serve {
+        drive_serve(graph, batches, alg, engine_opts, opts, &mut report)?
+    } else {
+        drive_engine(graph, batches, alg, engine_opts, &mut report)?
+    };
     maybe_write_values(opts, engine.values().iter().map(|v| format!("{v}")))?;
     let (min, max) = min_max(engine.values());
     let _ = writeln!(report, "values: min {min:.6}, max {max:.6}");
     Ok(report)
+}
+
+/// Serve mode: replay the stream through a [`StreamSession`] — panic
+/// isolation, optional bounded ingestion, and checkpoint cadence with
+/// `--resume` recovery.
+fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
+    graph: GraphSnapshot,
+    batches: Vec<MutationBatch>,
+    alg: A,
+    engine_opts: EngineOptions,
+    opts: &Options,
+    report: &mut String,
+) -> Result<StreamingEngine<A>, String> {
+    let t = std::time::Instant::now();
+    let engine = match (&opts.checkpoint_dir, opts.resume) {
+        (Some(dir), true) => {
+            match recover_session(Path::new(dir), alg.clone(), engine_opts, &F64Codec, &F64Codec)
+                .map_err(|e| e.to_string())?
+            {
+                Some(rec) => {
+                    let _ = writeln!(
+                        report,
+                        "resumed from checkpoint {} in {:?} ({} damaged checkpoint(s) skipped); \
+                         --graph input superseded by the checkpointed snapshot",
+                        rec.seq,
+                        t.elapsed(),
+                        rec.skipped
+                    );
+                    rec.engine
+                }
+                None => {
+                    let _ = writeln!(report, "no checkpoint to resume from, running initial");
+                    initial_engine(graph, alg.clone(), engine_opts, report)
+                }
+            }
+        }
+        _ => initial_engine(graph, alg.clone(), engine_opts, report),
+    };
+
+    let config = SessionConfig {
+        queue_capacity: opts.queue_capacity,
+        checkpoint: opts.checkpoint_dir.as_ref().map(|dir| {
+            CheckpointPolicy::new(
+                dir,
+                opts.checkpoint_every,
+                opts.checkpoint_keep,
+                F64Codec,
+                F64Codec,
+            )
+        }),
+        ..SessionConfig::default()
+    };
+    let session = StreamSession::spawn_with(engine, config);
+    for (i, batch) in batches.into_iter().enumerate() {
+        let fail = |e: graphbolt_core::SessionError| format!("batch {i}: {e}");
+        for e in batch.additions() {
+            session.add(*e).map_err(fail)?;
+        }
+        for e in batch.deletions() {
+            session.delete(*e).map_err(fail)?;
+        }
+        // Flush per stream batch so batch boundaries survive coalescing.
+        session.flush().map_err(fail)?;
+    }
+    let outcome = session.finish().map_err(|e| e.to_string())?;
+    let s = outcome.stats;
+    let _ = writeln!(
+        report,
+        "session: {} batches, {} mutations applied, {} dropped as conflicting",
+        s.batches, s.mutations_applied, s.mutations_dropped
+    );
+    if s.batches_quarantined > 0 {
+        let _ = writeln!(
+            report,
+            "session: {} batch(es) quarantined ({} mutations, {} panic(s) recovered)",
+            s.batches_quarantined, s.mutations_quarantined, s.panics_recovered
+        );
+    }
+    if opts.checkpoint_dir.is_some() {
+        let _ = writeln!(
+            report,
+            "session: {} checkpoint(s) written, {} failed",
+            s.checkpoints_written, s.checkpoint_failures
+        );
+    }
+    if outcome.engine.degrade_level() != DegradeLevel::None {
+        let _ = writeln!(
+            report,
+            "memory budget: engine degraded to {:?}",
+            outcome.engine.degrade_level()
+        );
+    }
+    Ok(outcome.engine)
+}
+
+fn initial_engine<A: Algorithm>(
+    graph: GraphSnapshot,
+    alg: A,
+    engine_opts: EngineOptions,
+    report: &mut String,
+) -> StreamingEngine<A> {
+    let mut engine = StreamingEngine::new(graph, alg, engine_opts);
+    let t = std::time::Instant::now();
+    engine.run_initial();
+    let _ = writeln!(report, "initial run: {:?}", t.elapsed());
+    engine
 }
 
 fn drive_vector<A: Algorithm<Value = Vec<f64>>>(
@@ -436,6 +613,46 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_flags() {
+        let opts = Options::parse(
+            [
+                "pagerank",
+                "--graph",
+                "g.txt",
+                "--serve",
+                "--queue-capacity",
+                "128",
+                "--checkpoint-dir",
+                "/tmp/ck",
+                "--checkpoint-every",
+                "2",
+                "--memory-budget",
+                "1048576",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(opts.serve);
+        assert_eq!(opts.queue_capacity, Some(128));
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(opts.checkpoint_every, 2);
+        assert_eq!(opts.memory_budget, Some(1 << 20));
+    }
+
+    #[test]
+    fn parse_rejects_serve_flags_without_serve() {
+        let err =
+            Options::parse(["pagerank", "--graph", "g", "--checkpoint-dir", "d"].map(String::from))
+                .unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--serve", "--resume"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+    }
+
+    #[test]
     fn parse_rejects_unknown_flags() {
         let err = Options::parse(["pagerank", "--graph", "g", "--frobnicate"].map(String::from))
             .unwrap_err();
@@ -463,6 +680,74 @@ mod tests {
         assert!(report.contains("batch 0"), "{report}");
         let written = std::fs::read_to_string(out_path).unwrap();
         assert_eq!(written.lines().count(), 4);
+    }
+
+    #[test]
+    fn serve_mode_checkpoints_and_resumes() {
+        let dir = tmpdir("serve");
+        let ck_dir = dir.join("ckpts");
+        let _ = std::fs::remove_dir_all(&ck_dir);
+        let graph = write_sample_graph(&dir);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(3, 0, 1.0));
+        let stream_path = dir.join("s.gbms");
+        io::write_batches(&stream_path, &[batch]).unwrap();
+
+        let opts = Options {
+            algorithm: "pagerank".into(),
+            graph: graph.clone(),
+            stream: Some(stream_path.to_string_lossy().into_owned()),
+            serve: true,
+            queue_capacity: Some(16),
+            checkpoint_dir: Some(ck_dir.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("1 checkpoint(s) written, 0 failed"), "{report}");
+        assert!(report.contains("1 mutations applied"), "{report}");
+
+        // Second run resumes from the checkpoint instead of recomputing.
+        let opts = Options {
+            resume: true,
+            stream: None,
+            ..opts
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("resumed from checkpoint 1"), "{report}");
+        let _ = std::fs::remove_dir_all(&ck_dir);
+    }
+
+    #[test]
+    fn serve_mode_with_memory_budget_degrades_but_stays_correct() {
+        let dir = tmpdir("serve-budget");
+        let graph = write_sample_graph(&dir);
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(3, 1, 1.0));
+        let stream_path = dir.join("s.gbms");
+        io::write_batches(&stream_path, &[batch.clone()]).unwrap();
+
+        let base = Options {
+            algorithm: "pagerank".into(),
+            graph,
+            stream: Some(stream_path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        let plain = run(&base).unwrap();
+        let budgeted = run(&Options {
+            serve: true,
+            memory_budget: Some(1),
+            ..base
+        })
+        .unwrap();
+        assert!(budgeted.contains("degraded to DroppedStore"), "{budgeted}");
+        // Identical final values line: degradation must not change results.
+        let values_line = |r: &str| {
+            r.lines()
+                .find(|l| l.starts_with("values:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(values_line(&plain), values_line(&budgeted));
     }
 
     #[test]

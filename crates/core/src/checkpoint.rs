@@ -40,6 +40,12 @@ pub enum CheckpointError {
     Format(String),
     /// Checkpoint does not match the engine it is loaded into.
     Mismatch(String),
+    /// Stored checksum does not match the payload (torn or corrupted
+    /// write).
+    Corrupted,
+    /// Underlying filesystem failure (message form: `io::Error` is
+    /// neither `Clone` nor `PartialEq`).
+    Io(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -48,7 +54,15 @@ impl std::fmt::Display for CheckpointError {
             Self::Truncated => write!(f, "checkpoint truncated"),
             Self::Format(m) => write!(f, "malformed checkpoint: {m}"),
             Self::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            Self::Corrupted => write!(f, "checkpoint checksum mismatch"),
+            Self::Io(m) => write!(f, "checkpoint i/o error: {m}"),
         }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
     }
 }
 
@@ -101,6 +115,7 @@ const VERSION: u16 = 1;
 /// Serialized engine state, ready to be written to durable storage
 /// alongside the graph (persist the snapshot with
 /// [`graphbolt_graph::io::write_binary`]).
+#[derive(Debug)]
 pub struct Checkpoint {
     bytes: Bytes,
 }
@@ -280,6 +295,252 @@ impl Checkpoint {
     }
 }
 
+// ---------------------------------------------------------------------
+// Durable session checkpoints: graph + engine state in one file, written
+// atomically, recovered newest-good-first.
+// ---------------------------------------------------------------------
+
+/// Magic bytes of the on-disk session-checkpoint container.
+const FILE_MAGIC: &[u8; 4] = b"GBSF";
+/// Container format version.
+const FILE_VERSION: u16 = 1;
+/// File-name prefix/suffix of numbered checkpoints inside a directory.
+const FILE_PREFIX: &str = "ck-";
+const FILE_SUFFIX: &str = ".gbsf";
+
+/// FNV-1a 64-bit checksum — cheap, dependency-free corruption detection
+/// for torn checkpoint writes (not an integrity guarantee against an
+/// adversary).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn checkpoint_file_name(seq: u64) -> String {
+    // Zero-padded so lexicographic order equals numeric order.
+    format!("{FILE_PREFIX}{seq:020}{FILE_SUFFIX}")
+}
+
+fn parse_checkpoint_seq(name: &str) -> Option<u64> {
+    name.strip_prefix(FILE_PREFIX)?
+        .strip_suffix(FILE_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Serializes the complete durable state of an engine — graph edges plus
+/// the [`Checkpoint`] payload — into one checksummed container:
+/// `GBSF | u16 version | u64 seq | u64 fnv1a(payload) | payload`, where
+/// `payload` is `u64 n | u64 graph-len | GBLT edges | u64 ck-len | ck`.
+pub fn session_file_bytes<A, CV, CG>(
+    engine: &StreamingEngine<A>,
+    seq: u64,
+    value_codec: &CV,
+    agg_codec: &CG,
+) -> Bytes
+where
+    A: Algorithm,
+    CV: StateCodec<A::Value>,
+    CG: StateCodec<A::Agg>,
+{
+    let graph_bytes = graphbolt_graph::io::to_binary(&engine.graph().edges());
+    let ck = Checkpoint::capture(engine, value_codec, agg_codec);
+    let mut payload = BytesMut::with_capacity(16 + graph_bytes.len() + ck.as_bytes().len());
+    payload.put_u64(engine.graph().num_vertices() as u64);
+    payload.put_u64(graph_bytes.len() as u64);
+    payload.put_slice(&graph_bytes);
+    payload.put_u64(ck.as_bytes().len() as u64);
+    payload.put_slice(ck.as_bytes());
+
+    let mut buf = BytesMut::with_capacity(4 + 2 + 8 + 8 + payload.len());
+    buf.put_slice(FILE_MAGIC);
+    buf.put_u16(FILE_VERSION);
+    buf.put_u64(seq);
+    buf.put_u64(fnv1a(&payload));
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Writes checkpoint `seq` of `engine` into `dir` atomically: the bytes
+/// land in a temp file which is then renamed to its final
+/// `ck-<seq>.gbsf` name, so a crash mid-write never leaves a partial
+/// file under the recoverable name. Returns the final path.
+///
+/// Fault-injection site `checkpoint::write` (action `Truncate`) cuts the
+/// byte stream short *before* the write, simulating the torn write that
+/// atomic rename cannot prevent on non-atomic filesystems.
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`CheckpointError::Io`].
+pub fn write_session_checkpoint<A, CV, CG>(
+    dir: &std::path::Path,
+    engine: &StreamingEngine<A>,
+    seq: u64,
+    value_codec: &CV,
+    agg_codec: &CG,
+) -> Result<std::path::PathBuf, CheckpointError>
+where
+    A: Algorithm,
+    CV: StateCodec<A::Value>,
+    CG: StateCodec<A::Agg>,
+{
+    let mut bytes = session_file_bytes(engine, seq, value_codec, agg_codec);
+    if let Some(keep) = crate::fault::fire_truncation("checkpoint::write") {
+        bytes = bytes.slice(0..keep.min(bytes.len()));
+    }
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".tmp-{}", checkpoint_file_name(seq)));
+    let path = dir.join(checkpoint_file_name(seq));
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Parses a session-checkpoint container back into its parts.
+///
+/// # Errors
+///
+/// [`CheckpointError::Truncated`]/[`CheckpointError::Format`] on a
+/// malformed container, [`CheckpointError::Corrupted`] when the checksum
+/// disagrees with the payload.
+pub fn parse_session_file(
+    mut data: Bytes,
+) -> Result<(u64, GraphSnapshot, Checkpoint), CheckpointError> {
+    if data.remaining() < 4 + 2 + 8 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != FILE_MAGIC {
+        return Err(CheckpointError::Format(format!(
+            "bad session-file magic {magic:?}"
+        )));
+    }
+    let version = data.get_u16();
+    if version != FILE_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported session-file version {version}"
+        )));
+    }
+    let seq = data.get_u64();
+    let checksum = data.get_u64();
+    if fnv1a(&data) != checksum {
+        return Err(CheckpointError::Corrupted);
+    }
+    if data.remaining() < 16 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n = data.get_u64() as usize;
+    let graph_len = data.get_u64() as usize;
+    if data.remaining() < graph_len {
+        return Err(CheckpointError::Truncated);
+    }
+    let graph_bytes = data.split_to(graph_len);
+    let edges = graphbolt_graph::io::from_binary(graph_bytes)
+        .map_err(|e| CheckpointError::Format(format!("embedded graph: {e}")))?;
+    if data.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let ck_len = data.get_u64() as usize;
+    if data.remaining() < ck_len {
+        return Err(CheckpointError::Truncated);
+    }
+    let ck = Checkpoint::from_bytes(data.split_to(ck_len));
+    Ok((seq, GraphSnapshot::from_edges(n, &edges), ck))
+}
+
+/// Deletes all but the newest `keep` checkpoints in `dir`. Removal
+/// failures are ignored — stale checkpoints are garbage, not state.
+pub fn prune_session_checkpoints(dir: &std::path::Path, keep: usize) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut seqs: Vec<u64> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| parse_checkpoint_seq(&e.file_name().to_string_lossy()))
+        .collect();
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    for seq in seqs.into_iter().skip(keep) {
+        let _ = std::fs::remove_file(dir.join(checkpoint_file_name(seq)));
+    }
+}
+
+/// A successfully recovered session checkpoint.
+pub struct RecoveredSession<A: Algorithm> {
+    /// The reconstructed engine, ready to refine the next batch.
+    pub engine: StreamingEngine<A>,
+    /// Sequence number of the checkpoint that loaded.
+    pub seq: u64,
+    /// Newer checkpoints that were skipped as truncated, corrupted, or
+    /// otherwise unloadable.
+    pub skipped: usize,
+}
+
+/// Scans `dir` for session checkpoints and restores the newest loadable
+/// one, skipping truncated/corrupted/mismatched files in favour of the
+/// previous good checkpoint (the crash-recovery contract: a torn write
+/// must cost at most one checkpoint interval, never the session).
+///
+/// Returns `Ok(None)` when the directory holds no checkpoint at all.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] when the directory exists but cannot
+/// be read, and the *last* decode error when every present checkpoint
+/// fails to load.
+pub fn recover_session<A, CV, CG>(
+    dir: &std::path::Path,
+    alg: A,
+    opts: EngineOptions,
+    value_codec: &CV,
+    agg_codec: &CG,
+) -> Result<Option<RecoveredSession<A>>, CheckpointError>
+where
+    A: Algorithm + Clone,
+    CV: StateCodec<A::Value>,
+    CG: StateCodec<A::Agg>,
+{
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut seqs: Vec<u64> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| parse_checkpoint_seq(&e.file_name().to_string_lossy()))
+        .collect();
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut skipped = 0;
+    let mut last_err = None;
+    for seq in seqs {
+        let attempt = (|| -> Result<StreamingEngine<A>, CheckpointError> {
+            let data = std::fs::read(dir.join(checkpoint_file_name(seq)))?;
+            let (_, graph, ck) = parse_session_file(Bytes::from(data))?;
+            ck.restore(graph, alg.clone(), opts, value_codec, agg_codec)
+        })();
+        match attempt {
+            Ok(engine) => {
+                return Ok(Some(RecoveredSession {
+                    engine,
+                    seq,
+                    skipped,
+                }))
+            }
+            Err(e) => {
+                skipped += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    match last_err {
+        None => Ok(None),
+        Some(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +671,98 @@ mod tests {
             panic!("truncated checkpoint accepted");
         };
         assert_eq!(err, CheckpointError::Truncated);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("graphbolt-ckpt-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn session_file_round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let original = engine();
+        write_session_checkpoint(&dir, &original, 3, &F64Codec, &F64Codec).unwrap();
+        let rec = recover_session(&dir, TestRank, *original.options(), &F64Codec, &F64Codec)
+            .unwrap()
+            .expect("checkpoint present");
+        assert_eq!(rec.seq, 3);
+        assert_eq!(rec.skipped, 0);
+        assert_eq!(rec.engine.values(), original.values());
+        assert_eq!(
+            rec.engine.graph().num_edges(),
+            original.graph().num_edges()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_skips_truncated_newest_checkpoint() {
+        let dir = tmpdir("skip-truncated");
+        let original = engine();
+        write_session_checkpoint(&dir, &original, 1, &F64Codec, &F64Codec).unwrap();
+        // Simulate a torn write of checkpoint 2: half the bytes.
+        let full = session_file_bytes(&original, 2, &F64Codec, &F64Codec);
+        std::fs::write(dir.join(checkpoint_file_name(2)), &full[..full.len() / 2]).unwrap();
+        let rec = recover_session(&dir, TestRank, *original.options(), &F64Codec, &F64Codec)
+            .unwrap()
+            .expect("good checkpoint remains");
+        assert_eq!(rec.seq, 1);
+        assert_eq!(rec.skipped, 1);
+        assert_eq!(rec.engine.values(), original.values());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let original = engine();
+        let mut data = session_file_bytes(&original, 7, &F64Codec, &F64Codec).to_vec();
+        let last = data.len() - 1;
+        data[last] ^= 0xff;
+        assert_eq!(
+            parse_session_file(Bytes::from(data)).unwrap_err(),
+            CheckpointError::Corrupted
+        );
+    }
+
+    #[test]
+    fn empty_or_missing_dir_recovers_to_none() {
+        let dir = tmpdir("empty");
+        assert!(
+            recover_session(&dir, TestRank, EngineOptions::default(), &F64Codec, &F64Codec)
+                .unwrap()
+                .is_none()
+        );
+        let missing = dir.join("nope");
+        assert!(recover_session(
+            &missing,
+            TestRank,
+            EngineOptions::default(),
+            &F64Codec,
+            &F64Codec
+        )
+        .unwrap()
+        .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_checkpoints() {
+        let dir = tmpdir("prune");
+        let original = engine();
+        for seq in 0..5 {
+            write_session_checkpoint(&dir, &original, seq, &F64Codec, &F64Codec).unwrap();
+        }
+        prune_session_checkpoints(&dir, 2);
+        let mut left: Vec<u64> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| parse_checkpoint_seq(&e.unwrap().file_name().to_string_lossy()))
+            .collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![3, 4]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod algorithm;
 pub mod bsp;
 pub mod checkpoint;
+pub mod fault;
 pub mod options;
 pub mod refine;
 pub mod session;
@@ -33,11 +34,18 @@ pub mod streaming;
 
 pub use algorithm::{agg_total_bytes, Algorithm};
 pub use bsp::{run_bsp, run_bsp_from, run_tracking, BspState, TrackingOutcome};
-pub use checkpoint::{Checkpoint, CheckpointError, F64Codec, StateCodec, VecF64Codec};
+pub use checkpoint::{
+    recover_session, write_session_checkpoint, Checkpoint, CheckpointError, F64Codec,
+    RecoveredSession, StateCodec, VecF64Codec,
+};
+pub use fault::FaultAction;
 pub use options::{EngineOptions, ExecutionMode};
 pub use refine::{refine, RefineState};
-pub use session::{SessionStats, StreamSession};
+pub use session::{
+    retry_with_backoff, CheckpointPolicy, DeadLetter, SessionConfig, SessionError, SessionOutcome,
+    SessionStats, StreamSession,
+};
 pub use sharded::ShardedMut;
 pub use stats::{EngineStats, RefineReport, StatsSnapshot};
 pub use store::DependencyStore;
-pub use streaming::{doctest_support, StreamingEngine};
+pub use streaming::{doctest_support, DegradeLevel, StreamingEngine};

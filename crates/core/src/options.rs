@@ -33,6 +33,14 @@ pub struct EngineOptions {
     pub fused_delta: bool,
     /// Stop early when an iteration changes no vertex value.
     pub convergence_exit: bool,
+    /// Upper bound, in bytes, on the dependency store's memory footprint
+    /// (as measured by
+    /// [`StreamingEngine::dependency_memory_bytes`](crate::StreamingEngine::dependency_memory_bytes)).
+    /// When exceeded, the engine degrades progressively — tighter pruning,
+    /// then dropping the store entirely in favour of per-batch recompute —
+    /// while every result stays equal to a from-scratch run (the BSP
+    /// guarantee is degradation-invariant). `None` disables the watchdog.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -43,6 +51,7 @@ impl Default for EngineOptions {
             vertical_pruning: true,
             fused_delta: true,
             convergence_exit: false,
+            memory_budget: None,
         }
     }
 }
@@ -71,6 +80,12 @@ impl EngineOptions {
     /// Enables or disables fused deltas (GraphBolt vs GraphBolt-RP).
     pub fn fused(mut self, on: bool) -> Self {
         self.fused_delta = on;
+        self
+    }
+
+    /// Sets the dependency-store memory budget in bytes.
+    pub fn budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -104,5 +119,12 @@ mod tests {
         let o = EngineOptions::default().vertical(false).fused(false);
         assert!(!o.vertical_pruning);
         assert!(!o.fused_delta);
+    }
+
+    #[test]
+    fn budget_defaults_off_and_is_settable() {
+        assert_eq!(EngineOptions::default().memory_budget, None);
+        let o = EngineOptions::default().budget(1 << 20);
+        assert_eq!(o.memory_budget, Some(1 << 20));
     }
 }

@@ -145,6 +145,7 @@ pub fn refine<A: Algorithm>(
     opts: &EngineOptions,
     stats: &EngineStats,
 ) -> RefineReport {
+    crate::fault::fire_panic("refine::start");
     let mut report = RefineReport::default();
     let start = std::time::Instant::now();
     let new_n = new_g.num_vertices();

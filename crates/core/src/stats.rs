@@ -122,6 +122,10 @@ pub struct RefineReport {
     pub refined_iterations: usize,
     /// Iterations executed by hybrid (frontier recompute) execution.
     pub hybrid_iterations: usize,
+    /// Whether this batch was served by the degraded per-batch full
+    /// recompute path (dependency store dropped under memory pressure)
+    /// rather than dependency-driven refinement.
+    pub degraded: bool,
 }
 
 #[cfg(test)]

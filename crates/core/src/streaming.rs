@@ -6,11 +6,29 @@ use std::time::Instant;
 use graphbolt_graph::{GraphSnapshot, MutationBatch, MutationError};
 
 use crate::algorithm::{agg_total_bytes, Algorithm};
-use crate::bsp::{run_tracking, BspState};
-use crate::options::EngineOptions;
+use crate::bsp::{run_bsp, run_tracking, BspState};
+use crate::options::{EngineOptions, ExecutionMode};
 use crate::refine::{refine, RefineState};
 use crate::stats::{EngineStats, RefineReport};
 use crate::store::DependencyStore;
+
+/// How far the memory-budget watchdog has degraded the engine.
+///
+/// The ladder trades incremental speed for memory, never correctness:
+/// every level still produces values equal to a from-scratch BSP run on
+/// the current snapshot (refinement by Theorem 4.1, recompute trivially).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Normal operation: full dependency-driven refinement.
+    None,
+    /// Aggressive pruning: vertical pruning forced on and the horizontal
+    /// cut-off progressively halved, shrinking the store at the price of
+    /// longer hybrid phases.
+    PrunedStore,
+    /// Dependency store dropped entirely; every batch is served by a
+    /// from-scratch recompute on the new snapshot (the GB-Reset shape).
+    DroppedStore,
+}
 
 /// GraphBolt's streaming processing engine for one algorithm over one
 /// evolving graph.
@@ -52,6 +70,8 @@ pub struct StreamingEngine<A: Algorithm> {
     stats: EngineStats,
     /// Tracked state, present after `run_initial`.
     state: Option<TrackedState<A>>,
+    /// Current memory-budget degradation level.
+    degrade: DegradeLevel,
 }
 
 struct TrackedState<A: Algorithm> {
@@ -71,6 +91,7 @@ impl<A: Algorithm> StreamingEngine<A> {
             opts,
             stats: EngineStats::new(),
             state: None,
+            degrade: DegradeLevel::None,
         }
     }
 
@@ -96,8 +117,22 @@ impl<A: Algorithm> StreamingEngine<A> {
 
     /// Runs the initial tracked execution. Subsequent calls recompute from
     /// scratch (discarding previous tracking), which is also how a caller
-    /// forces a full restart.
+    /// forces a full restart — including after a mid-refinement panic left
+    /// the tracked state inconsistent. The memory-budget watchdog runs
+    /// afterwards, so an over-budget initial store degrades immediately.
     pub fn run_initial(&mut self) -> &[A::Value] {
+        if self.degrade == DegradeLevel::DroppedStore {
+            self.recompute_full();
+        } else {
+            self.rebuild_tracked();
+            self.enforce_memory_budget();
+        }
+        self.values()
+    }
+
+    /// Rebuilds the complete tracked state from scratch on the current
+    /// snapshot under the current options.
+    fn rebuild_tracked(&mut self) {
         let outcome = run_tracking(&self.alg, &self.graph, &self.opts, &self.stats);
         let BspState { vals, .. } = outcome.state;
         self.state = Some(TrackedState {
@@ -106,7 +141,94 @@ impl<A: Algorithm> StreamingEngine<A> {
             changed_at_cutoff: outcome.changed_at_cutoff,
             store: outcome.store,
         });
-        self.values()
+    }
+
+    /// From-scratch full recompute on the current snapshot; the store is
+    /// left empty (cut-off 0 stores nothing). The `DroppedStore` serving
+    /// path.
+    fn recompute_full(&mut self) {
+        let bsp = run_bsp(
+            &self.alg,
+            &self.graph,
+            &self.opts,
+            ExecutionMode::Full,
+            &self.stats,
+        );
+        let n = self.graph.num_vertices();
+        self.state = Some(TrackedState {
+            vals_at_cutoff: bsp.vals.clone(),
+            vals: bsp.vals,
+            changed_at_cutoff: vec![false; n],
+            store: DependencyStore::new(n, 0, self.opts.vertical_pruning),
+        });
+    }
+
+    /// Current degradation level of the memory-budget watchdog.
+    pub fn degrade_level(&self) -> DegradeLevel {
+        self.degrade
+    }
+
+    /// Forces the engine at least to `level` immediately (operational
+    /// override and deterministic test hook; the watchdog only ever moves
+    /// down the same ladder). Degradation is one-way: requesting a level
+    /// at or above the current one is a no-op.
+    pub fn force_degrade(&mut self, level: DegradeLevel) {
+        if level <= self.degrade {
+            return;
+        }
+        match level {
+            DegradeLevel::None => {}
+            DegradeLevel::PrunedStore => self.degrade_once(),
+            DegradeLevel::DroppedStore => {
+                // Jump straight to the bottom rung (skipping the
+                // intermediate cut-off halvings and their rebuilds).
+                self.degrade = DegradeLevel::DroppedStore;
+                if self.state.is_some() {
+                    self.recompute_full();
+                }
+            }
+        }
+    }
+
+    /// Takes one step down the degradation ladder.
+    fn degrade_once(&mut self) {
+        match self.degrade {
+            DegradeLevel::None => {
+                self.opts.vertical_pruning = true;
+                self.opts.horizontal_cutoff = Some((self.opts.effective_cutoff() / 2).max(1));
+                self.degrade = DegradeLevel::PrunedStore;
+                if self.state.is_some() {
+                    self.rebuild_tracked();
+                }
+            }
+            DegradeLevel::PrunedStore => {
+                if self.opts.effective_cutoff() > 1 {
+                    self.opts.horizontal_cutoff = Some(self.opts.effective_cutoff() / 2);
+                    if self.state.is_some() {
+                        self.rebuild_tracked();
+                    }
+                } else {
+                    self.degrade = DegradeLevel::DroppedStore;
+                    if self.state.is_some() {
+                        self.recompute_full();
+                    }
+                }
+            }
+            DegradeLevel::DroppedStore => {}
+        }
+    }
+
+    /// The memory-budget watchdog: while the dependency store exceeds the
+    /// configured budget, step down the degradation ladder.
+    fn enforce_memory_budget(&mut self) {
+        let Some(budget) = self.opts.memory_budget else {
+            return;
+        };
+        while self.degrade < DegradeLevel::DroppedStore
+            && self.dependency_memory_bytes() > budget
+        {
+            self.degrade_once();
+        }
     }
 
     /// Returns `true` once the initial execution has run.
@@ -139,10 +261,14 @@ impl<A: Algorithm> StreamingEngine<A> {
     ///
     /// Panics if [`StreamingEngine::run_initial`] has not run.
     pub fn apply_batch(&mut self, batch: &MutationBatch) -> Result<RefineReport, MutationError> {
-        let state = self
-            .state
-            .as_mut()
-            .expect("run_initial() must be called before apply_batch()");
+        assert!(
+            self.state.is_some(),
+            "run_initial() must be called before apply_batch()"
+        );
+        if self.degrade == DegradeLevel::DroppedStore {
+            return self.apply_batch_recompute(batch);
+        }
+        let state = self.state.as_mut().expect("checked above");
         let start = Instant::now();
         let new_graph = self.graph.apply_arc(batch)?;
         let structure_duration = start.elapsed();
@@ -164,7 +290,31 @@ impl<A: Algorithm> StreamingEngine<A> {
         report.structure_duration = structure_duration;
         report.duration += structure_duration;
         self.graph = new_graph;
+        self.enforce_memory_budget();
         Ok(report)
+    }
+
+    /// Degraded serving path: apply the batch to the graph and recompute
+    /// every value from scratch on the new snapshot. No dependency state
+    /// is kept, so the result is the from-scratch answer by construction.
+    fn apply_batch_recompute(&mut self, batch: &MutationBatch) -> Result<RefineReport, MutationError> {
+        let start = Instant::now();
+        let new_graph = self.graph.apply_arc(batch)?;
+        let structure_duration = start.elapsed();
+        self.graph = new_graph;
+        let before = self.stats.snapshot();
+        self.recompute_full();
+        let spent = self.stats.snapshot() - before;
+        Ok(RefineReport {
+            duration: start.elapsed(),
+            structure_duration,
+            refined_vertices: self.graph.num_vertices(),
+            changed_final_values: 0,
+            edge_computations: spent.edge_computations,
+            refined_iterations: 0,
+            hybrid_iterations: spent.iterations as usize,
+            degraded: true,
+        })
     }
 
     /// Estimated bytes of dependency information currently tracked — the
@@ -231,6 +381,7 @@ impl<A: Algorithm> StreamingEngine<A> {
                 changed_at_cutoff,
                 store,
             }),
+            degrade: DegradeLevel::None,
         }
     }
 }
@@ -531,6 +682,73 @@ mod tests {
         unpruned.run_initial();
         assert!(pruned.stored_aggregations() <= unpruned.stored_aggregations());
         assert_eq!(unpruned.stored_aggregations(), 6 * 10);
+    }
+
+    #[test]
+    fn memory_budget_degrades_to_recompute() {
+        // A 1-byte budget can never be satisfied: the watchdog must walk
+        // the whole ladder down to DroppedStore on the initial run.
+        let opts = EngineOptions::with_iterations(10).budget(1);
+        let mut engine = StreamingEngine::new(base_graph(), TestRank, opts);
+        engine.run_initial();
+        assert_eq!(engine.degrade_level(), DegradeLevel::DroppedStore);
+        assert_eq!(engine.stored_aggregations(), 0, "store dropped");
+
+        // Degraded serving still matches from-scratch exactly.
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(0, 3, 1.0)).delete(Edge::new(4, 5, 1.0));
+        let report = engine.apply_batch(&batch).unwrap();
+        assert!(report.degraded);
+        assert_matches_scratch(&engine, &TestRank, 10);
+    }
+
+    #[test]
+    fn pruned_degrade_level_shrinks_store_and_stays_correct() {
+        let mut engine = StreamingEngine::new(
+            base_graph(),
+            TestRank,
+            EngineOptions::with_iterations(10),
+        );
+        engine.run_initial();
+        let full_entries = engine.stored_aggregations();
+        engine.force_degrade(DegradeLevel::PrunedStore);
+        assert_eq!(engine.degrade_level(), DegradeLevel::PrunedStore);
+        assert!(engine.stored_aggregations() <= full_entries);
+        assert!(engine.options().effective_cutoff() <= 5);
+
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(5, 1, 1.0));
+        let report = engine.apply_batch(&batch).unwrap();
+        assert!(!report.degraded, "pruned level still refines");
+        assert!(report.hybrid_iterations > 0, "shrunk cut-off forces hybrid");
+        assert_matches_scratch(&engine, &TestRank, 10);
+    }
+
+    #[test]
+    fn degradation_is_one_way() {
+        let mut engine = StreamingEngine::new(
+            base_graph(),
+            TestRank,
+            EngineOptions::with_iterations(6),
+        );
+        engine.run_initial();
+        engine.force_degrade(DegradeLevel::DroppedStore);
+        engine.force_degrade(DegradeLevel::PrunedStore); // no-op
+        assert_eq!(engine.degrade_level(), DegradeLevel::DroppedStore);
+        // run_initial in the dropped state keeps serving correct values.
+        engine.run_initial();
+        assert_matches_scratch(&engine, &TestRank, 6);
+    }
+
+    #[test]
+    fn generous_budget_never_degrades() {
+        let opts = EngineOptions::with_iterations(8).budget(usize::MAX);
+        let mut engine = StreamingEngine::new(base_graph(), TestRank, opts);
+        engine.run_initial();
+        let mut batch = MutationBatch::new();
+        batch.add(Edge::new(1, 5, 1.0));
+        engine.apply_batch(&batch).unwrap();
+        assert_eq!(engine.degrade_level(), DegradeLevel::None);
     }
 
     #[test]

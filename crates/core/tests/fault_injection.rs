@@ -1,0 +1,189 @@
+//! Fault-injection acceptance suite (`--features fault-injection`).
+//!
+//! Each test arms a distinct probe site, so the process-global registry
+//! never races across the parallel test harness:
+//!
+//! * `refine::start`     — panic mid-refinement → quarantine + recovery
+//! * `checkpoint::write` — torn checkpoint → recovery skips to the
+//!   previous good file
+//! * `session::ingest`   — injected submission rejection
+#![cfg(feature = "fault-injection")]
+
+use graphbolt_core::doctest_support::DocRank;
+use graphbolt_core::checkpoint::{
+    parse_session_file, recover_session, session_file_bytes, write_session_checkpoint,
+};
+use graphbolt_core::fault::{arm, FaultAction};
+use graphbolt_core::{
+    run_bsp, CheckpointError, EngineOptions, EngineStats, ExecutionMode, F64Codec, SessionError,
+    StreamSession, StreamingEngine,
+};
+use bytes::Bytes;
+use graphbolt_graph::{Edge, GraphBuilder};
+
+fn engine() -> StreamingEngine<DocRank> {
+    let g = GraphBuilder::new(6)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 4, 1.0)
+        .add_edge(4, 5, 1.0)
+        .add_edge(5, 0, 1.0)
+        .build();
+    let mut e = StreamingEngine::new(g, DocRank, EngineOptions::with_iterations(8));
+    e.run_initial();
+    e
+}
+
+fn scratch_values(engine: &StreamingEngine<DocRank>) -> Vec<f64> {
+    run_bsp(
+        &DocRank,
+        engine.graph(),
+        engine.options(),
+        ExecutionMode::Full,
+        &EngineStats::new(),
+    )
+    .vals
+}
+
+/// Acceptance scenario 1: a panic injected mid-refinement is caught, the
+/// offending batch lands in the dead-letter queue, and the next query
+/// returns exactly the from-scratch result on the last good snapshot.
+#[test]
+fn injected_refine_panic_is_quarantined_and_session_keeps_serving() {
+    let session = StreamSession::spawn(engine());
+
+    arm("refine::start", FaultAction::Panic, 1);
+    session.add(Edge::new(0, 3, 1.0)).unwrap();
+    session.flush().unwrap();
+
+    // The poisoned batch must not be part of the served graph...
+    let served = session.query().unwrap();
+
+    // ...and the session must still accept and refine later batches.
+    session.add(Edge::new(1, 4, 1.0)).unwrap();
+    session.flush().unwrap();
+
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.stats.panics_recovered, 1);
+    assert_eq!(outcome.stats.batches_quarantined, 1);
+    assert_eq!(outcome.stats.mutations_quarantined, 1);
+    assert_eq!(outcome.stats.mutations_applied, 1, "second batch applied");
+    assert_eq!(outcome.dead_letters.len(), 1);
+    assert!(
+        outcome.dead_letters[0].reason.contains("injected fault"),
+        "dead letter records the panic message, got: {}",
+        outcome.dead_letters[0].reason
+    );
+    assert_eq!(outcome.dead_letters[0].batch.additions().len(), 1);
+    assert!(
+        !outcome.engine.graph().has_edge(0, 3),
+        "quarantined batch must not mutate the graph"
+    );
+    assert!(
+        outcome.engine.graph().has_edge(1, 4),
+        "post-recovery batch must land"
+    );
+
+    // The mid-session query served from-scratch-equal values on the last
+    // good snapshot (the pre-panic graph: no (0,3), no (1,4) yet).
+    let reference = engine();
+    let expect = scratch_values(&reference);
+    assert_eq!(served.len(), expect.len());
+    for (a, b) in served.iter().zip(&expect) {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "recovered values equal from-scratch on last good snapshot"
+        );
+    }
+
+    // And the final state matches from-scratch on the final graph.
+    let expect = scratch_values(&outcome.engine);
+    for (a, b) in outcome.engine.values().iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-7);
+    }
+}
+
+/// Acceptance scenario 2: a truncated (torn) checkpoint write is detected
+/// at recovery time and the session resumes from the previous good
+/// checkpoint.
+#[test]
+fn truncated_checkpoint_is_skipped_in_favour_of_previous_good_one() {
+    let dir = std::env::temp_dir().join("graphbolt-fault-trunc");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut e = engine();
+    write_session_checkpoint(&dir, &e, 1, &F64Codec, &F64Codec).unwrap();
+    let good_values = e.values().to_vec();
+
+    // Checkpoint 2 is torn: the injector cuts the byte stream short.
+    let mut batch = graphbolt_graph::MutationBatch::new();
+    batch.add(Edge::new(0, 2, 1.0));
+    e.apply_batch(&batch).unwrap();
+    arm("checkpoint::write", FaultAction::Truncate(64), 1);
+    write_session_checkpoint(&dir, &e, 2, &F64Codec, &F64Codec).unwrap();
+
+    // The torn file is detected as damaged...
+    let torn = std::fs::read(dir.join("ck-00000000000000000002.gbsf")).unwrap();
+    assert_eq!(torn.len(), 64, "injected truncation happened");
+    let err = parse_session_file(Bytes::from(torn)).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::Truncated | CheckpointError::Corrupted),
+        "torn checkpoint must not parse, got: {err}"
+    );
+
+    // ...and recovery falls back to checkpoint 1.
+    let rec = recover_session(&dir, DocRank, *e.options(), &F64Codec, &F64Codec)
+        .unwrap()
+        .expect("previous good checkpoint exists");
+    assert_eq!(rec.seq, 1);
+    assert_eq!(rec.skipped, 1);
+    assert_eq!(rec.engine.values(), &good_values[..]);
+    assert!(
+        !rec.engine.graph().has_edge(0, 2),
+        "recovered state predates the torn checkpoint"
+    );
+
+    // The recovered engine is live: it refines the lost batch again and
+    // converges to the same state the original reached.
+    let mut recovered = rec.engine;
+    let mut batch = graphbolt_graph::MutationBatch::new();
+    batch.add(Edge::new(0, 2, 1.0));
+    recovered.apply_batch(&batch).unwrap();
+    assert_eq!(recovered.values(), e.values());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Scenario 3: an injected ingestion fault surfaces as a typed error and
+/// leaves the session usable.
+#[test]
+fn injected_ingest_error_rejects_one_submission() {
+    let session = StreamSession::spawn(engine());
+    arm("session::ingest", FaultAction::Error, 1);
+    assert_eq!(
+        session.try_add(Edge::new(0, 4, 1.0)),
+        Err(SessionError::Injected)
+    );
+    // The plan is exhausted; the session serves normally afterwards.
+    session.add(Edge::new(0, 4, 1.0)).unwrap();
+    session.flush().unwrap();
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.stats.mutations_applied, 1);
+    assert!(outcome.engine.graph().has_edge(0, 4));
+}
+
+/// A truncated checkpoint round-trip sanity check that does not touch the
+/// injector: cutting the serialized container anywhere must never parse.
+#[test]
+fn every_prefix_of_a_session_file_is_rejected() {
+    let e = engine();
+    let full = session_file_bytes(&e, 9, &F64Codec, &F64Codec);
+    for cut in [0, 3, 13, full.len() / 2, full.len() - 1] {
+        let torn = Bytes::from(full[..cut].to_vec());
+        assert!(
+            parse_session_file(torn).is_err(),
+            "prefix of {cut} bytes must not parse"
+        );
+    }
+}

@@ -87,12 +87,32 @@ impl MutationBatch {
         dst: VertexId,
         new_weight: f64,
     ) -> &mut Self {
+        self.try_reweight(g, src, dst, new_weight)
+            .unwrap_or_else(|e| panic!("cannot reweight absent edge: {e}"))
+    }
+
+    /// Fallible [`MutationBatch::reweight`]: reports the absent edge as a
+    /// [`MutationError::MissingDeletion`] instead of panicking, for
+    /// callers fed by untrusted mutation streams.
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError::MissingDeletion`] when `(src, dst)` is not in `g`.
+    pub fn try_reweight(
+        &mut self,
+        g: &GraphSnapshot,
+        src: VertexId,
+        dst: VertexId,
+        new_weight: f64,
+    ) -> Result<&mut Self, MutationError> {
         let old = g
             .edge_weight(src, dst)
-            .unwrap_or_else(|| panic!("cannot reweight absent edge ({src}, {dst})"));
+            .ok_or(MutationError::MissingDeletion(Edge::new(
+                src, dst, new_weight,
+            )))?;
         self.delete(Edge::new(src, dst, old));
         self.add(Edge::new(src, dst, new_weight));
-        self
+        Ok(self)
     }
 
     /// Queues deletion of every edge incident to `v` in `g`, which models
@@ -255,6 +275,19 @@ mod tests {
         let g2 = g.apply(&b).unwrap();
         assert_eq!(g2.edge_weight(0, 1), Some(2.5));
         assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn try_reweight_reports_absent_edge_instead_of_panicking() {
+        let g = line();
+        let mut b = MutationBatch::new();
+        assert!(matches!(
+            b.try_reweight(&g, 2, 0, 3.0),
+            Err(MutationError::MissingDeletion(_))
+        ));
+        assert!(b.is_empty(), "failed reweight must not half-queue");
+        b.try_reweight(&g, 0, 1, 2.5).unwrap();
+        assert!(b.validate(&g).is_ok());
     }
 
     #[test]

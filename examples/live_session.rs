@@ -63,9 +63,13 @@ fn main() {
                     // otherwise. (Conflicting events are dropped by the
                     // session's normalization, like any real event log.)
                     if rng.gen_bool(0.2) && graph.has_edge(u, v) {
-                        session.delete(Edge::new(u, v, graph.edge_weight(u, v).unwrap()));
+                        session
+                            .delete(Edge::new(u, v, graph.edge_weight(u, v).unwrap()))
+                            .expect("session alive");
                     } else {
-                        session.add(Edge::new(u, v, rng.gen_range(0.1..1.0)));
+                        session
+                            .add(Edge::new(u, v, rng.gen_range(0.1..1.0)))
+                            .expect("session alive");
                     }
                 }
             })
@@ -78,7 +82,7 @@ fn main() {
         std::thread::spawn(move || {
             for round in 1..=5 {
                 std::thread::sleep(std::time::Duration::from_millis(25));
-                let values = session.query();
+                let values = session.query().expect("session alive");
                 println!(
                     "monitor query {round}: top accounts {:?}",
                     top_k(&values, 5)
@@ -93,7 +97,8 @@ fn main() {
     monitor.join().expect("monitor finished");
 
     let session = Arc::into_inner(session).expect("all handles joined");
-    let (engine, stats) = session.finish();
+    let outcome = session.finish().expect("session worker joined");
+    let (engine, stats) = (outcome.engine, outcome.stats);
     println!(
         "session: {} mutations applied in {} coalesced batches ({} conflicting events dropped)",
         stats.mutations_applied, stats.batches, stats.mutations_dropped

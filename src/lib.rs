@@ -50,7 +50,8 @@ pub mod prelude {
         PageRank, ShortestPaths, ShortestPathsMultiset, TriangleCounter,
     };
     pub use graphbolt_core::{
-        Algorithm, EngineOptions, ExecutionMode, StreamSession, StreamingEngine,
+        Algorithm, DegradeLevel, EngineOptions, ExecutionMode, SessionConfig, SessionError,
+        SessionOutcome, StreamSession, StreamingEngine,
     };
     pub use graphbolt_graph::{
         Edge, GraphBuilder, GraphSnapshot, MutationBatch, MutationStream, StreamConfig, VertexId,

@@ -1,0 +1,163 @@
+//! Degradation-invariance properties: every rung of the memory-budget
+//! degradation ladder (tighter pruning, dropped store with per-batch
+//! recompute) must serve values identical to dependency-driven
+//! refinement — and all of them identical to a from-scratch run — across
+//! random R-MAT mutation streams.
+
+use graphbolt::algorithms::{PageRank, ShortestPaths};
+use graphbolt::core::{run_bsp, DegradeLevel, EngineOptions, EngineStats, ExecutionMode};
+use graphbolt::graph::generators::{rmat, RmatConfig};
+use graphbolt::prelude::*;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::SeedableRng;
+
+const ITERS: usize = 8;
+
+/// R-MAT graph plus a stream of batches sampled from it.
+fn rmat_stream(seed: u64, scale: u32, batches: usize) -> (GraphSnapshot, Vec<MutationBatch>) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let edges = rmat(&RmatConfig::new(scale, 4), &mut rng);
+    let cfg = StreamConfig {
+        deletion_fraction: 0.25,
+        ..StreamConfig::default()
+    };
+    let mut stream = MutationStream::new(edges, cfg);
+    let g0 = stream.initial_snapshot();
+    let mut g = g0.clone();
+    let mut out = Vec::new();
+    for _ in 0..batches {
+        let Some(batch) = stream.next_batch(&g, 20) else {
+            break;
+        };
+        g = g.apply(&batch).unwrap();
+        out.push(batch);
+    }
+    (g0, out)
+}
+
+/// Drives one engine per degradation level through the same stream and
+/// checks every level against the un-degraded engine and from-scratch.
+fn assert_degradation_invariant<A>(
+    g0: &GraphSnapshot,
+    batches: &[MutationBatch],
+    alg: A,
+    opts: EngineOptions,
+    tol: f64,
+) -> Result<(), TestCaseError>
+where
+    A: graphbolt::core::Algorithm + Clone,
+    A::Value: Into<f64> + Copy,
+{
+    let mut normal = StreamingEngine::new(g0.clone(), alg.clone(), opts);
+    normal.run_initial();
+    let mut pruned = StreamingEngine::new(g0.clone(), alg.clone(), opts);
+    pruned.run_initial();
+    pruned.force_degrade(DegradeLevel::PrunedStore);
+    let mut dropped = StreamingEngine::new(g0.clone(), alg.clone(), opts);
+    dropped.run_initial();
+    dropped.force_degrade(DegradeLevel::DroppedStore);
+    prop_assert_eq!(dropped.degrade_level(), DegradeLevel::DroppedStore);
+    prop_assert_eq!(dropped.stored_aggregations(), 0, "dropped store is empty");
+
+    for batch in batches {
+        normal.apply_batch(batch).unwrap();
+        pruned.apply_batch(batch).unwrap();
+        let report = dropped.apply_batch(batch).unwrap();
+        prop_assert!(report.degraded, "dropped-store path reports degraded");
+    }
+    let scratch = run_bsp(
+        &alg,
+        normal.graph(),
+        &opts,
+        ExecutionMode::Full,
+        &EngineStats::new(),
+    );
+    for v in 0..g0.num_vertices() {
+        let reference: f64 = scratch.vals[v].into();
+        for (name, engine) in [("normal", &normal), ("pruned", &pruned), ("dropped", &dropped)] {
+            let got: f64 = engine.values()[v].into();
+            prop_assert!(
+                (got.is_infinite() && reference.is_infinite() && got == reference)
+                    || (got - reference).abs() < tol,
+                "{} engine diverged at vertex {}: {} vs scratch {}",
+                name,
+                v,
+                got,
+                reference
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PageRank (decomposable Σ aggregation): all degradation levels
+    /// match from-scratch across an R-MAT stream.
+    #[test]
+    fn pagerank_degradation_levels_match_scratch(
+        seed in 0u64..1_000_000,
+        batches in 1usize..5,
+    ) {
+        let (g0, stream) = rmat_stream(seed, 6, batches);
+        if stream.is_empty() { return Ok(()); }
+        assert_degradation_invariant(
+            &g0,
+            &stream,
+            PageRank::with_tolerance(1e-12),
+            EngineOptions::with_iterations(ITERS),
+            1e-7,
+        )?;
+    }
+
+    /// Shortest paths (non-decomposable min aggregation, no retraction):
+    /// all degradation levels match from-scratch.
+    #[test]
+    fn sssp_degradation_levels_match_scratch(
+        seed in 0u64..1_000_000,
+        batches in 1usize..5,
+    ) {
+        let (g0, stream) = rmat_stream(seed, 6, batches);
+        if stream.is_empty() { return Ok(()); }
+        let source = (0..g0.num_vertices() as u32)
+            .max_by_key(|&v| g0.out_degree(v))
+            .unwrap();
+        assert_degradation_invariant(
+            &g0,
+            &stream,
+            ShortestPaths::new(source),
+            EngineOptions::with_iterations(ITERS),
+            1e-9,
+        )?;
+    }
+
+    /// The watchdog itself (budget so small the store must drop) serves
+    /// from-scratch-equal PageRank values.
+    #[test]
+    fn tiny_budget_engine_matches_scratch(
+        seed in 0u64..1_000_000,
+    ) {
+        let (g0, stream) = rmat_stream(seed, 5, 2);
+        if stream.is_empty() { return Ok(()); }
+        let opts = EngineOptions::with_iterations(ITERS).budget(1);
+        let alg = PageRank::with_tolerance(1e-12);
+        let mut engine = StreamingEngine::new(g0, alg.clone(), opts);
+        engine.run_initial();
+        prop_assert_eq!(engine.degrade_level(), DegradeLevel::DroppedStore);
+        for batch in &stream {
+            engine.apply_batch(batch).unwrap();
+        }
+        let scratch = run_bsp(
+            &alg,
+            engine.graph(),
+            &opts,
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (a, b) in engine.values().iter().zip(&scratch.vals) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -23,15 +23,16 @@ fn session_over_pruned_engine_with_growth() {
 
     let session = StreamSession::spawn(engine);
     // Interleave growth (new vertices 8, 9), rewiring, and a query.
-    session.add(Edge::new(3, 8, 1.0));
-    session.add(Edge::new(8, 9, 1.0));
-    let mid = session.query();
+    session.add(Edge::new(3, 8, 1.0)).unwrap();
+    session.add(Edge::new(8, 9, 1.0)).unwrap();
+    let mid = session.query().unwrap();
     assert_eq!(mid.len(), 10, "query reflects grown vertex space");
-    session.add(Edge::new(9, 0, 1.0));
-    session.delete(Edge::new(7, 0, 1.0));
-    session.flush();
+    session.add(Edge::new(9, 0, 1.0)).unwrap();
+    session.delete(Edge::new(7, 0, 1.0)).unwrap();
+    session.flush().unwrap();
 
-    let (engine, stats) = session.finish();
+    let outcome = session.finish().unwrap();
+    let (engine, stats) = (outcome.engine, outcome.stats);
     assert!(stats.batches >= 2, "query forced an intermediate batch");
     assert_eq!(stats.mutations_applied, 4);
 
@@ -65,15 +66,16 @@ fn session_survives_rapid_alternation_on_pruned_engine() {
     let session = StreamSession::spawn(engine);
     for round in 0..12 {
         if round % 2 == 0 {
-            session.add(Edge::new(0, 3, 1.0));
+            session.add(Edge::new(0, 3, 1.0)).unwrap();
         } else {
-            session.delete(Edge::new(0, 3, 1.0));
+            session.delete(Edge::new(0, 3, 1.0)).unwrap();
         }
         // Force a batch boundary between alternations: a same-batch
         // add+delete of the same pair is reweight semantics, not a flip.
-        session.flush();
+        session.flush().unwrap();
     }
-    let (engine, stats) = session.finish();
+    let outcome = session.finish().unwrap();
+    let (engine, stats) = (outcome.engine, outcome.stats);
     assert_eq!(stats.mutations_applied, 12);
     let scratch = run_bsp(
         engine.algorithm(),

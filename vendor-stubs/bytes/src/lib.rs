@@ -107,6 +107,20 @@ impl BufMut for BytesMut {
     }
 }
 
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
 /// Immutable byte buffer with an internal read cursor (subset of
 /// `bytes::Bytes`; real `Bytes` is zero-copy shared, this owns a `Vec`).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -145,6 +159,22 @@ impl Bytes {
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         Bytes {
             data: self.as_ref_slice()[range].to_vec(),
+            cursor: 0,
+        }
+    }
+
+    /// Splits off and returns the first `at` unread bytes, leaving `self`
+    /// with the rest (real `Bytes::split_to` is zero-copy; this copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the unread length.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to past end of buffer");
+        let head = self.as_ref_slice()[..at].to_vec();
+        self.cursor += at;
+        Bytes {
+            data: head,
             cursor: 0,
         }
     }

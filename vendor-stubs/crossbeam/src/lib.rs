@@ -32,6 +32,45 @@ pub mod channel {
         }
     }
 
+    /// Error for `try_send` on a full or disconnected channel; the value
+    /// is returned to the caller either way.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// The receiving side disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                Self::Full(v) | Self::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full queue (backpressure).
+        pub fn is_full(&self) -> bool {
+            matches!(self, Self::Full(_))
+        }
+
+        /// Whether the failure was a disconnected receiver.
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, Self::Disconnected(_))
+        }
+    }
+
+    // Like the real crate: Debug regardless of whether T is Debug.
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Full(_) => f.write_str("Full(..)"),
+                Self::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
     /// Error for `recv` on a closed empty channel.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
@@ -48,6 +87,21 @@ pub mod channel {
             match &self.0 {
                 Inner::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
                 Inner::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Non-blocking send: fails with `Full` instead of blocking when a
+        /// bounded channel is at capacity (unbounded channels never report
+        /// `Full`).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|e| TrySendError::Disconnected(e.0)),
+                Inner::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -97,6 +151,15 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.try_recv(), Ok(2));
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(tx.try_send(2).unwrap_err().is_full());
+        drop(rx);
+        assert!(tx.try_send(3).unwrap_err().is_disconnected());
     }
 
     #[test]

@@ -706,14 +706,30 @@ mod tests {
         assert!(report.contains("1 checkpoint(s) written, 0 failed"), "{report}");
         assert!(report.contains("1 mutations applied"), "{report}");
 
-        // Second run resumes from the checkpoint instead of recomputing.
+        // Second run resumes from the checkpoint instead of recomputing,
+        // applies a further batch, and must checkpoint it *after* seq 1 —
+        // a resumed session continues the on-disk sequence.
+        let mut batch2 = MutationBatch::new();
+        batch2.add(Edge::new(0, 3, 1.0));
+        let stream2_path = dir.join("s2.gbms");
+        io::write_batches(&stream2_path, &[batch2]).unwrap();
         let opts = Options {
             resume: true,
-            stream: None,
+            stream: Some(stream2_path.to_string_lossy().into_owned()),
             ..opts
         };
         let report = run(&opts).unwrap();
         assert!(report.contains("resumed from checkpoint 1"), "{report}");
+        assert!(report.contains("1 checkpoint(s) written, 0 failed"), "{report}");
+
+        // Third run recovers the *resumed* run's checkpoint, not the
+        // stale pre-resume one.
+        let opts = Options {
+            stream: None,
+            ..opts
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("resumed from checkpoint 2"), "{report}");
         let _ = std::fs::remove_dir_all(&ck_dir);
     }
 

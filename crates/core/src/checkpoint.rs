@@ -454,16 +454,37 @@ pub fn parse_session_file(
     Ok((seq, GraphSnapshot::from_edges(n, &edges), ck))
 }
 
-/// Deletes all but the newest `keep` checkpoints in `dir`. Removal
+/// Highest checkpoint sequence number present in `dir`, or `None` when
+/// the directory is missing or holds no checkpoint. Session workers seed
+/// their counter from this so new checkpoints always sort after existing
+/// ones.
+pub fn latest_checkpoint_seq(dir: &std::path::Path) -> Option<u64> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| parse_checkpoint_seq(&e.file_name().to_string_lossy()))
+        .max()
+}
+
+/// Deletes all but the newest `keep` checkpoints in `dir`, along with any
+/// orphaned `.tmp-*` file a crash left between write and rename. Removal
 /// failures are ignored — stale checkpoints are garbage, not state.
 pub fn prune_session_checkpoints(dir: &std::path::Path, keep: usize) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
-    let mut seqs: Vec<u64> = entries
-        .filter_map(|e| e.ok())
-        .filter_map(|e| parse_checkpoint_seq(&e.file_name().to_string_lossy()))
-        .collect();
+    let mut seqs: Vec<u64> = Vec::new();
+    for entry in entries.filter_map(|e| e.ok()) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(seq) = parse_checkpoint_seq(&name) {
+            seqs.push(seq);
+        } else if name.starts_with(".tmp-") && name.ends_with(FILE_SUFFIX) {
+            // A crash between fs::write and fs::rename orphans the temp
+            // file; the caller only prunes between writes, so any temp
+            // file seen here is dead.
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
     seqs.sort_unstable_by(|a, b| b.cmp(a));
     for seq in seqs.into_iter().skip(keep) {
         let _ = std::fs::remove_file(dir.join(checkpoint_file_name(seq)));
@@ -763,6 +784,60 @@ mod tests {
         left.sort_unstable();
         assert_eq!(left, vec![3, 4]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruning_removes_orphaned_temp_files() {
+        let dir = tmpdir("orphan-tmp");
+        let original = engine();
+        write_session_checkpoint(&dir, &original, 1, &F64Codec, &F64Codec).unwrap();
+        // Simulate a crash between fs::write and fs::rename.
+        let orphan = dir.join(format!(".tmp-{}", checkpoint_file_name(2)));
+        std::fs::write(&orphan, b"partial").unwrap();
+        prune_session_checkpoints(&dir, 2);
+        assert!(!orphan.exists(), "orphaned temp file must be cleaned up");
+        assert!(dir.join(checkpoint_file_name(1)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_checkpoint_seq_scans_the_directory() {
+        let dir = tmpdir("latest-seq");
+        assert_eq!(latest_checkpoint_seq(&dir), None);
+        let original = engine();
+        for seq in [2, 7, 4] {
+            write_session_checkpoint(&dir, &original, seq, &F64Codec, &F64Codec).unwrap();
+        }
+        assert_eq!(latest_checkpoint_seq(&dir), Some(7));
+        assert_eq!(latest_checkpoint_seq(&dir.join("missing")), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_enforces_memory_budget() {
+        use crate::streaming::DegradeLevel;
+        let original = engine();
+        let ck = Checkpoint::capture(&original, &F64Codec, &F64Codec);
+        let mut opts = *original.options();
+        opts.memory_budget = Some(1); // any non-empty store exceeds this
+        let restored = ck
+            .restore(
+                original.graph().clone(),
+                TestRank,
+                opts,
+                &F64Codec,
+                &F64Codec,
+            )
+            .unwrap();
+        assert_ne!(
+            restored.degrade_level(),
+            DegradeLevel::None,
+            "over-budget restored store must degrade before serving"
+        );
+        // Degradation preserves the BSP guarantee.
+        for (a, b) in restored.values().iter().zip(original.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 
     #[test]

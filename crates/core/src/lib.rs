@@ -35,8 +35,8 @@ pub mod streaming;
 pub use algorithm::{agg_total_bytes, Algorithm};
 pub use bsp::{run_bsp, run_bsp_from, run_tracking, BspState, TrackingOutcome};
 pub use checkpoint::{
-    recover_session, write_session_checkpoint, Checkpoint, CheckpointError, F64Codec,
-    RecoveredSession, StateCodec, VecF64Codec,
+    latest_checkpoint_seq, recover_session, write_session_checkpoint, Checkpoint, CheckpointError,
+    F64Codec, RecoveredSession, StateCodec, VecF64Codec,
 };
 pub use fault::FaultAction;
 pub use options::{EngineOptions, ExecutionMode};

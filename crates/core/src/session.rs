@@ -146,6 +146,9 @@ pub struct CheckpointPolicy<A: Algorithm> {
 impl<A: Algorithm> CheckpointPolicy<A> {
     /// Checkpoints into `dir` after every `every` batches, keeping the
     /// newest `keep` files (`every` and `keep` are clamped to at least 1).
+    /// Sequence numbers continue from the highest checkpoint already in
+    /// `dir`, so a session resumed from a recovered checkpoint never
+    /// numbers its new checkpoints below the ones it resumed from.
     pub fn new<CV, CG>(
         dir: impl Into<PathBuf>,
         every: usize,
@@ -205,12 +208,17 @@ pub fn retry_with_backoff<T>(
     attempts: usize,
     base_delay: Duration,
 ) -> Result<T, SessionError> {
+    let attempts = attempts.max(1);
     let mut last = SessionError::QueueFull;
-    for attempt in 0..attempts.max(1) {
+    for attempt in 0..attempts {
         match op() {
             Err(SessionError::QueueFull) => {
                 last = SessionError::QueueFull;
-                std::thread::sleep(base_delay * (1 << attempt.min(16)));
+                // No sleep on the give-up path: only back off when another
+                // attempt remains.
+                if attempt + 1 < attempts {
+                    std::thread::sleep(base_delay * (1 << attempt.min(16)));
+                }
             }
             other => return other,
         }
@@ -464,13 +472,22 @@ fn worker_loop<A: Algorithm>(
     rx: Receiver<Command<A::Value>>,
     config: SessionConfig<A>,
 ) -> SessionOutcome<A> {
+    // Continue the on-disk sequence: a session resumed into an existing
+    // checkpoint directory must number its checkpoints *after* whatever is
+    // already there, or pruning would keep the stale pre-resume files and
+    // delete the fresh ones (recovery picks the highest sequence).
+    let checkpoint_seq = config
+        .checkpoint
+        .as_ref()
+        .and_then(|policy| checkpoint::latest_checkpoint_seq(&policy.dir))
+        .unwrap_or(0);
     let mut ws = WorkerState {
         engine,
         stats: SessionStats::default(),
         dead_letters: Vec::new(),
         pending: MutationBatch::new(),
         batches_since_checkpoint: 0,
-        checkpoint_seq: 0,
+        checkpoint_seq,
     };
 
     let finish = |mut ws: WorkerState<A>, rx: &Receiver<Command<A::Value>>| {
@@ -745,6 +762,55 @@ mod tests {
             rec.engine.graph().num_edges(),
             outcome.engine.graph().num_edges()
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_session_continues_checkpoint_sequence() {
+        // Regression: a session resumed into an existing checkpoint
+        // directory used to restart numbering at 1, so pruning kept the
+        // stale pre-resume files and recovery silently lost everything
+        // the resumed run applied.
+        let dir = std::env::temp_dir().join("graphbolt-session-resume-seq");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = EngineOptions::with_iterations(8);
+        let config = || SessionConfig {
+            checkpoint: Some(CheckpointPolicy::new(&dir, 1, 1, F64Codec, F64Codec)),
+            ..SessionConfig::default()
+        };
+
+        let session = StreamSession::spawn_with(engine(), config());
+        session.add(Edge::new(0, 3, 1.0)).unwrap();
+        session.flush().unwrap();
+        session.add(Edge::new(1, 4, 1.0)).unwrap();
+        session.flush().unwrap();
+        session.finish().unwrap();
+        let first = checkpoint::recover_session(&dir, TestRank, opts, &F64Codec, &F64Codec)
+            .unwrap()
+            .expect("checkpoints on disk");
+
+        // Resume into the same directory, mutate, and recover again: the
+        // new checkpoint must outrank the one we resumed from.
+        let resumed = StreamSession::spawn_with(first.engine, config());
+        resumed.add(Edge::new(2, 0, 1.0)).unwrap();
+        resumed.flush().unwrap();
+        let outcome = resumed.finish().unwrap();
+        assert_eq!(outcome.stats.checkpoints_written, 1);
+
+        let second = checkpoint::recover_session(&dir, TestRank, opts, &F64Codec, &F64Codec)
+            .unwrap()
+            .expect("checkpoints on disk");
+        assert!(
+            second.seq > first.seq,
+            "resumed run wrote seq {} on top of recovered seq {}",
+            second.seq,
+            first.seq
+        );
+        assert!(
+            second.engine.graph().has_edge(2, 0),
+            "recovery must observe mutations applied after the resume"
+        );
+        assert_eq!(second.engine.values(), outcome.engine.values());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -361,6 +361,10 @@ impl<A: Algorithm> StreamingEngine<A> {
 
     /// Reassembles an engine from restored checkpoint state (see
     /// [`Checkpoint::restore`](crate::checkpoint::Checkpoint::restore)).
+    /// The memory-budget watchdog runs before the engine is handed back,
+    /// so a restored store that exceeds `opts.memory_budget` degrades
+    /// immediately instead of being served over-budget until the next
+    /// batch.
     pub fn from_checkpoint_state(
         graph: GraphSnapshot,
         alg: A,
@@ -370,7 +374,7 @@ impl<A: Algorithm> StreamingEngine<A> {
         changed_at_cutoff: Vec<bool>,
         store: DependencyStore<A::Agg>,
     ) -> Self {
-        Self {
+        let mut engine = Self {
             alg,
             graph: Arc::new(graph),
             opts,
@@ -382,7 +386,9 @@ impl<A: Algorithm> StreamingEngine<A> {
                 store,
             }),
             degrade: DegradeLevel::None,
-        }
+        };
+        engine.enforce_memory_budget();
+        engine
     }
 }
 

@@ -12,7 +12,6 @@
 //! edges/second per configuration) so successive PRs can track the
 //! trajectory without parsing criterion's output directory.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
@@ -61,7 +60,7 @@ fn make_frontier(n: usize, density: f64) -> VertexSubset {
 /// cannot be optimized away. The update function is deliberately cheap —
 /// the bench measures frontier machinery, not algorithm math.
 fn traverse(g: &GraphSnapshot, frontier: &VertexSubset, opts: EdgeMapOptions) -> u64 {
-    let work = AtomicU64::new(0);
+    let work = graphbolt_engine::parallel::WorkCounter::new();
     let next = edge_map(
         g,
         frontier,
@@ -70,7 +69,7 @@ fn traverse(g: &GraphSnapshot, frontier: &VertexSubset, opts: EdgeMapOptions) ->
         opts,
         &work,
     );
-    work.load(Ordering::Relaxed) + next.len() as u64
+    work.get() + next.len() as u64
 }
 
 fn benches(c: &mut Criterion) {

@@ -46,6 +46,12 @@ pub enum CheckpointError {
     /// Underlying filesystem failure (message form: `io::Error` is
     /// neither `Clone` nor `PartialEq`).
     Io(String),
+    /// Capture was requested before the engine ran its initial
+    /// execution — there is no state to persist yet.
+    NotInitialized,
+    /// The engine's in-memory state contradicted itself during capture
+    /// (e.g. a stored-prefix length pointing past the stored entries).
+    StateInconsistent(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -56,6 +62,12 @@ impl std::fmt::Display for CheckpointError {
             Self::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
             Self::Corrupted => write!(f, "checkpoint checksum mismatch"),
             Self::Io(m) => write!(f, "checkpoint i/o error: {m}"),
+            Self::NotInitialized => {
+                write!(f, "cannot checkpoint an engine before run_initial()")
+            }
+            Self::StateInconsistent(m) => {
+                write!(f, "engine state inconsistent during capture: {m}")
+            }
         }
     }
 }
@@ -144,7 +156,34 @@ impl Checkpoint {
         CV: StateCodec<A::Value>,
         CG: StateCodec<A::Agg>,
     {
-        let state = engine.checkpoint_state();
+        // lint:allow(service-no-panic) — documented `# Panics` API
+        // contract; service paths use `try_capture`.
+        Self::try_capture(engine, value_codec, agg_codec)
+            .expect("run_initial() must complete before capture()")
+    }
+
+    /// Fallible form of [`Checkpoint::capture`] — the form the session
+    /// checkpoint writer uses, so capture problems reach the caller as
+    /// typed errors instead of panicking a worker thread.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NotInitialized`] if the engine has not run its
+    /// initial execution; [`CheckpointError::StateInconsistent`] if the
+    /// dependency store contradicts its own prefix bookkeeping.
+    pub fn try_capture<A, CV, CG>(
+        engine: &StreamingEngine<A>,
+        value_codec: &CV,
+        agg_codec: &CG,
+    ) -> Result<Self, CheckpointError>
+    where
+        A: Algorithm,
+        CV: StateCodec<A::Value>,
+        CG: StateCodec<A::Agg>,
+    {
+        let state = engine
+            .try_checkpoint_state()
+            .map_err(|_| CheckpointError::NotInitialized)?;
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u16(VERSION);
@@ -167,7 +206,12 @@ impl Checkpoint {
             let len = state.store.stored_len(v);
             buf.put_u32(len as u32);
             for i in 1..=len {
-                agg_codec.write(state.store.get(v, i).expect("within prefix"), &mut buf);
+                let agg = state.store.get(v, i).ok_or_else(|| {
+                    CheckpointError::StateInconsistent(format!(
+                        "vertex {v}: stored_len {len} but no aggregation at iteration {i}"
+                    ))
+                })?;
+                agg_codec.write(agg, &mut buf);
             }
             match state.store.frozen_tail(v) {
                 None => buf.put_u8(0),
@@ -178,9 +222,9 @@ impl Checkpoint {
                 }
             }
         }
-        Self {
+        Ok(Self {
             bytes: buf.freeze(),
-        }
+        })
     }
 
     /// Restores an engine over `graph` (which must be the same snapshot
@@ -336,6 +380,11 @@ fn parse_checkpoint_seq(name: &str) -> Option<u64> {
 /// the [`Checkpoint`] payload — into one checksummed container:
 /// `GBSF | u16 version | u64 seq | u64 fnv1a(payload) | payload`, where
 /// `payload` is `u64 n | u64 graph-len | GBLT edges | u64 ck-len | ck`.
+///
+/// # Panics
+///
+/// Panics if the engine has not run its initial execution; fallible
+/// callers use [`try_session_file_bytes`].
 pub fn session_file_bytes<A, CV, CG>(
     engine: &StreamingEngine<A>,
     seq: u64,
@@ -347,8 +396,34 @@ where
     CV: StateCodec<A::Value>,
     CG: StateCodec<A::Agg>,
 {
+    // lint:allow(service-no-panic) — documented `# Panics` API contract;
+    // the session writer uses `try_session_file_bytes`.
+    try_session_file_bytes(engine, seq, value_codec, agg_codec)
+        .expect("run_initial() must complete before checkpointing")
+}
+
+/// Fallible form of [`session_file_bytes`], used by
+/// [`write_session_checkpoint`] so capture failures propagate as typed
+/// errors instead of panicking the session worker.
+///
+/// # Errors
+///
+/// Propagates [`Checkpoint::try_capture`] errors
+/// ([`CheckpointError::NotInitialized`],
+/// [`CheckpointError::StateInconsistent`]).
+pub fn try_session_file_bytes<A, CV, CG>(
+    engine: &StreamingEngine<A>,
+    seq: u64,
+    value_codec: &CV,
+    agg_codec: &CG,
+) -> Result<Bytes, CheckpointError>
+where
+    A: Algorithm,
+    CV: StateCodec<A::Value>,
+    CG: StateCodec<A::Agg>,
+{
     let graph_bytes = graphbolt_graph::io::to_binary(&engine.graph().edges());
-    let ck = Checkpoint::capture(engine, value_codec, agg_codec);
+    let ck = Checkpoint::try_capture(engine, value_codec, agg_codec)?;
     let mut payload = BytesMut::with_capacity(16 + graph_bytes.len() + ck.as_bytes().len());
     payload.put_u64(engine.graph().num_vertices() as u64);
     payload.put_u64(graph_bytes.len() as u64);
@@ -362,7 +437,7 @@ where
     buf.put_u64(seq);
     buf.put_u64(fnv1a(&payload));
     buf.put_slice(&payload);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Writes checkpoint `seq` of `engine` into `dir` atomically: the bytes
@@ -376,7 +451,9 @@ where
 ///
 /// # Errors
 ///
-/// Propagates filesystem failures as [`CheckpointError::Io`].
+/// Propagates filesystem failures as [`CheckpointError::Io`] and capture
+/// failures as [`CheckpointError::NotInitialized`] /
+/// [`CheckpointError::StateInconsistent`].
 pub fn write_session_checkpoint<A, CV, CG>(
     dir: &std::path::Path,
     engine: &StreamingEngine<A>,
@@ -389,7 +466,7 @@ where
     CV: StateCodec<A::Value>,
     CG: StateCodec<A::Agg>,
 {
-    let mut bytes = session_file_bytes(engine, seq, value_codec, agg_codec);
+    let mut bytes = try_session_file_bytes(engine, seq, value_codec, agg_codec)?;
     if let Some(keep) = crate::fault::fire_truncation("checkpoint::write") {
         bytes = bytes.slice(0..keep.min(bytes.len()));
     }
@@ -699,6 +776,33 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn capture_of_uninitialized_engine_is_a_typed_error() {
+        // Regression: `Checkpoint::capture` used to panic here; the
+        // service path now reports `NotInitialized` all the way up
+        // through `write_session_checkpoint` and leaves no file behind.
+        let g = GraphBuilder::new(2).add_edge(0, 1, 1.0).build();
+        let e = StreamingEngine::new(g, TestRank, EngineOptions::with_iterations(4));
+        assert_eq!(
+            Checkpoint::try_capture(&e, &F64Codec, &F64Codec).err(),
+            Some(CheckpointError::NotInitialized)
+        );
+        assert_eq!(
+            try_session_file_bytes(&e, 1, &F64Codec, &F64Codec).err(),
+            Some(CheckpointError::NotInitialized)
+        );
+        let dir = tmpdir("uninit");
+        assert_eq!(
+            write_session_checkpoint(&dir, &e, 1, &F64Codec, &F64Codec).err(),
+            Some(CheckpointError::NotInitialized)
+        );
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "failed capture must not leave files"
+        );
     }
 
     #[test]

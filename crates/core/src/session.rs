@@ -268,6 +268,9 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// Panics if the engine has not run its initial execution.
     pub fn spawn_with(engine: StreamingEngine<A>, config: SessionConfig<A>) -> Self {
+        // lint:allow(service-no-panic) — documented `# Panics` API
+        // contract: sessions only wrap initialized engines, so the
+        // worker loop never observes missing state.
         assert!(
             engine.is_initialized(),
             "run_initial() must complete before streaming"

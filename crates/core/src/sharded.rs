@@ -9,10 +9,21 @@
 
 use std::cell::UnsafeCell;
 
+// Under `loom-check` the shard locks become loom's model-checked mutex
+// so tests/loom_sharded.rs can exhaustively explore acquisition orders.
+#[cfg(feature = "loom-check")]
+use loom::sync::Mutex;
+#[cfg(not(feature = "loom-check"))]
 use parking_lot::Mutex;
 
 /// Number of shard locks; power of two so the modulo is a mask.
+#[cfg(not(feature = "loom-check"))]
 const SHARDS: usize = 1024;
+/// Tiny pool under loom: keeps exhaustive exploration tractable and
+/// makes distinct indices actually alias onto one shard lock, so the
+/// models also exercise the aliasing path.
+#[cfg(feature = "loom-check")]
+const SHARDS: usize = 2;
 
 /// A mutable slice whose elements can be updated concurrently, each
 /// access serialized by one of a fixed pool of shard locks.
@@ -27,6 +38,12 @@ pub struct ShardedMut<'a, T> {
 // different elements either use different locks or serialize on a shared
 // one. No reference escapes the closure.
 unsafe impl<T: Send> Sync for ShardedMut<'_, T> {}
+
+// SAFETY: the wrapper exclusively borrows the slice, so moving it to
+// another thread moves that exclusive borrow with it; `T: Send` makes the
+// elements themselves safe to access from the receiving thread. The raw
+// pointer is just the borrowed slice's base address.
+unsafe impl<T: Send> Send for ShardedMut<'_, T> {}
 
 impl<'a, T> ShardedMut<'a, T> {
     /// Wraps an exclusive slice. The wrapper holds the exclusive borrow,
@@ -71,7 +88,12 @@ mod tests {
     use super::*;
     use rayon::prelude::*;
 
+    // The rayon stress tests are skipped under miri (the global pool
+    // never shuts down, and 10k interpreted iterations take minutes);
+    // `scoped_threads_share_the_slice` below gives miri the same unsafe
+    // coverage at interpreter-friendly scale.
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn with_grants_exclusive_access() {
         let mut v = vec![0u64; 128];
         {
@@ -84,6 +106,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn contended_single_slot_is_consistent() {
         let mut v = vec![0u64];
         {
@@ -93,6 +116,24 @@ mod tests {
             });
         }
         assert_eq!(v[0], 5_000);
+    }
+
+    #[test]
+    fn scoped_threads_share_the_slice() {
+        let mut v = vec![0u64; 64];
+        {
+            let sharded = ShardedMut::new(&mut v);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        for i in 0..64 {
+                            sharded.with(i, |x| *x += 1);
+                        }
+                    });
+                }
+            });
+        }
+        assert!(v.iter().all(|&x| x == 2));
     }
 
     #[test]

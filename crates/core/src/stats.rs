@@ -5,10 +5,9 @@
 //! machine-independent measure of incremental savings. Every evaluation of
 //! a contribution, delta, or retraction counts as one edge computation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use graphbolt_engine::parallel::CachePadded;
+use graphbolt_engine::parallel::WorkCounter;
 
 /// Shared counters, safe to update from parallel workers.
 ///
@@ -19,11 +18,11 @@ use graphbolt_engine::parallel::CachePadded;
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Contribution / delta / retraction evaluations.
-    edge_computations: CachePadded<AtomicU64>,
+    edge_computations: WorkCounter,
     /// `∮` (vertex compute) evaluations.
-    vertex_computations: CachePadded<AtomicU64>,
+    vertex_computations: WorkCounter,
     /// BSP iterations executed (initial + refinement + hybrid).
-    iterations: CachePadded<AtomicU64>,
+    iterations: WorkCounter,
 }
 
 impl EngineStats {
@@ -35,41 +34,41 @@ impl EngineStats {
     /// Adds `n` edge computations.
     #[inline]
     pub fn add_edge_computations(&self, n: u64) {
-        self.edge_computations.0.fetch_add(n, Ordering::Relaxed);
+        self.edge_computations.add(n);
     }
 
     /// Adds `n` vertex computations.
     #[inline]
     pub fn add_vertex_computations(&self, n: u64) {
-        self.vertex_computations.0.fetch_add(n, Ordering::Relaxed);
+        self.vertex_computations.add(n);
     }
 
     /// Marks one completed iteration.
     #[inline]
     pub fn add_iteration(&self) {
-        self.iterations.0.fetch_add(1, Ordering::Relaxed);
+        self.iterations.add(1);
     }
 
     /// Total edge computations so far.
     pub fn edge_computations(&self) -> u64 {
-        self.edge_computations.0.load(Ordering::Relaxed)
+        self.edge_computations.get()
     }
 
     /// Total vertex computations so far.
     pub fn vertex_computations(&self) -> u64 {
-        self.vertex_computations.0.load(Ordering::Relaxed)
+        self.vertex_computations.get()
     }
 
     /// Total iterations so far.
     pub fn iterations(&self) -> u64 {
-        self.iterations.0.load(Ordering::Relaxed)
+        self.iterations.get()
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.edge_computations.0.store(0, Ordering::Relaxed);
-        self.vertex_computations.0.store(0, Ordering::Relaxed);
-        self.iterations.0.store(0, Ordering::Relaxed);
+        self.edge_computations.set(0);
+        self.vertex_computations.set(0);
+        self.iterations.set(0);
     }
 
     /// Snapshot of the counters as plain integers.

@@ -12,6 +12,25 @@ use crate::refine::{refine, RefineState};
 use crate::stats::{EngineStats, RefineReport};
 use crate::store::DependencyStore;
 
+/// Error returned by the `try_*` accessors when
+/// [`StreamingEngine::run_initial`] has not completed.
+///
+/// The panicking accessors ([`StreamingEngine::values`] and friends) are
+/// convenience wrappers for callers that construct and initialize an
+/// engine in one place (tests, the CLI); long-lived service code —
+/// sessions and checkpointing — uses the `try_*` forms and propagates
+/// this as a typed error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotInitialized;
+
+impl std::fmt::Display for NotInitialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run_initial() has not completed on this engine")
+    }
+}
+
+impl std::error::Error for NotInitialized {}
+
 /// How far the memory-budget watchdog has degraded the engine.
 ///
 /// The ladder trades incremental speed for memory, never correctness:
@@ -242,11 +261,23 @@ impl<A: Algorithm> StreamingEngine<A> {
     ///
     /// Panics if [`StreamingEngine::run_initial`] has not run.
     pub fn values(&self) -> &[A::Value] {
-        &self
-            .state
-            .as_ref()
+        // lint:allow(service-no-panic) — documented `# Panics` API
+        // contract; fallible callers use `try_values`.
+        self.try_values()
             .expect("run_initial() must be called before values()")
-            .vals
+    }
+
+    /// Fallible form of [`StreamingEngine::values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotInitialized`] if [`StreamingEngine::run_initial`]
+    /// has not run.
+    pub fn try_values(&self) -> Result<&[A::Value], NotInitialized> {
+        self.state
+            .as_ref()
+            .map(|s| s.vals.as_slice())
+            .ok_or(NotInitialized)
     }
 
     /// Applies a mutation batch to the graph and incrementally refines the
@@ -261,6 +292,10 @@ impl<A: Algorithm> StreamingEngine<A> {
     ///
     /// Panics if [`StreamingEngine::run_initial`] has not run.
     pub fn apply_batch(&mut self, batch: &MutationBatch) -> Result<RefineReport, MutationError> {
+        // lint:allow(service-no-panic) — documented `# Panics` API
+        // contract: mutating before run_initial() is a caller bug, not a
+        // runtime fault; the session layer only constructs sessions
+        // around initialized engines.
         assert!(
             self.state.is_some(),
             "run_initial() must be called before apply_batch()"
@@ -268,7 +303,11 @@ impl<A: Algorithm> StreamingEngine<A> {
         if self.degrade == DegradeLevel::DroppedStore {
             return self.apply_batch_recompute(batch);
         }
-        let state = self.state.as_mut().expect("checked above");
+        let Some(state) = self.state.as_mut() else {
+            // lint:allow(service-no-panic) — unreachable: presence was
+            // asserted above and nothing in between clears `state`.
+            unreachable!("state checked above")
+        };
         let start = Instant::now();
         let new_graph = self.graph.apply_arc(batch)?;
         let structure_duration = start.elapsed();
@@ -337,7 +376,20 @@ impl<A: Algorithm> StreamingEngine<A> {
     ///
     /// Panics if [`StreamingEngine::run_initial`] has not run.
     pub fn store(&self) -> &DependencyStore<A::Agg> {
-        &self.state.as_ref().expect("not initialized").store
+        // lint:allow(service-no-panic) — documented `# Panics` API
+        // contract; fallible callers use `try_store`.
+        self.try_store()
+            .expect("run_initial() must be called before store()")
+    }
+
+    /// Fallible form of [`StreamingEngine::store`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotInitialized`] if [`StreamingEngine::run_initial`]
+    /// has not run.
+    pub fn try_store(&self) -> Result<&DependencyStore<A::Agg>, NotInitialized> {
+        self.state.as_ref().map(|s| &s.store).ok_or(NotInitialized)
     }
 
     /// Borrowed view of the complete incremental state, for
@@ -347,16 +399,31 @@ impl<A: Algorithm> StreamingEngine<A> {
     ///
     /// Panics if [`StreamingEngine::run_initial`] has not run.
     pub fn checkpoint_state(&self) -> CheckpointState<'_, A> {
-        let s = self
-            .state
-            .as_ref()
-            .expect("run_initial() must complete before checkpointing");
-        CheckpointState {
+        // lint:allow(service-no-panic) — documented `# Panics` API
+        // contract; fallible callers use `try_checkpoint_state`.
+        self.try_checkpoint_state()
+            .expect("run_initial() must complete before checkpointing")
+    }
+
+    /// Fallible form of [`StreamingEngine::checkpoint_state`]; the form
+    /// the checkpoint writer itself uses, so an uninitialized engine
+    /// surfaces as a typed [`CheckpointError`] instead of killing a
+    /// session worker.
+    ///
+    /// [`CheckpointError`]: crate::checkpoint::CheckpointError
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotInitialized`] if [`StreamingEngine::run_initial`]
+    /// has not run.
+    pub fn try_checkpoint_state(&self) -> Result<CheckpointState<'_, A>, NotInitialized> {
+        let s = self.state.as_ref().ok_or(NotInitialized)?;
+        Ok(CheckpointState {
             vals: &s.vals,
             vals_at_cutoff: &s.vals_at_cutoff,
             changed_at_cutoff: &s.changed_at_cutoff,
             store: &s.store,
-        }
+        })
     }
 
     /// Reassembles an engine from restored checkpoint state (see
@@ -474,6 +541,28 @@ mod tests {
             .add_edge(4, 5, 1.0)
             .add_edge(5, 3, 1.0)
             .build()
+    }
+
+    #[test]
+    fn try_accessors_error_before_run_initial() {
+        // Regression: the panicking accessors' fallible forms surface a
+        // typed error on an uninitialized engine instead of aborting a
+        // service worker.
+        let e = StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(4));
+        assert!(!e.is_initialized());
+        assert_eq!(e.try_values(), Err(NotInitialized));
+        assert_eq!(e.try_store().err(), Some(NotInitialized));
+        assert!(e.try_checkpoint_state().is_err());
+    }
+
+    #[test]
+    fn try_accessors_succeed_after_run_initial() {
+        let mut e =
+            StreamingEngine::new(base_graph(), TestRank, EngineOptions::with_iterations(4));
+        e.run_initial();
+        assert_eq!(e.try_values().map(<[f64]>::len), Ok(6));
+        assert!(e.try_store().is_ok());
+        assert!(e.try_checkpoint_state().is_ok());
     }
 
     fn assert_matches_scratch<Alg: Algorithm<Value = f64>>(

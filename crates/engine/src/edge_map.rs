@@ -1,7 +1,5 @@
 //! Direction-optimizing `edge_map`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use graphbolt_graph::{GraphSnapshot, VertexId, Weight};
 
 use crate::bitset::AtomicBitSet;
@@ -70,7 +68,7 @@ pub fn edge_map<U, C>(
     update: U,
     cond: C,
     opts: EdgeMapOptions,
-    edge_work: &AtomicU64,
+    edge_work: &parallel::WorkCounter,
 ) -> VertexSubset
 where
     U: Fn(VertexId, VertexId, Weight) -> bool + Sync + Send,
@@ -114,7 +112,7 @@ fn edge_map_sparse<U, C>(
     frontier: &VertexSubset,
     update: U,
     cond: C,
-    edge_work: &AtomicU64,
+    edge_work: &parallel::WorkCounter,
 ) -> VertexSubset
 where
     U: Fn(VertexId, VertexId, Weight) -> bool + Sync + Send,
@@ -179,7 +177,7 @@ where
         }
         work.add(c, local);
     });
-    edge_work.fetch_add(work.sum(), Ordering::Relaxed);
+    edge_work.add(work.sum());
     VertexSubset::from_bits(next).into_sparse()
 }
 
@@ -188,7 +186,7 @@ fn edge_map_dense<U, C>(
     frontier: &VertexSubset,
     update: U,
     cond: C,
-    edge_work: &AtomicU64,
+    edge_work: &parallel::WorkCounter,
 ) -> VertexSubset
 where
     U: Fn(VertexId, VertexId, Weight) -> bool + Sync + Send,
@@ -226,15 +224,16 @@ where
         }
         work.add(c, local);
     });
-    edge_work.fetch_add(work.sum(), Ordering::Relaxed);
+    edge_work.add(work.sum());
     VertexSubset::from_bits(next)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::WorkCounter;
     use graphbolt_graph::GraphBuilder;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn chain(n: usize) -> GraphSnapshot {
         let mut b = GraphBuilder::new(n);
@@ -249,7 +248,7 @@ mod tests {
         let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
         level[0].store(0, Ordering::Relaxed);
         let mut frontier = VertexSubset::from_ids(n, vec![0]);
-        let work = AtomicU64::new(0);
+        let work = WorkCounter::new();
         let mut depth = 0u32;
         while !frontier.is_empty() {
             depth += 1;
@@ -292,7 +291,7 @@ mod tests {
     #[test]
     fn edge_work_counts_update_calls() {
         let g = chain(10);
-        let work = AtomicU64::new(0);
+        let work = WorkCounter::new();
         let frontier = VertexSubset::full(10);
         edge_map(
             &g,
@@ -302,7 +301,7 @@ mod tests {
             EdgeMapOptions::dense(),
             &work,
         );
-        assert_eq!(work.load(Ordering::Relaxed), 9);
+        assert_eq!(work.get(), 9);
     }
 
     #[test]
@@ -311,7 +310,7 @@ mod tests {
             .add_edge(0, 1, 1.0)
             .add_edge(0, 2, 1.0)
             .build();
-        let work = AtomicU64::new(0);
+        let work = WorkCounter::new();
         let frontier = VertexSubset::from_ids(3, vec![0]);
         let next = edge_map(
             &g,
@@ -322,13 +321,13 @@ mod tests {
             &work,
         );
         assert_eq!(next.to_ids(), vec![2]);
-        assert_eq!(work.load(Ordering::Relaxed), 1);
+        assert_eq!(work.get(), 1);
     }
 
     #[test]
     fn empty_frontier_short_circuits() {
         let g = chain(5);
-        let work = AtomicU64::new(0);
+        let work = WorkCounter::new();
         let next = edge_map(
             &g,
             &VertexSubset::empty(5),
@@ -338,7 +337,7 @@ mod tests {
             &work,
         );
         assert!(next.is_empty());
-        assert_eq!(work.load(Ordering::Relaxed), 0);
+        assert_eq!(work.get(), 0);
     }
 
     proptest::proptest! {
@@ -367,7 +366,7 @@ mod tests {
             let blocked: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.2)).collect();
 
             let run = |opts: EdgeMapOptions| -> (Vec<VertexId>, u64) {
-                let work = AtomicU64::new(0);
+                let work = WorkCounter::new();
                 let next = edge_map(
                     &g,
                     &frontier,
@@ -377,7 +376,7 @@ mod tests {
                     &work,
                 )
                 .to_ids();
-                (next, work.load(Ordering::Relaxed))
+                (next, work.get())
             };
             let (pushed, push_work) = run(EdgeMapOptions::sparse());
             let (pulled, pull_work) = run(EdgeMapOptions::dense());
@@ -442,9 +441,9 @@ mod tests {
         // 300 has no out-edges: its offset duplicates its successor's.
         let frontier = VertexSubset::from_ids(n, vec![0, 100, 200, 300]);
         let run = |opts: EdgeMapOptions| -> (Vec<VertexId>, u64) {
-            let work = AtomicU64::new(0);
+            let work = WorkCounter::new();
             let next = edge_map(&g, &frontier, |_u, _v, _w| true, |_| true, opts, &work);
-            (next.to_ids(), work.load(Ordering::Relaxed))
+            (next.to_ids(), work.get())
         };
         let (pushed, push_work) = run(EdgeMapOptions::sparse());
         let (pulled, pull_work) = run(EdgeMapOptions::dense());
@@ -467,7 +466,7 @@ mod tests {
             }
         }
         let g = b.build();
-        let work = AtomicU64::new(0);
+        let work = WorkCounter::new();
         let frontier = VertexSubset::full(20);
         let next = edge_map(
             &g,

@@ -6,6 +6,14 @@
 //! instead), and (b) the engine degrades gracefully to sequential
 //! execution for deterministic tests.
 
+// Under `loom-check` the counters' atomics become loom's model-checked
+// versions so tests/loom_models.rs can exhaustively explore publication
+// interleavings.
+#[cfg(feature = "loom-check")]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "loom-check"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rayon::prelude::*;
 
 /// Returns the number of worker threads rayon will use by default.
@@ -171,7 +179,7 @@ const COUNTER_STRIPES: usize = 64;
 /// count and interleaving).
 #[derive(Debug)]
 pub struct StripedCounter {
-    stripes: Box<[CachePadded<std::sync::atomic::AtomicU64>]>,
+    stripes: Box<[CachePadded<AtomicU64>]>,
 }
 
 impl Default for StripedCounter {
@@ -195,7 +203,7 @@ impl StripedCounter {
         if delta != 0 {
             self.stripes[hint & (COUNTER_STRIPES - 1)]
                 .0
-                .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(delta, Ordering::Relaxed);
         }
     }
 
@@ -203,8 +211,47 @@ impl StripedCounter {
     pub fn sum(&self) -> u64 {
         self.stripes
             .iter()
-            .map(|s| s.0.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|s| s.0.load(Ordering::Relaxed))
             .sum()
+    }
+}
+
+/// A single cache-line-padded monotonic counter.
+///
+/// The sanctioned shared-counter primitive for code outside this module:
+/// `edge_map` publishes per-call edge work through one, and
+/// `EngineStats` aggregates over them, so no other module needs to touch
+/// raw `std::sync::atomic` types (the `cargo xtask lint`
+/// `unsafe-confined` rule enforces exactly that). Totals are exact:
+/// integer adds commute, so the value is independent of thread count and
+/// interleaving.
+#[derive(Debug, Default)]
+pub struct WorkCounter(CachePadded<AtomicU64>);
+
+impl WorkCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta`. Zero deltas are skipped so idle paths cost nothing.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if delta != 0 {
+            self.0 .0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0 .0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (counter reset).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0 .0.store(value, Ordering::Relaxed);
     }
 }
 
@@ -213,7 +260,11 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    // Thousand-element stress tests are skipped under miri (interpreted
+    // thread spawns take minutes); the smaller tests below cover the
+    // same code paths at miri-friendly scale.
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn par_for_visits_every_index() {
         let hits = AtomicUsize::new(0);
         par_for(0..1000, |_| {
@@ -230,6 +281,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn par_sum_matches_sequential() {
         let s: usize = par_sum(0..1000usize, |i| i);
         assert_eq!(s, 499_500);
@@ -257,6 +309,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn par_for_chunks_covers_range_exactly_once() {
         let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
         par_for_chunks(1000, 64, |_, range| {
@@ -268,6 +321,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn par_prefix_sum_matches_sequential() {
         // Longer than one block so the parallel path actually splits.
         let src: Vec<usize> = (0..(SCAN_BLOCK * 3 + 17)).map(|i| i % 7).collect();
@@ -287,6 +341,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn striped_counter_sums_exactly() {
         let c = StripedCounter::new();
         par_for(0..10_000, |i| c.add(i, (i % 3) as u64));

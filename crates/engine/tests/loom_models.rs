@@ -1,0 +1,149 @@
+//! Exhaustive-interleaving models for the engine's lock-free primitives.
+//!
+//! Compiled only under `--features loom-check`, where `AtomicBitSet`,
+//! `StripedCounter`, and `WorkCounter` are built on loom's model-checked
+//! atomics: `loom::model` re-runs each closure once per distinct thread
+//! interleaving (every atomic access is a preemption point), so the
+//! assertions below hold for *every* schedule, not just the ones a lucky
+//! stress test happens to hit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p graphbolt-engine --features loom-check --test loom_models
+//! ```
+//!
+//! The vendored loom explores sequentially-consistent interleavings
+//! (see vendor-stubs/README.md for the documented deviations from
+//! upstream loom's C11 weak-memory simulation); the invariants modeled
+//! here — test-and-set uniqueness, no lost `fetch_or`/`fetch_add`
+//! updates, and value-before-bit publication — are exactly the ones the
+//! refinement engine's BSP iterations rely on.
+
+#![cfg(feature = "loom-check")]
+
+use graphbolt_engine::bitset::AtomicBitSet;
+use graphbolt_engine::parallel::{StripedCounter, WorkCounter};
+use loom::sync::Arc;
+use loom::thread;
+
+/// §4.2 frontier building: many edge-map workers race to claim a
+/// destination vertex via `set`; exactly one must win, under every
+/// interleaving, or a vertex would be processed twice (or never).
+#[test]
+fn bitset_test_and_set_has_exactly_one_winner() {
+    loom::model(|| {
+        let bits = Arc::new(AtomicBitSet::new(64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let bits = Arc::clone(&bits);
+                thread::spawn(move || bits.set(7))
+            })
+            .collect();
+        let wins: Vec<bool> = handles
+            .into_iter()
+            .map(|h| h.join().expect("model thread"))
+            .collect();
+        assert_eq!(
+            wins.iter().filter(|w| **w).count(),
+            1,
+            "exactly one claimant may win test-and-set"
+        );
+        assert!(bits.get(7));
+    });
+}
+
+/// Two workers setting different bits of the *same* word: the
+/// read-modify-write `fetch_or` must never lose either update (a plain
+/// load/store word update would, under the right interleaving).
+#[test]
+fn bitset_sets_to_one_word_are_never_lost() {
+    loom::model(|| {
+        let bits = Arc::new(AtomicBitSet::new(64));
+        let a = {
+            let bits = Arc::clone(&bits);
+            thread::spawn(move || bits.set(3))
+        };
+        let b = {
+            let bits = Arc::clone(&bits);
+            thread::spawn(move || bits.set(5))
+        };
+        a.join().expect("model thread");
+        b.join().expect("model thread");
+        assert_eq!(bits.word(0), (1 << 3) | (1 << 5));
+        assert_eq!(bits.count(), 2);
+    });
+}
+
+/// The publication ordering refinement depends on: a worker writes a
+/// vertex's result *then* marks it changed. A reader that observes the
+/// changed bit must also observe the value write; observing the bit
+/// without the value would make `refine` consume a stale aggregate.
+/// `AtomicBitSet::set`/`get` are a release/acquire pair precisely so
+/// this holds without waiting for the superstep barrier.
+#[test]
+fn changed_bit_publishes_after_value_write() {
+    loom::model(|| {
+        let value = Arc::new(WorkCounter::new());
+        let changed = Arc::new(AtomicBitSet::new(64));
+        let writer = {
+            let (value, changed) = (Arc::clone(&value), Arc::clone(&changed));
+            thread::spawn(move || {
+                value.set(42);
+                changed.set(0);
+            })
+        };
+        let reader = {
+            let (value, changed) = (Arc::clone(&value), Arc::clone(&changed));
+            thread::spawn(move || {
+                if changed.get(0) {
+                    assert_eq!(value.get(), 42, "changed bit visible before its value");
+                }
+            })
+        };
+        writer.join().expect("model thread");
+        reader.join().expect("model thread");
+    });
+}
+
+/// Striped counters: concurrent `add`s on aliasing and non-aliasing
+/// stripes fold to an exact total under every interleaving (integer
+/// adds commute; `fetch_add` never loses an update).
+#[test]
+fn striped_counter_totals_are_exact() {
+    loom::model(|| {
+        let counter = Arc::new(StripedCounter::new());
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.add(t, 1);
+                    counter.add(t + 1, 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        assert_eq!(counter.sum(), 6);
+    });
+}
+
+/// WorkCounter (the single-stripe publication counter used by
+/// `edge_map`): concurrent per-chunk publications never lose a delta.
+#[test]
+fn work_counter_publications_are_never_lost() {
+    loom::model(|| {
+        let counter = Arc::new(WorkCounter::new());
+        let handles: Vec<_> = (1..=2)
+            .map(|t| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || counter.add(t))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        assert_eq!(counter.get(), 3);
+    });
+}

@@ -45,6 +45,10 @@ done
 # layers the same crates as *path* sources so edits under vendor-stubs/
 # are picked up without a cargo clean (directory sources are treated as
 # immutable).
+# \`cargo xtask lint\` and friends — see DESIGN.md §9 "Correctness tooling".
+[alias]
+xtask = "run --quiet --package xtask --"
+
 [source.crates-io]
 replace-with = "stub-registry"
 

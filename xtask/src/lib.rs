@@ -1,0 +1,24 @@
+//! `xtask` — workspace automation for GraphBolt.
+//!
+//! The one task so far is `cargo xtask lint`: a dependency-free static
+//! analysis pass enforcing the repo's correctness invariants (see
+//! DESIGN.md §9 "Correctness tooling"):
+//!
+//! 1. `safety-comment` — every `unsafe` carries a `// SAFETY:` comment;
+//! 2. `unsafe-confined` — `unsafe`, raw atomics, and thread spawning
+//!    only in sanctioned modules;
+//! 3. `service-no-panic` — no `unwrap`/`expect`/`panic!`-family in the
+//!    session / streaming / checkpoint service layer;
+//! 4. `float-accum` — no floating-point accumulation outside Aggregator
+//!    ⊕/⊎ (`combine`/`retract`) implementations.
+//!
+//! Library layout: [`scanner`] lexes Rust source into an
+//! analysis-friendly token stream, [`rules`] implements the four
+//! invariants over it, and [`lint`] walks the workspace and renders
+//! findings. The binary in `main.rs` is a thin CLI over [`lint`].
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod rules;
+pub mod scanner;

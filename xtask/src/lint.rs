@@ -1,0 +1,201 @@
+//! Lint driver: workspace file discovery, per-file scanning, and
+//! finding rendering (human text and machine-readable JSON).
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{run_rules, FileCtx, Finding, RuleId};
+use crate::scanner::scan;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".cargo",
+    "vendor-stubs",
+    // Fixture files contain deliberate violations for the lint's own
+    // tests; they are linted explicitly by those tests, never by the
+    // workspace walk.
+    "fixtures",
+];
+
+/// Recursively collects every `.rs` file under `root`, sorted for
+/// deterministic output, skipping [`SKIP_DIRS`].
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// True for paths under `tests/`, `benches/`, or `examples/` — exempt
+/// from the confinement and service rules.
+fn in_test_tree(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Lints one source text as if it lived at workspace-relative `path`.
+/// This is the entry point the fixture tests use: the simulated path
+/// controls which sanctioned-module tables apply.
+pub fn lint_source(path: &str, src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Finding> {
+    let scanned = scan(src);
+    let ctx = FileCtx {
+        path,
+        in_test_tree: in_test_tree(path),
+    };
+    let mut findings = Vec::new();
+    run_rules(&ctx, &scanned, enabled, &mut findings);
+    // One finding per (rule, line): e.g. `use ...::{AtomicU64, AtomicUsize}`
+    // is one violation, not two.
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    findings
+}
+
+/// Lints the whole workspace rooted at `root` with all rules except
+/// `allow` enabled. Findings are ordered by file, then line.
+pub fn lint_workspace(root: &Path, allow: &BTreeSet<RuleId>) -> io::Result<Vec<Finding>> {
+    let enabled: BTreeSet<RuleId> = crate::rules::ALL_RULES
+        .into_iter()
+        .filter(|r| !allow.contains(r))
+        .collect();
+    let mut findings = Vec::new();
+    for file in collect_workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src, &enabled));
+    }
+    Ok(findings)
+}
+
+/// Renders findings for humans: one `file:line [rule] message` per line
+/// plus a summary.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{} [{}] {}\n",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.message
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("xtask lint: no violations\n");
+    } else {
+        out.push_str(&format!(
+            "xtask lint: {} violation{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array (machine-readable; stable key
+/// order). Hand-rolled to keep xtask dependency-free.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule.name(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ALL_RULES;
+
+    fn all_enabled() -> BTreeSet<RuleId> {
+        ALL_RULES.into_iter().collect()
+    }
+
+    #[test]
+    fn test_tree_paths_are_detected() {
+        assert!(in_test_tree("crates/core/tests/loom_sharded.rs"));
+        assert!(in_test_tree("crates/bench/benches/edge_map.rs"));
+        assert!(in_test_tree("crates/core/examples/live_session.rs"));
+        assert!(!in_test_tree("crates/core/src/session.rs"));
+    }
+
+    #[test]
+    fn dedup_collapses_same_rule_same_line() {
+        let src = "use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};\n";
+        let findings = lint_source("crates/graph/src/lib.rs", src, &all_enabled());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let f = Finding {
+            rule: RuleId::ServiceNoPanic,
+            file: "a.rs".into(),
+            line: 3,
+            message: "say \"no\"".into(),
+        };
+        let json = render_json(&[f]);
+        assert!(json.contains("say \\\"no\\\""), "{json}");
+    }
+
+    #[test]
+    fn empty_findings_render_clean() {
+        assert!(render_text(&[]).contains("no violations"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

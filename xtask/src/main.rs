@@ -1,0 +1,117 @@
+//! CLI for workspace automation: `cargo xtask lint [options]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lint::{lint_workspace, render_json, render_text};
+use xtask::rules::{RuleId, ALL_RULES};
+
+const USAGE: &str = "\
+usage: cargo xtask lint [options]
+
+options:
+  --allow <rule>       disable one rule (repeatable); see --list-rules
+  --format <text|json> output format (default: text)
+  --root <dir>         workspace root (default: auto-detected)
+  --list-rules         print rule names and descriptions, then exit
+  -h, --help           print this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        Some("-h") | Some("--help") | None => {
+            print!("{USAGE}");
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut allow: BTreeSet<RuleId> = BTreeSet::new();
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--allow" => match it.next().map(|v| (v, RuleId::from_name(v))) {
+                Some((_, Some(rule))) => {
+                    allow.insert(rule);
+                }
+                Some((v, None)) => {
+                    eprintln!("unknown rule `{v}`; see --list-rules");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--allow requires a rule name\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json")) => format = f.to_string(),
+                _ => {
+                    eprintln!("--format requires `text` or `json`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{:<18} {}", rule.name(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace directory containing this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    match lint_workspace(&root, &allow) {
+        Ok(findings) => {
+            if format == "json" {
+                print!("{}", render_json(&findings));
+            } else {
+                print!("{}", render_text(&findings));
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("xtask lint: io error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The four workspace invariants enforced by `cargo xtask lint`.
+//!
+//! Policy lives here as code: the sanctioned-module tables below are the
+//! single source of truth for where `unsafe`, raw atomics, and thread
+//! spawning may appear. DESIGN.md §9 documents the rationale for each
+//! entry; changing a table is a reviewable policy change, not a lint
+//! tweak.
+//!
+//! Escape hatches, from coarse to fine:
+//! - `--allow <rule>` disables a rule for one invocation;
+//! - an inline waiver comment `// lint:allow(<rule>) — reason` on the
+//!   offending line or within the six lines above (the same window the
+//!   SAFETY rule uses, so multi-line justifications fit) suppresses a
+//!   single finding (used for documented API-contract panics).
+
+use std::collections::BTreeSet;
+
+use crate::scanner::{Scanned, TokKind, Token};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Every `unsafe` must carry a nearby `// SAFETY:` comment.
+    SafetyComment,
+    /// `unsafe`, raw atomics, and thread spawning are confined to
+    /// sanctioned modules.
+    UnsafeConfined,
+    /// No `unwrap`/`expect`/`panic!`-family calls in the service layer.
+    ServiceNoPanic,
+    /// No floating-point accumulation outside Aggregator ⊕/⊎ impls.
+    FloatAccum,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [RuleId; 4] = [
+    RuleId::SafetyComment,
+    RuleId::UnsafeConfined,
+    RuleId::ServiceNoPanic,
+    RuleId::FloatAccum,
+];
+
+impl RuleId {
+    /// Stable kebab-case name used by `--allow` and machine output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::SafetyComment => "safety-comment",
+            RuleId::UnsafeConfined => "unsafe-confined",
+            RuleId::ServiceNoPanic => "service-no-panic",
+            RuleId::FloatAccum => "float-accum",
+        }
+    }
+
+    /// Parses a rule name; accepts `_` as an alias for `-`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        let norm = name.replace('_', "-");
+        ALL_RULES.into_iter().find(|r| r.name() == norm)
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::SafetyComment => "every `unsafe` carries a `// SAFETY:` comment",
+            RuleId::UnsafeConfined => {
+                "unsafe / raw atomics / thread spawning only in sanctioned modules"
+            }
+            RuleId::ServiceNoPanic => {
+                "no unwrap/expect/panic!-family in core::{session,streaming,checkpoint}"
+            }
+            RuleId::FloatAccum => {
+                "no floating-point accumulation outside Aggregator combine/retract"
+            }
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-file context handed to the rules.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+    /// True for files under `tests/`, `benches/`, or `examples/` —
+    /// exempt from the confinement and service rules (test harnesses may
+    /// spawn threads and unwrap), but not from `safety-comment`.
+    pub in_test_tree: bool,
+}
+
+/// Modules sanctioned to contain `unsafe` code.
+const UNSAFE_OK: &[&str] = &["crates/core/src/sharded.rs"];
+
+/// Modules sanctioned to use raw `std::sync::atomic` types directly.
+/// Everything else goes through `engine::parallel`'s counters.
+const ATOMICS_OK: &[&str] = &[
+    "crates/engine/src/parallel.rs",
+    "crates/engine/src/bitset.rs",
+    "crates/core/src/sharded.rs",
+];
+
+/// Modules sanctioned to touch `std::thread` directly. `engine::parallel`
+/// owns data parallelism (rayon); `core::session` owns its one service
+/// worker thread.
+const THREAD_OK: &[&str] = &[
+    "crates/engine/src/parallel.rs",
+    "crates/core/src/session.rs",
+];
+
+/// The service layer: modules where a panic kills a long-lived session
+/// or corrupts a checkpoint, so errors must be typed and propagated.
+const SERVICE_MODULES: &[&str] = &[
+    "crates/core/src/session.rs",
+    "crates/core/src/streaming.rs",
+    "crates/core/src/checkpoint.rs",
+];
+
+/// Function names sanctioned for float accumulation: the Aggregator
+/// trait's ⊕ (combine) and ⊎ (retract) implementations.
+const FLOAT_FNS_OK: &[&str] = &["combine", "retract"];
+
+/// Source trees the `float-accum` rule watches: the layers that carry
+/// vertex values. Benchmark statistics, graph generators, and the
+/// minidd oracle accumulate floats for non-vertex purposes and are out
+/// of scope by design.
+const FLOAT_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/engine/src/",
+    "crates/algorithms/src/",
+];
+
+/// Raw atomic type names whose appearance marks direct atomic usage.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool", "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64", "AtomicUsize", "AtomicI8",
+    "AtomicI16", "AtomicI32", "AtomicI64", "AtomicIsize", "AtomicPtr",
+];
+
+/// Panicking constructs disallowed in the service layer. `debug_assert*`
+/// is allowed (compiled out of release builds).
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn path_matches(path: &str, table: &[&str]) -> bool {
+    table.iter().any(|ok| path == *ok || path.ends_with(ok))
+}
+
+/// True if a `lint:allow(<rule>)` waiver comment covers `line` (same
+/// line or up to six lines above, so multi-line reasons fit).
+fn waived(scanned: &Scanned, line: usize, rule: RuleId) -> bool {
+    let marker = format!("lint:allow({})", rule.name());
+    scanned.comment_window_contains(line.saturating_sub(6), line, &marker)
+}
+
+fn emit(
+    out: &mut Vec<Finding>,
+    scanned: &Scanned,
+    ctx: &FileCtx,
+    rule: RuleId,
+    line: usize,
+    message: String,
+) {
+    if !waived(scanned, line, rule) {
+        out.push(Finding {
+            rule,
+            file: ctx.path.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// Runs every rule in `enabled` over one scanned file.
+pub fn run_rules(
+    ctx: &FileCtx,
+    scanned: &Scanned,
+    enabled: &BTreeSet<RuleId>,
+    out: &mut Vec<Finding>,
+) {
+    if enabled.contains(&RuleId::SafetyComment) {
+        safety_comment(ctx, scanned, out);
+    }
+    if enabled.contains(&RuleId::UnsafeConfined) {
+        unsafe_confined(ctx, scanned, out);
+    }
+    if enabled.contains(&RuleId::ServiceNoPanic) {
+        service_no_panic(ctx, scanned, out);
+    }
+    if enabled.contains(&RuleId::FloatAccum) {
+        float_accum(ctx, scanned, out);
+    }
+}
+
+/// Rule `safety-comment`: every `unsafe` token (block, fn, or impl) must
+/// have a comment containing `SAFETY:` on its line or within the six
+/// lines above. Applies everywhere, including tests — the obligation to
+/// state why the code is sound does not stop at `#[cfg(test)]`.
+fn safety_comment(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    for tok in &scanned.tokens {
+        if tok.kind == TokKind::Ident && tok.text == "unsafe" {
+            let lo = tok.line.saturating_sub(6);
+            if !scanned.comment_window_contains(lo, tok.line, "SAFETY:") {
+                emit(
+                    out,
+                    scanned,
+                    ctx,
+                    RuleId::SafetyComment,
+                    tok.line,
+                    "`unsafe` without a `// SAFETY:` comment on or above it".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `unsafe-confined`: `unsafe`, raw atomic types, and `std::thread`
+/// may only appear in their sanctioned modules (see the tables above).
+/// Test regions and test-tree files are exempt — test harnesses may
+/// spawn threads and use atomics to observe concurrency.
+fn unsafe_confined(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    if ctx.in_test_tree {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if tok.text == "unsafe" && !path_matches(ctx.path, UNSAFE_OK) {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::UnsafeConfined,
+                tok.line,
+                "`unsafe` outside sanctioned modules (core::sharded)".to_string(),
+            );
+        }
+        let is_atomic_type = ATOMIC_TYPES.contains(&tok.text.as_str());
+        let is_atomic_path = tok.text == "atomic" && prev_is(toks, i, "::") && ident_before(toks, i) == Some("sync");
+        if (is_atomic_type || is_atomic_path) && !path_matches(ctx.path, ATOMICS_OK) {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::UnsafeConfined,
+                tok.line,
+                format!(
+                    "raw atomic `{}` outside sanctioned modules (engine::parallel, \
+                     engine::bitset, core::sharded); use engine::parallel counters",
+                    tok.text
+                ),
+            );
+        }
+        let is_thread = tok.text == "thread"
+            && (next_is(toks, i, "::")
+                || (prev_is(toks, i, "::") && ident_before(toks, i) == Some("std")));
+        if is_thread && !path_matches(ctx.path, THREAD_OK) {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::UnsafeConfined,
+                tok.line,
+                "`std::thread` outside sanctioned modules (engine::parallel, core::session)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Rule `service-no-panic`: inside the service layer, `.unwrap()`,
+/// `.expect(..)`, and the panic macro family are forbidden outside
+/// tests; failures must propagate as typed errors. `// lint:allow`
+/// waivers cover documented API-contract panics.
+fn service_no_panic(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    if ctx.in_test_tree || !path_matches(ctx.path, SERVICE_MODULES) {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if (tok.text == "unwrap" || tok.text == "expect") && prev_is(toks, i, ".") {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::ServiceNoPanic,
+                tok.line,
+                format!(
+                    "`.{}()` in service layer; propagate a typed error instead",
+                    tok.text
+                ),
+            );
+        }
+        if PANIC_MACROS.contains(&tok.text.as_str()) && next_is(toks, i, "!") {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::ServiceNoPanic,
+                tok.line,
+                format!(
+                    "`{}!` in service layer; propagate a typed error instead",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// Rule `float-accum`: floating-point accumulation (`+=`/`-=` with float
+/// evidence, or `.sum::<f32|f64>()`) outside an Aggregator `combine` /
+/// `retract` implementation. Float-valued results must flow through the
+/// ⊕/⊎ operators so incremental and from-scratch runs agree bit-for-bit
+/// (§3 of the paper: refinement replays the same operator sequence).
+///
+/// Float evidence is tracked token-locally: idents bound with a float
+/// literal or an `f32`/`f64` annotation are marked (scoped to their
+/// enclosing fn; struct fields file-wide), and a compound assignment
+/// whose statement mentions a marked ident or float literal fires.
+/// Accumulation through unannotated generics is out of scope
+/// (documented blind spot). Only the vertex-value-bearing trees in
+/// [`FLOAT_SCOPE`] are watched.
+fn float_accum(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    if ctx.in_test_tree || !FLOAT_SCOPE.iter().any(|p| ctx.path.contains(p)) {
+        return;
+    }
+    let toks = &scanned.tokens;
+    let float_idents = collect_float_idents(toks);
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        let sanctioned = tok
+            .fn_name
+            .as_deref()
+            .is_some_and(|f| FLOAT_FNS_OK.contains(&f));
+        if sanctioned {
+            continue;
+        }
+        // `.sum::<f32>()` / `.sum::<f64>()`.
+        if tok.kind == TokKind::Ident && tok.text == "sum" && prev_is(toks, i, ".") {
+            let turbofish: Vec<&str> = toks[i + 1..]
+                .iter()
+                .take(4)
+                .map(|t| t.text.as_str())
+                .collect();
+            if turbofish.len() == 4
+                && turbofish[0] == "::"
+                && turbofish[1] == "<"
+                && (turbofish[2] == "f32" || turbofish[2] == "f64")
+            {
+                emit(
+                    out,
+                    scanned,
+                    ctx,
+                    RuleId::FloatAccum,
+                    tok.line,
+                    format!(
+                        "`.sum::<{}>()` outside Aggregator combine/retract",
+                        turbofish[2]
+                    ),
+                );
+            }
+        }
+        // `+=` / `-=` with float evidence anywhere in the statement.
+        if tok.kind == TokKind::Punct && (tok.text == "+=" || tok.text == "-=") {
+            let (lo, hi) = statement_window(toks, i);
+            let evidence = toks[lo..hi].iter().any(|t| {
+                t.kind == TokKind::Float
+                    || (t.kind == TokKind::Ident
+                        && (t.text == "f32"
+                            || t.text == "f64"
+                            || float_idents.contains(&(tok.fn_name.clone(), t.text.clone()))
+                            || float_idents.contains(&(None, t.text.clone()))))
+            });
+            if evidence {
+                emit(
+                    out,
+                    scanned,
+                    ctx,
+                    RuleId::FloatAccum,
+                    tok.line,
+                    format!(
+                        "floating-point `{}` accumulation outside Aggregator combine/retract",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects identifiers with float evidence: `let`-bound with a float
+/// initializer, or annotated `: f32` / `: f64` (params, fields, locals —
+/// possibly behind references). Keys are `(enclosing fn, name)`, so a
+/// float local in one fn never taints a same-named integer local in
+/// another; struct-field declarations sit outside any fn and therefore
+/// apply file-wide via the `(None, name)` key.
+fn collect_float_idents(toks: &[Token]) -> BTreeSet<(Option<String>, String)> {
+    let mut set = BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : [&mut] f32|f64`
+        if next_is(toks, i, ":") {
+            let ty = toks[i + 2..]
+                .iter()
+                .take(3)
+                .map(|t| t.text.as_str())
+                .find(|t| *t != "&" && *t != "mut")
+                .unwrap_or("");
+            if ty == "f32" || ty == "f64" {
+                set.insert((tok.fn_name.clone(), tok.text.clone()));
+            }
+        }
+        // `let [mut] name = <expr containing a float literal> ;`
+        if tok.text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let saw_float = toks[j + 1..]
+                    .iter()
+                    .take(24)
+                    .take_while(|t| t.text != ";")
+                    .any(|t| t.kind == TokKind::Float || t.text == "f32" || t.text == "f64");
+                if saw_float {
+                    set.insert((name.fn_name.clone(), name.text.clone()));
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Token range of the statement containing index `i`: from the token
+/// after the previous `;`/`{`/`}` through the next `;` (or brace).
+fn statement_window(toks: &[Token], i: usize) -> (usize, usize) {
+    let mut lo = i;
+    while lo > 0 {
+        let t = &toks[lo - 1].text;
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = i;
+    while hi < toks.len() {
+        let t = &toks[hi].text;
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        hi += 1;
+    }
+    (lo, hi.min(toks.len()))
+}
+
+fn prev_is(toks: &[Token], i: usize, text: &str) -> bool {
+    i > 0 && toks[i - 1].text == text
+}
+
+fn next_is(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.text == text)
+}
+
+/// Finds the identifier immediately before the `::` preceding token `i`
+/// (for `std :: thread` / `sync :: atomic` path checks).
+fn ident_before(toks: &[Token], i: usize) -> Option<&str> {
+    if i >= 2 && toks[i - 1].text == "::" {
+        Some(toks[i - 2].text.as_str())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,624 @@
+//! A minimal, dependency-free Rust token scanner.
+//!
+//! The lint rules need far less than a full parse: a token stream with
+//! comments, strings, and char literals stripped out (so keywords inside
+//! them never count), plus two pieces of context per token — whether it
+//! sits inside a `#[cfg(test)]` region and the name of its enclosing
+//! `fn`. This module provides exactly that. It is a deliberate
+//! approximation of a real AST: token-level analysis keeps `xtask` free
+//! of heavyweight parser dependencies and fast enough to run on every
+//! commit, at the cost of a few documented blind spots (e.g. braces in
+//! const-generic argument position would confuse the region tracker —
+//! none exist in this workspace).
+
+use std::collections::BTreeMap;
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Operator / delimiter (multi-char operators are single tokens).
+    Punct,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, exponent, or f32/f64 suffix).
+    Float,
+    /// String / byte-string / C-string literal (text not retained).
+    Str,
+    /// Char or byte-char literal (text not retained).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with the context the rules need.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token text. Empty for [`TokKind::Str`] and [`TokKind::Char`] so
+    /// literal contents can never satisfy an identifier match.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Lexical class.
+    pub kind: TokKind,
+    /// True when the token is inside a `#[cfg(test)]` item's braces.
+    pub in_test: bool,
+    /// Name of the innermost enclosing `fn`, if any.
+    pub fn_name: Option<String>,
+}
+
+/// Scan result: the token stream plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment text by line. Block comments contribute an entry for every
+    /// line they span, so "is there a SAFETY: comment in the window"
+    /// checks work uniformly.
+    pub comments: BTreeMap<usize, String>,
+}
+
+impl Scanned {
+    /// True if any comment on lines `lo..=hi` contains `needle`.
+    pub fn comment_window_contains(&self, lo: usize, hi: usize, needle: &str) -> bool {
+        self.comments
+            .range(lo..=hi)
+            .any(|(_, text)| text.contains(needle))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character operators recognized as single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "..",
+];
+
+/// Lexes `src` into tokens + comments, then annotates each token with
+/// its `#[cfg(test)]` / enclosing-`fn` context.
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let push_comment = |out: &mut Scanned, line: usize, text: &str| {
+        let entry = out.comments.entry(line).or_default();
+        if !entry.is_empty() {
+            entry.push(' ');
+        }
+        entry.push_str(text.trim());
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Newlines and whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. `///` and `//!` doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            push_comment(&mut out, line, text.trim_start_matches('/').trim_start_matches('!'));
+            continue;
+        }
+        // Block comments, nested per Rust rules; text is attributed to
+        // every line the comment spans.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            let mut depth = 1usize;
+            let mut buf = String::new();
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        push_comment(&mut out, line, &buf);
+                        buf.clear();
+                        line += 1;
+                    } else {
+                        buf.push(chars[i]);
+                    }
+                    i += 1;
+                }
+            }
+            push_comment(&mut out, line, &buf);
+            continue;
+        }
+        // Raw strings / raw identifiers: r"..", r#".."#, r#ident.
+        if c == 'r' {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                i = consume_raw_string(&chars, j + 1, hashes, &mut line);
+                out.tokens.push(raw_token(TokKind::Str, line));
+                continue;
+            }
+            if hashes == 1 && chars.get(j).is_some_and(|&ch| is_ident_start(ch)) {
+                // Raw identifier `r#ident` — lex as the bare ident.
+                let start = j;
+                let mut k = j;
+                while k < chars.len() && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                let text: String = chars[start..k].iter().collect();
+                out.tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokKind::Ident,
+                    in_test: false,
+                    fn_name: None,
+                });
+                i = k;
+                continue;
+            }
+            // Plain identifier starting with `r` — fall through.
+        }
+        // Byte strings / byte chars / C strings: b".." br".." b'..' c"..".
+        if (c == 'b' || c == 'c') && matches!(chars.get(i + 1), Some(&'"')) {
+            i = consume_string(&chars, i + 2, &mut line);
+            out.tokens.push(raw_token(TokKind::Str, line));
+            continue;
+        }
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            i = consume_char(&chars, i + 2, &mut line);
+            out.tokens.push(raw_token(TokKind::Char, line));
+            continue;
+        }
+        if c == 'b' && chars.get(i + 1) == Some(&'r') {
+            let mut j = i + 2;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                i = consume_raw_string(&chars, j + 1, hashes, &mut line);
+                out.tokens.push(raw_token(TokKind::Str, line));
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(Token {
+                text,
+                line,
+                kind: TokKind::Ident,
+                in_test: false,
+                fn_name: None,
+            });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            i = consume_string(&chars, i + 1, &mut line);
+            out.tokens.push(raw_token(TokKind::Str, line));
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let next_is_ident = chars.get(i + 1).is_some_and(|&ch| is_ident_start(ch));
+            let closes_as_char = chars.get(i + 2) == Some(&'\'');
+            if next_is_ident && !closes_as_char {
+                let start = i + 1;
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokKind::Lifetime,
+                    in_test: false,
+                    fn_name: None,
+                });
+            } else {
+                i = consume_char(&chars, i + 1, &mut line);
+                out.tokens.push(raw_token(TokKind::Char, line));
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (ni, tok) = consume_number(&chars, i, line);
+            i = ni;
+            out.tokens.push(tok);
+            continue;
+        }
+        // Punctuation — longest multi-char match first.
+        let mut matched = false;
+        for p in MULTI_PUNCT {
+            let pc: Vec<char> = p.chars().collect();
+            if chars[i..].starts_with(&pc) {
+                out.tokens.push(Token {
+                    text: (*p).to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                    in_test: false,
+                    fn_name: None,
+                });
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Token {
+            text: c.to_string(),
+            line,
+            kind: TokKind::Punct,
+            in_test: false,
+            fn_name: None,
+        });
+        i += 1;
+    }
+
+    annotate_regions(&mut out.tokens);
+    out
+}
+
+fn raw_token(kind: TokKind, line: usize) -> Token {
+    Token {
+        text: String::new(),
+        line,
+        kind,
+        in_test: false,
+        fn_name: None,
+    }
+}
+
+/// Consumes a normal (escaped) string body starting after the opening
+/// quote; returns the index past the closing quote.
+fn consume_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body starting after the opening quote; the
+/// terminator is `"` followed by `hashes` `#`s.
+fn consume_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut usize) -> usize {
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a char/byte-char body starting after the opening quote.
+fn consume_char(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Lexes a numeric literal starting at `i`; classifies Int vs Float.
+fn consume_number(chars: &[char], mut i: usize, line: usize) -> (usize, Token) {
+    let start = i;
+    let mut is_float = false;
+    // Radix prefixes never produce floats.
+    if chars[i] == '0'
+        && matches!(chars.get(i + 1), Some('x') | Some('o') | Some('b') | Some('X'))
+    {
+        i += 2;
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    } else {
+        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+        // Fractional part — but not `..` (range) and not `.method()`.
+        if chars.get(i) == Some(&'.')
+            && chars.get(i + 1) != Some(&'.')
+            && !chars.get(i + 1).is_some_and(|&ch| is_ident_start(ch))
+        {
+            is_float = true;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        }
+        // Exponent.
+        if matches!(chars.get(i), Some('e') | Some('E')) {
+            let mut j = i + 1;
+            if matches!(chars.get(j), Some('+') | Some('-')) {
+                j += 1;
+            }
+            if chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                i = j;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+        }
+        // Suffix (u64, f32, ...).
+        let sfx_start = i;
+        while i < chars.len() && is_ident_continue(chars[i]) {
+            i += 1;
+        }
+        let suffix: String = chars[sfx_start..i].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+    }
+    let text: String = chars[start..i].iter().collect();
+    (
+        i,
+        Token {
+            text,
+            line,
+            kind: if is_float { TokKind::Float } else { TokKind::Int },
+            in_test: false,
+            fn_name: None,
+        },
+    )
+}
+
+/// Scope entry for the region pass: which brace opened it and why.
+enum Scope {
+    /// Braces of an item carrying `#[cfg(test)]`.
+    Test,
+    /// A `fn` body.
+    Fn(String),
+    /// Any other brace (impl/struct/match/block/...).
+    Other,
+}
+
+/// Second pass: walk the token stream tracking brace scopes to annotate
+/// every token with `in_test` and `fn_name`.
+fn annotate_regions(tokens: &mut [Token]) {
+    let mut stack: Vec<Scope> = Vec::new();
+    // Set once `#[cfg(test)]` (or `#[cfg(... test ...)]`) is seen; the
+    // next `{` opens a Test scope. Cleared by `;` (e.g. a cfg'd `use`).
+    let mut pending_cfg_test = false;
+    // Set after `fn name`; the next `{` opens that fn's body. Cleared by
+    // `;` (trait method declarations).
+    let mut pending_fn: Option<String> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let in_test = pending_cfg_test || stack.iter().any(|s| matches!(s, Scope::Test));
+        // A pending fn claims its signature tokens too, so parameters are
+        // attributed to the fn they belong to, not the enclosing scope.
+        let fn_name = pending_fn.clone().or_else(|| {
+            stack.iter().rev().find_map(|s| match s {
+                Scope::Fn(name) => Some(name.clone()),
+                _ => None,
+            })
+        });
+        tokens[i].in_test = in_test;
+        tokens[i].fn_name = fn_name.clone();
+
+        // Attributes: scan to the matching `]`, checking for cfg(test).
+        if tokens[i].text == "#" {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.text == "!") {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.text == "[") {
+                let mut depth = 0usize;
+                let mut is_cfg = false;
+                let mut has_test = false;
+                let mut first_ident = true;
+                while j < tokens.len() {
+                    tokens[j].in_test = in_test;
+                    tokens[j].fn_name = fn_name.clone();
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {
+                            if tokens[j].kind == TokKind::Ident {
+                                if first_ident {
+                                    is_cfg = tokens[j].text == "cfg";
+                                    first_ident = false;
+                                } else if tokens[j].text == "test" {
+                                    has_test = true;
+                                }
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if is_cfg && has_test {
+                    pending_cfg_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+
+        match tokens[i].text.as_str() {
+            "fn" => {
+                if let Some(next) = tokens.get(i + 1) {
+                    if next.kind == TokKind::Ident {
+                        pending_fn = Some(next.text.clone());
+                    }
+                }
+            }
+            "{" => {
+                if pending_cfg_test {
+                    stack.push(Scope::Test);
+                    pending_cfg_test = false;
+                    pending_fn = None;
+                } else if let Some(name) = pending_fn.take() {
+                    stack.push(Scope::Fn(name));
+                } else {
+                    stack.push(Scope::Other);
+                }
+            }
+            "}" => {
+                stack.pop();
+            }
+            ";" => {
+                pending_cfg_test = false;
+                pending_fn = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let s = scan(r#"let x = "unsafe unwrap"; // unsafe in comment"#);
+        assert!(s.tokens.iter().all(|t| t.text != "unsafe"));
+        assert!(s.comment_window_contains(1, 1, "unsafe"));
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        let s = scan("let a = 1.5; let b = 2; let c = 3f64; let d = 1e-3; let e = x.0;");
+        let kinds: Vec<TokKind> = s
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn live() { work(); }\n#[cfg(test)]\nmod tests {\n fn t() { check(); }\n}\n";
+        let s = scan(src);
+        let work = s.tokens.iter().find(|t| t.text == "work").unwrap();
+        let check = s.tokens.iter().find(|t| t.text == "check").unwrap();
+        assert!(!work.in_test);
+        assert!(check.in_test);
+        assert_eq!(check.fn_name.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let src = "fn outer() { fn inner() { body(); } tail(); }";
+        let s = scan(src);
+        let body = s.tokens.iter().find(|t| t.text == "body").unwrap();
+        let tail = s.tokens.iter().find(|t| t.text == "tail").unwrap();
+        assert_eq!(body.fn_name.as_deref(), Some("inner"));
+        assert_eq!(tail.fn_name.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            s.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let s = scan("/* SAFETY:\n   spans lines */\nlet x = 1;");
+        assert!(s.comment_window_contains(1, 1, "SAFETY:"));
+        assert!(s.comment_window_contains(2, 2, "spans"));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let s = scan(r##"let x = r#"unsafe { panic!() }"#;"##);
+        assert!(s.tokens.iter().all(|t| t.text != "panic"));
+    }
+
+    #[test]
+    fn compound_assignment_is_one_token() {
+        let s = scan("x += 1; y -= 2;");
+        assert!(s.tokens.iter().any(|t| t.text == "+="));
+        assert!(s.tokens.iter().any(|t| t.text == "-="));
+    }
+}

@@ -1,0 +1,15 @@
+//! Failing fixture: a float `+=` loop and a typed float sum, both
+//! outside combine/retract — two findings.
+
+pub fn total_rank(ranks: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for r in ranks {
+        total += *r;
+    }
+    total
+}
+
+pub fn mean(values: &[f32]) -> f32 {
+    let s = values.iter().copied().sum::<f32>();
+    s / values.len() as f32
+}

@@ -1,0 +1,26 @@
+//! Passing fixture: float accumulation only inside Aggregator
+//! combine/retract; integer accumulation elsewhere is fine.
+
+pub struct Rank;
+
+impl Rank {
+    pub fn combine(agg: &mut f64, contrib: f64) {
+        *agg += contrib;
+    }
+
+    pub fn retract(agg: &mut f64, contrib: f64) {
+        *agg -= contrib;
+    }
+}
+
+pub fn count_edges(degrees: &[usize]) -> usize {
+    let mut total = 0usize;
+    for d in degrees {
+        total += *d;
+    }
+    total
+}
+
+pub fn degree_sum(degrees: &[usize]) -> usize {
+    degrees.iter().copied().sum::<usize>()
+}

@@ -1,0 +1,9 @@
+//! Failing fixture: two `unsafe` sites with no SAFETY comment.
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}
+
+pub fn deref(p: *const u64) -> u64 {
+    unsafe { *p }
+}

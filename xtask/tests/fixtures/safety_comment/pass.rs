@@ -1,0 +1,14 @@
+//! Passing fixture: every `unsafe` carries a SAFETY comment.
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only ever dereferenced while the owning
+// allocation is live; ownership transfers with the wrapper.
+unsafe impl Send for Wrapper {}
+
+pub fn read_first(v: &mut [u64]) -> u64 {
+    let p = v.as_mut_ptr();
+    // SAFETY: `p` comes from a live, non-empty slice borrowed exclusively
+    // above; reading one element is in bounds.
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+//! Failing fixture for the service layer: unwrap, panic!, and expect
+//! each fire once.
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}
+
+pub fn second(v: &[u64]) -> u64 {
+    if v.len() < 2 {
+        panic!("too short");
+    }
+    v[1]
+}
+
+pub fn third(v: &[u64]) -> u64 {
+    v.get(2).copied().expect("len >= 3")
+}

@@ -1,0 +1,26 @@
+//! Passing fixture for the service layer: errors propagate as values,
+//! and the one contract panic carries an inline waiver.
+
+pub fn first(v: &[u64]) -> Result<u64, String> {
+    v.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+pub fn must_first(v: &[u64]) -> u64 {
+    // lint:allow(service-no-panic) — documented API contract: callers
+    // guarantee non-empty input; see module docs.
+    v.first().copied().expect("non-empty by contract")
+}
+
+pub fn checked(v: &[u64]) -> u64 {
+    debug_assert!(!v.is_empty(), "debug_assert is allowed");
+    v.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u64];
+        assert_eq!(super::first(&v).unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Failing fixture when linted under an unsanctioned path: raw atomics,
+//! thread spawning, and unsafe each fire once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn launch() {
+    std::thread::spawn(|| {});
+}
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees validity (comment present, but this
+    // module is not sanctioned for unsafe at all).
+    unsafe { *p }
+}
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,269 @@
+//! Fixture-backed tests for the four lint rules: each rule has one
+//! passing and one violating fixture with an exact expected finding
+//! count, plus `--allow` behavior and a whole-tree cleanliness check.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use xtask::lint::{lint_source, lint_workspace, render_text};
+use xtask::rules::{Finding, RuleId, ALL_RULES};
+
+fn fixture(rule_dir: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule_dir)
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint_fixture(rule: RuleId, rule_dir: &str, name: &str, as_path: &str) -> Vec<Finding> {
+    let enabled: BTreeSet<RuleId> = [rule].into_iter().collect();
+    lint_source(as_path, &fixture(rule_dir, name), &enabled)
+}
+
+#[test]
+fn safety_comment_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::SafetyComment,
+        "safety_comment",
+        "pass.rs",
+        "crates/core/src/sharded.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn safety_comment_fail_fixture_has_two_findings() {
+    let f = lint_fixture(
+        RuleId::SafetyComment,
+        "safety_comment",
+        "fail.rs",
+        "crates/core/src/sharded.rs",
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f.iter().all(|x| x.rule == RuleId::SafetyComment));
+    assert_eq!(f[0].line, 5, "unsafe impl line");
+    assert_eq!(f[1].line, 8, "unsafe block line");
+}
+
+#[test]
+fn safety_comment_applies_even_in_sanctioned_modules() {
+    // Sanctioned for `unsafe` existing is not sanctioned for missing
+    // SAFETY comments — the rule has no path exemptions.
+    let enabled: BTreeSet<RuleId> = [RuleId::SafetyComment].into_iter().collect();
+    let f = lint_source(
+        "crates/core/src/sharded.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        &enabled,
+    );
+    assert_eq!(f.len(), 1);
+}
+
+#[test]
+fn unsafe_confined_pass_fixture_clean_in_sanctioned_module() {
+    let f = lint_fixture(
+        RuleId::UnsafeConfined,
+        "unsafe_confined",
+        "pass.rs",
+        "crates/engine/src/parallel.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn unsafe_confined_same_code_fires_in_unsanctioned_module() {
+    // The *same* passing fixture, linted as an unsanctioned module,
+    // fires on both atomic-bearing lines (the `use` and the signature).
+    let f = lint_fixture(
+        RuleId::UnsafeConfined,
+        "unsafe_confined",
+        "pass.rs",
+        "crates/graph/src/lib.rs",
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn unsafe_confined_fail_fixture_has_four_findings() {
+    let f = lint_fixture(
+        RuleId::UnsafeConfined,
+        "unsafe_confined",
+        "fail.rs",
+        "crates/minidd/src/worker.rs",
+    );
+    assert_eq!(f.len(), 4, "{}", render_text(&f));
+    let messages: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("std::thread")));
+    assert!(messages.iter().any(|m| m.contains("`unsafe`")));
+    assert!(messages.iter().any(|m| m.contains("raw atomic")));
+}
+
+#[test]
+fn unsafe_confined_exempts_test_trees_and_test_mods() {
+    let enabled: BTreeSet<RuleId> = [RuleId::UnsafeConfined].into_iter().collect();
+    // tests/ directory: exempt wholesale.
+    let f = lint_source(
+        "crates/engine/tests/stress.rs",
+        &fixture("unsafe_confined", "fail.rs"),
+        &enabled,
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // #[cfg(test)] region inside a lib file: exempt.
+    let src = "#[cfg(test)]\nmod tests {\n use std::sync::atomic::AtomicU64;\n fn t() { std::thread::spawn(|| {}); }\n}\n";
+    let f = lint_source("crates/graph/src/lib.rs", src, &enabled);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn service_no_panic_pass_fixture_is_clean() {
+    // Exercises both the Ok path and the inline waiver.
+    let f = lint_fixture(
+        RuleId::ServiceNoPanic,
+        "service_no_panic",
+        "pass.rs",
+        "crates/core/src/streaming.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn service_no_panic_fail_fixture_has_three_findings() {
+    let f = lint_fixture(
+        RuleId::ServiceNoPanic,
+        "service_no_panic",
+        "fail.rs",
+        "crates/core/src/checkpoint.rs",
+    );
+    assert_eq!(f.len(), 3, "{}", render_text(&f));
+    assert!(f[0].message.contains("unwrap"));
+    assert!(f[1].message.contains("panic"));
+    assert!(f[2].message.contains("expect"));
+}
+
+#[test]
+fn service_no_panic_scoped_to_service_modules() {
+    // The same violations outside the service layer are not this rule's
+    // business (clippy handles general unwrap hygiene).
+    let f = lint_fixture(
+        RuleId::ServiceNoPanic,
+        "service_no_panic",
+        "fail.rs",
+        "crates/graph/src/lib.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn float_accum_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::FloatAccum,
+        "float_accum",
+        "pass.rs",
+        "crates/algorithms/src/pagerank.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn float_accum_fail_fixture_has_two_findings() {
+    let f = lint_fixture(
+        RuleId::FloatAccum,
+        "float_accum",
+        "fail.rs",
+        "crates/algorithms/src/pagerank.rs",
+    );
+    assert_eq!(f.len(), 2, "{}", render_text(&f));
+    assert!(f[0].message.contains("+="));
+    assert!(f[1].message.contains("sum::<f32>"));
+}
+
+#[test]
+fn allow_disables_each_rule() {
+    // `--allow <rule>` maps to removing the rule from the enabled set;
+    // with its rule disabled, every fail fixture lints clean.
+    let cases: [(RuleId, &str, &str); 4] = [
+        (
+            RuleId::SafetyComment,
+            "safety_comment",
+            "crates/core/src/sharded.rs",
+        ),
+        (
+            RuleId::UnsafeConfined,
+            "unsafe_confined",
+            "crates/minidd/src/worker.rs",
+        ),
+        (
+            RuleId::ServiceNoPanic,
+            "service_no_panic",
+            "crates/core/src/checkpoint.rs",
+        ),
+        (
+            RuleId::FloatAccum,
+            "float_accum",
+            "crates/algorithms/src/pagerank.rs",
+        ),
+    ];
+    for (rule, dir, path) in cases {
+        let enabled: BTreeSet<RuleId> = ALL_RULES.into_iter().filter(|r| *r != rule).collect();
+        let findings: Vec<Finding> = lint_source(path, &fixture(dir, "fail.rs"), &enabled)
+            .into_iter()
+            .filter(|f| f.rule == rule)
+            .collect();
+        assert!(findings.is_empty(), "--allow {} leaks: {findings:?}", rule.name());
+    }
+}
+
+#[test]
+fn rule_names_round_trip() {
+    for rule in ALL_RULES {
+        assert_eq!(RuleId::from_name(rule.name()), Some(rule));
+        // Snake-case aliases accepted for CLI ergonomics.
+        assert_eq!(RuleId::from_name(&rule.name().replace('-', "_")), Some(rule));
+    }
+    assert_eq!(RuleId::from_name("no-such-rule"), None);
+}
+
+/// The tentpole guarantee: the workspace itself lints clean with every
+/// rule enabled. Any new violation anywhere in the tree fails this test
+/// (and `cargo xtask lint` in CI).
+#[test]
+fn workspace_tree_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives in the workspace root")
+        .to_path_buf();
+    let findings = lint_workspace(&root, &BTreeSet::new()).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint violations:\n{}",
+        render_text(&findings)
+    );
+}
+
+/// End-to-end CLI checks via the built binary: usage errors exit 2,
+/// `--list-rules` exits 0 and names every rule.
+#[test]
+fn cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let out = std::process::Command::new(bin)
+        .arg("frobnicate")
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--list-rules"])
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ALL_RULES {
+        assert!(stdout.contains(rule.name()), "{stdout}");
+    }
+
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--allow", "bogus-rule"])
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -24,6 +24,7 @@ pub mod algorithm;
 pub mod bsp;
 pub mod checkpoint;
 pub mod fault;
+pub mod laws;
 pub mod options;
 pub mod refine;
 pub mod session;
@@ -39,6 +40,7 @@ pub use checkpoint::{
     F64Codec, RecoveredSession, StateCodec, VecF64Codec,
 };
 pub use fault::FaultAction;
+pub use laws::{check_laws, Law, LawConfig, LawReport, LawSpec, LawViolation, Monotonic, SplitMix64};
 pub use options::{EngineOptions, ExecutionMode};
 pub use refine::{refine, RefineState};
 pub use session::{

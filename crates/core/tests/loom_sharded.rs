@@ -69,11 +69,16 @@ fn with_is_mutually_exclusive_per_shard() {
                 let busy = Arc::clone(&busy);
                 thread::spawn(move || {
                     sharded.with(0, |x| {
+                        // ordering: the probe must not be the thing
+                        // providing exclusion — SeqCst makes the flag
+                        // itself race-free so any violation loom finds
+                        // is in ShardedMut, not the probe.
                         assert!(
                             !busy.swap(true, Ordering::SeqCst),
                             "two threads inside one shard's critical section"
                         );
                         *x += 1;
+                        // ordering: see above — probe flag only.
                         busy.store(false, Ordering::SeqCst);
                     });
                 })

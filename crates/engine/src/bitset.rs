@@ -61,6 +61,9 @@ impl AtomicBitSet {
     pub fn clear(&self, i: usize) {
         debug_assert!(i < self.capacity);
         let mask = 1u64 << (i & 63);
+        // ordering: clearing publishes no data; callers synchronize
+        // phase boundaries externally (frontier swap), so Relaxed is
+        // enough for the bit itself.
         self.words[i >> 6].fetch_and(!mask, Ordering::Relaxed);
     }
 
@@ -76,14 +79,20 @@ impl AtomicBitSet {
     }
 
     /// Number of set bits.
+    ///
+    /// ordering: counting is only meaningful once concurrent setters
+    /// have quiesced (between supersteps); Relaxed loads read the final
+    /// values without pointless fences.
     pub fn count(&self) -> usize {
         if self.words.len() >= PAR_BLOCK_WORDS * 2 {
             return parallel::par_sum(0..self.words.len(), |wi| {
+                // ordering: see above — quiescent-phase read.
                 self.words[wi].load(Ordering::Relaxed).count_ones() as usize
             });
         }
         self.words
             .iter()
+            // ordering: see above — quiescent-phase read.
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
@@ -97,12 +106,16 @@ impl AtomicBitSet {
     /// Raw word `wi` (bits `wi * 64 .. wi * 64 + 64`).
     #[inline]
     pub fn word(&self, wi: usize) -> u64 {
+        // ordering: raw-word access is a quiescent-phase read; callers
+        // (frontier sweeps) run after all setters joined.
         self.words[wi].load(Ordering::Relaxed)
     }
 
     /// Clears all bits.
     pub fn reset(&self) {
         for w in &self.words {
+            // ordering: reset happens single-threaded between phases;
+            // the next superstep's thread-spawn synchronizes.
             w.store(0, Ordering::Relaxed);
         }
     }
@@ -110,6 +123,8 @@ impl AtomicBitSet {
     /// Iterates indices of set bits in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            // ordering: iteration is a quiescent-phase read (all
+            // setters joined before the frontier is consumed).
             let mut bits = w.load(Ordering::Relaxed);
             std::iter::from_fn(move || {
                 if bits == 0 {
@@ -138,6 +153,8 @@ impl AtomicBitSet {
         let mut offsets = parallel::par_map(0..blocks, |b| {
             self.words[b * PAR_BLOCK_WORDS..((b + 1) * PAR_BLOCK_WORDS).min(self.words.len())]
                 .iter()
+                // ordering: quiescent-phase read (setters joined
+                // before conversion starts).
                 .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
                 .sum::<usize>()
         });
@@ -156,6 +173,8 @@ impl AtomicBitSet {
             let lo = b * PAR_BLOCK_WORDS;
             let hi = (lo + PAR_BLOCK_WORDS).min(self.words.len());
             for wi in lo..hi {
+                // ordering: quiescent-phase read; the popcount pass
+                // above already fixed this block's output size.
                 let mut bits = self.words[wi].load(Ordering::Relaxed);
                 while bits != 0 {
                     slot[cursor] = wi * 64 + bits.trailing_zeros() as usize;
@@ -179,6 +198,9 @@ impl Clone for AtomicBitSet {
             words: self
                 .words
                 .iter()
+                // ordering: cloning from `&self` cannot race with
+                // mutation through the same reference holder's phase
+                // discipline; Relaxed snapshots each word.
                 .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
                 .collect(),
             capacity: self.capacity,

@@ -246,6 +246,7 @@ mod tests {
     fn bfs_layers(g: &GraphSnapshot, opts: EdgeMapOptions) -> Vec<i32> {
         let n = g.num_vertices();
         let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        // ordering: single-threaded init before the first edge_map.
         level[0].store(0, Ordering::Relaxed);
         let mut frontier = VertexSubset::from_ids(n, vec![0]);
         let work = WorkCounter::new();
@@ -257,10 +258,16 @@ mod tests {
                 g,
                 &frontier,
                 |_u, v, _w| {
+                    // ordering: the CAS decides a single winner per
+                    // vertex; the written level is read only after
+                    // edge_map joins, so Relaxed suffices on both
+                    // success and failure.
                     level[v as usize]
                         .compare_exchange(u32::MAX, d, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                 },
+                // ordering: u32::MAX check tolerates stale reads — a
+                // lost race is re-decided by the CAS above.
                 |v| level[v as usize].load(Ordering::Relaxed) == u32::MAX,
                 opts,
                 &work,
@@ -269,6 +276,8 @@ mod tests {
         level
             .iter()
             .map(|l| {
+                // ordering: read after the BFS loop; every edge_map
+                // joined its workers.
                 let v = l.load(Ordering::Relaxed);
                 if v == u32::MAX {
                     -1

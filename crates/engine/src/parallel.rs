@@ -201,6 +201,8 @@ impl StripedCounter {
     #[inline]
     pub fn add(&self, hint: usize, delta: u64) {
         if delta != 0 {
+            // ordering: counters carry no dependent data; integer adds
+            // commute, so Relaxed gives exact totals at minimal cost.
             self.stripes[hint & (COUNTER_STRIPES - 1)]
                 .0
                 .fetch_add(delta, Ordering::Relaxed);
@@ -211,6 +213,8 @@ impl StripedCounter {
     pub fn sum(&self) -> u64 {
         self.stripes
             .iter()
+            // ordering: read after the parallel section joined; the
+            // join is the synchronization point, not the load.
             .map(|s| s.0.load(Ordering::Relaxed))
             .sum()
     }
@@ -238,6 +242,8 @@ impl WorkCounter {
     #[inline]
     pub fn add(&self, delta: u64) {
         if delta != 0 {
+            // ordering: pure counter, no dependent data; commutative
+            // adds are exact under Relaxed.
             self.0 .0.fetch_add(delta, Ordering::Relaxed);
         }
     }
@@ -245,12 +251,15 @@ impl WorkCounter {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: readers run after the workers that bumped the
+        // counter joined; the join synchronizes.
         self.0 .0.load(Ordering::Relaxed)
     }
 
     /// Overwrites the value (counter reset).
     #[inline]
     pub fn set(&self, value: u64) {
+        // ordering: reset is single-threaded between phases.
         self.0 .0.store(value, Ordering::Relaxed);
     }
 }
@@ -268,8 +277,11 @@ mod tests {
     fn par_for_visits_every_index() {
         let hits = AtomicUsize::new(0);
         par_for(0..1000, |_| {
+            // ordering: test counter; the par_for join synchronizes
+            // before the assert's read.
             hits.fetch_add(1, Ordering::Relaxed);
         });
+        // ordering: read after join.
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
     }
 
@@ -314,9 +326,12 @@ mod tests {
         let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
         par_for_chunks(1000, 64, |_, range| {
             for i in range {
+                // ordering: test counter; join synchronizes before the
+                // assert's read below.
                 hits[i].fetch_add(1, Ordering::Relaxed);
             }
         });
+        // ordering: read after join.
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 

@@ -56,8 +56,11 @@ mod tests {
         let s = VertexSubset::from_ids(100, (0..50).collect());
         let hits = AtomicUsize::new(0);
         vertex_map(&s, |_| {
+            // ordering: test counter; vertex_map joins its workers
+            // before returning, which synchronizes the read below.
             hits.fetch_add(1, Ordering::Relaxed);
         });
+        // ordering: read after join.
         assert_eq!(hits.load(Ordering::Relaxed), 50);
     }
 
@@ -78,9 +81,12 @@ mod tests {
         let hits = AtomicUsize::new(0);
         let sum = AtomicUsize::new(0);
         vertex_map(&s, |v| {
+            // ordering: test counters; vertex_map's join synchronizes
+            // the reads below.
             hits.fetch_add(1, Ordering::Relaxed);
             sum.fetch_add(v as usize, Ordering::Relaxed);
         });
+        // ordering: reads after join.
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         assert_eq!(
             sum.load(Ordering::Relaxed),

@@ -1,0 +1,380 @@
+//! Lightweight item-level parsing on top of the token scanner.
+//!
+//! The rules that need more structure than "does this token sequence
+//! appear" — `law-coverage` foremost — work on *items*: `impl Trait for
+//! Type` blocks with their method inventory and attribute context. This
+//! module recovers exactly that from the [`Scanned`] token stream,
+//! staying deliberately far short of a real AST (no expressions, no
+//! types beyond path head idents): enough structure for the lint rules,
+//! zero parser dependencies.
+//!
+//! Recognition strategy for `impl` items: from an `impl` token, skip the
+//! optional generic parameter list, then read a type path. If a `for`
+//! keyword follows at angle-depth 0 (and does not itself open a
+//! higher-ranked `for<'a>` binder), the item is a trait impl —
+//! `impl Trait for Type` — and the first path is the trait, the second
+//! the self type. `impl Trait` in return/argument *type* position
+//! (`-> impl Iterator`) never has a top-level `for`, so it is never
+//! mistaken for an item.
+
+use crate::scanner::{Scanned, TokKind, Token};
+
+/// One method (`fn`) found directly inside an impl block's braces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// 1-based line of the `fn` token.
+    pub line: usize,
+}
+
+/// One recognized `impl` item.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// Last segment of the trait path (`Algorithm` for
+    /// `impl core::Algorithm for T`); `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// Base identifier of the self type (`Foo` for `impl T for Foo<X>`).
+    pub type_name: String,
+    /// 1-based line of the `impl` token.
+    pub line: usize,
+    /// 1-based line of the closing brace.
+    pub end_line: usize,
+    /// True when the impl sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Head identifiers of attributes directly above the impl
+    /// (`cfg`, `doc`, `allow`, ...), outermost first.
+    pub attrs: Vec<String>,
+    /// Methods declared directly in the impl body.
+    pub methods: Vec<Method>,
+}
+
+/// Extracts every `impl` item from a scanned file.
+pub fn impl_blocks(scanned: &Scanned) -> Vec<ImplBlock> {
+    let toks = &scanned.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "impl" && !in_type_position(toks, i) {
+            if let Some((block, next)) = parse_impl(toks, i) {
+                i = next;
+                out.push(block);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the `impl` token at `i` is `impl Trait` in *type* position
+/// (`-> impl Iterator`, `fn f(x: impl Clone)`, `Box<impl Trait>`) rather
+/// than the head of an impl item. Item-position `impl` follows a brace,
+/// `;`, an attribute's `]`, or `unsafe`/`default` — never an operator.
+fn in_type_position(toks: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    matches!(
+        prev.text.as_str(),
+        "->" | "(" | "," | ":" | "=" | "<" | "&" | "+" | "|" | ".."
+    )
+}
+
+/// Attempts to parse one impl item starting at the `impl` token `i`.
+/// Returns the block and the token index to resume scanning from (just
+/// past the body's opening brace, so nested impls inside it are still
+/// found by the caller's forward scan).
+fn parse_impl(toks: &[Token], i: usize) -> Option<(ImplBlock, usize)> {
+    let mut j = i + 1;
+    // Optional generic parameter list on the impl itself.
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        j = skip_angles(toks, j)?;
+    }
+    // First path: the trait (or, for inherent impls, the self type).
+    let (first, mut j) = parse_path(toks, j)?;
+    let mut trait_name = None;
+    let mut type_name = first;
+    // `for` at top level separates trait from self type; `for` followed
+    // by `<` is a higher-ranked binder inside the type, not a separator.
+    if toks.get(j).is_some_and(|t| t.text == "for")
+        && toks.get(j + 1).is_none_or(|t| t.text != "<")
+    {
+        let (second, k) = parse_path(toks, j + 1)?;
+        trait_name = Some(type_name);
+        type_name = second;
+        j = k;
+    }
+    // Skip a where clause (and anything else) up to the body's opening
+    // brace; bail at tokens that prove this is not an item after all.
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "{" => break,
+            ";" | ")" | "]" | "}" | "=" => return None,
+            "<" => j = skip_angles(toks, j)?,
+            _ => j += 1,
+        }
+    }
+    let open = j;
+    toks.get(open)?;
+    // Walk the body: collect depth-1 `fn` names, find the closing brace.
+    let mut depth = 0usize;
+    let mut methods = Vec::new();
+    let mut end_line = toks[open].line;
+    let mut k = open;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = toks[k].line;
+                    break;
+                }
+            }
+            "fn" if depth == 1 => {
+                if let Some(name_tok) = toks.get(k + 1).filter(|t| t.kind == TokKind::Ident) {
+                    methods.push(Method {
+                        name: name_tok.text.clone(),
+                        line: toks[k].line,
+                    });
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((
+        ImplBlock {
+            trait_name,
+            type_name,
+            line: toks[i].line,
+            end_line,
+            in_test: toks[i].in_test,
+            attrs: attrs_before(toks, i),
+            methods,
+        },
+        open + 1,
+    ))
+}
+
+/// Parses a type path starting at `j`: identifiers joined by `::`, each
+/// optionally followed by a generic argument list, possibly preceded by
+/// `&`/`mut`/lifetimes. Returns the base identifier of the last segment
+/// and the index just past the path.
+fn parse_path(toks: &[Token], mut j: usize) -> Option<(String, usize)> {
+    // Leading reference / mutability / lifetime sigils.
+    while toks
+        .get(j)
+        .is_some_and(|t| t.text == "&" || t.text == "mut" || t.kind == TokKind::Lifetime)
+    {
+        j += 1;
+    }
+    let mut last_ident: Option<String> = None;
+    loop {
+        match toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident && t.text != "for" && t.text != "where" => {
+                last_ident = Some(t.text.clone());
+                j += 1;
+            }
+            _ => break,
+        }
+        // Generic arguments of this segment.
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            j = skip_angles(toks, j)?;
+        }
+        if toks.get(j).is_some_and(|t| t.text == "::") {
+            j += 1;
+            continue;
+        }
+        break;
+    }
+    last_ident.map(|name| (name, j))
+}
+
+/// Skips a balanced `<...>` starting at the `<` token `j`; returns the
+/// index just past the closing `>`. `>>` closes two levels (the lexer
+/// emits it as one token in `Vec<Vec<T>>`).
+fn skip_angles(toks: &[Token], j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            ";" | "{" => return None,
+            _ => {}
+        }
+        k += 1;
+        if depth <= 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Collects head identifiers of the attributes immediately preceding
+/// token `i`, outermost first: for `#[doc(hidden)] #[cfg(test)] impl`
+/// this returns `["doc", "cfg"]`.
+fn attrs_before(toks: &[Token], i: usize) -> Vec<String> {
+    let mut attrs_rev = Vec::new();
+    let mut k = i;
+    while k > 0 && toks[k - 1].text == "]" {
+        // Walk back to the matching `[`.
+        let mut depth = 0usize;
+        let mut open = None;
+        let mut m = k - 1;
+        loop {
+            match toks[m].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(m);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if m == 0 {
+                break;
+            }
+            m -= 1;
+        }
+        let Some(open) = open else { break };
+        if open == 0 || toks[open - 1].text != "#" {
+            break;
+        }
+        let head = toks[open + 1..k - 1]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        attrs_rev.push(head);
+        k = open - 1;
+    }
+    attrs_rev.reverse();
+    attrs_rev
+}
+
+/// Collects the set of type names registered with the law harness in
+/// this file: every `T` appearing as `check_laws::<T>`.
+pub fn law_registrations(scanned: &Scanned) -> Vec<String> {
+    let toks = &scanned.tokens;
+    let mut out = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind == TokKind::Ident
+            && tok.text == "check_laws"
+            && toks.get(i + 1).is_some_and(|t| t.text == "::")
+            && toks.get(i + 2).is_some_and(|t| t.text == "<")
+        {
+            if let Some(name) = toks.get(i + 3).filter(|t| t.kind == TokKind::Ident) {
+                out.push(name.text.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn trait_impl_is_recognized_with_methods() {
+        let src = "\
+impl Algorithm for PageRank {
+    fn identity(&self) -> f64 { 0.0 }
+    fn combine(&self, a: &mut f64, c: &f64) { *a += c; }
+}
+";
+        let blocks = impl_blocks(&scan(src));
+        assert_eq!(blocks.len(), 1);
+        let b = &blocks[0];
+        assert_eq!(b.trait_name.as_deref(), Some("Algorithm"));
+        assert_eq!(b.type_name, "PageRank");
+        assert_eq!(b.line, 1);
+        assert_eq!(b.end_line, 4);
+        let names: Vec<&str> = b.methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["identity", "combine"]);
+    }
+
+    #[test]
+    fn qualified_and_generic_paths_resolve_to_base_idents() {
+        let src = "impl<'a, T: Clone> core::Algorithm for Wrapper<'a, T> { fn f(&self) {} }";
+        let blocks = impl_blocks(&scan(src));
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].trait_name.as_deref(), Some("Algorithm"));
+        assert_eq!(blocks[0].type_name, "Wrapper");
+    }
+
+    #[test]
+    fn inherent_impl_has_no_trait() {
+        let blocks = impl_blocks(&scan("impl Engine { fn run(&mut self) {} }"));
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].trait_name, None);
+        assert_eq!(blocks[0].type_name, "Engine");
+    }
+
+    #[test]
+    fn impl_trait_in_type_position_is_not_an_item() {
+        let src = "fn iter() -> impl Iterator<Item = u32> { (0..3).map(|x| x) }";
+        let blocks = impl_blocks(&scan(src));
+        assert!(blocks.is_empty(), "{blocks:?}");
+    }
+
+    #[test]
+    fn attribute_context_is_captured() {
+        let src = "#[doc(hidden)]\n#[cfg(test)]\nimpl Algorithm for Toy { fn f(&self) {} }";
+        let blocks = impl_blocks(&scan(src));
+        assert_eq!(blocks[0].attrs, ["doc", "cfg"]);
+    }
+
+    #[test]
+    fn cfg_test_region_marks_impls() {
+        let src = "#[cfg(test)]\nmod tests {\n impl Algorithm for TestAlg { fn f(&self) {} }\n}\n";
+        let blocks = impl_blocks(&scan(src));
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].in_test);
+    }
+
+    #[test]
+    fn nested_impls_are_all_found() {
+        let src = "\
+impl Outer {
+    fn helper(&self) {
+        struct Local;
+        impl Algorithm for Local { fn g(&self) {} }
+    }
+}
+";
+        let blocks = impl_blocks(&scan(src));
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1].trait_name.as_deref(), Some("Algorithm"));
+        assert_eq!(blocks[1].type_name, "Local");
+    }
+
+    #[test]
+    fn where_clauses_and_nested_generics_are_skipped() {
+        let src = "impl<T> Trait for Holder<Vec<Vec<T>>> where T: Into<Vec<u8>> { fn f(&self) {} }";
+        let blocks = impl_blocks(&scan(src));
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].type_name, "Holder");
+    }
+
+    #[test]
+    fn law_registrations_are_collected() {
+        let src = "\
+fn t() {
+    check_laws::<PageRank>(&PageRank::default(), spec).unwrap();
+    laws::check_laws::<CoEm>(&alg, spec2).unwrap();
+    check_laws(&untyped, spec3); // no turbofish: not a registration
+}
+";
+        let regs = law_registrations(&scan(src));
+        assert_eq!(regs, ["PageRank", "CoEm"]);
+    }
+}

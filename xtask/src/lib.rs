@@ -10,15 +10,26 @@
 //! 3. `service-no-panic` — no `unwrap`/`expect`/`panic!`-family in the
 //!    session / streaming / checkpoint service layer;
 //! 4. `float-accum` — no floating-point accumulation outside Aggregator
-//!    ⊕/⊎ (`combine`/`retract`) implementations.
+//!    ⊕/⊎ (`combine`/`retract`) implementations;
+//! 5. `law-coverage` — every `impl Algorithm for T` is registered with
+//!    the algebraic-law harness (`check_laws::<T>`, see
+//!    `graphbolt_core::laws` and DESIGN.md §9 "Algebraic laws");
+//! 6. `ordering-audit` — every raw `Ordering::*` memory-ordering site
+//!    sits in a sanctioned module and carries a nearby `// ordering:`
+//!    justification comment;
+//! 7. `retract-guard` — direct `.retract(` / `.delta(` aggregation
+//!    calls are confined to the refinement path and the law harness.
 //!
 //! Library layout: [`scanner`] lexes Rust source into an
-//! analysis-friendly token stream, [`rules`] implements the four
-//! invariants over it, and [`lint`] walks the workspace and renders
-//! findings. The binary in `main.rs` is a thin CLI over [`lint`].
+//! analysis-friendly token stream, [`items`] recovers item-level
+//! structure (impl blocks, methods, attributes) from it, [`rules`]
+//! implements the seven invariants, and [`lint`] walks the workspace,
+//! runs the cross-file passes, and renders findings. The binary in
+//! `main.rs` is a thin CLI over [`lint`].
 
 #![forbid(unsafe_code)]
 
+pub mod items;
 pub mod lint;
 pub mod rules;
 pub mod scanner;

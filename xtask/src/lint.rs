@@ -5,8 +5,9 @@ use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{run_rules, FileCtx, Finding, RuleId};
-use crate::scanner::scan;
+use crate::items::law_registrations;
+use crate::rules::{law_coverage, run_rules, FileCtx, Finding, RuleId};
+use crate::scanner::{scan, Scanned};
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &[
@@ -55,17 +56,20 @@ fn in_test_tree(rel: &str) -> bool {
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
 }
 
-/// Lints one source text as if it lived at workspace-relative `path`.
-/// This is the entry point the fixture tests use: the simulated path
-/// controls which sanctioned-module tables apply.
-pub fn lint_source(path: &str, src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Finding> {
-    let scanned = scan(src);
-    let ctx = FileCtx {
-        path,
-        in_test_tree: in_test_tree(path),
-    };
+/// Runs every enabled rule (per-file rules plus `law-coverage` against
+/// the given registration set) over one scanned file, with the per-file
+/// (rule, line) dedup applied.
+fn lint_scanned(
+    ctx: &FileCtx,
+    scanned: &Scanned,
+    enabled: &BTreeSet<RuleId>,
+    registered: &BTreeSet<String>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
-    run_rules(&ctx, &scanned, enabled, &mut findings);
+    run_rules(ctx, scanned, enabled, &mut findings);
+    if enabled.contains(&RuleId::LawCoverage) {
+        law_coverage(ctx, scanned, registered, &mut findings);
+    }
     // One finding per (rule, line): e.g. `use ...::{AtomicU64, AtomicUsize}`
     // is one violation, not two.
     findings.sort_by_key(|a| (a.line, a.rule));
@@ -73,14 +77,44 @@ pub fn lint_source(path: &str, src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Fin
     findings
 }
 
+/// Lints one source text as if it lived at workspace-relative `path`.
+/// This is the entry point the fixture tests use: the simulated path
+/// controls which sanctioned-module tables apply. `law-coverage` runs
+/// in its single-file form — registrations are collected from this text
+/// alone (the workspace walk collects them globally instead).
+pub fn lint_source(path: &str, src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Finding> {
+    let scanned = scan(src);
+    let ctx = FileCtx {
+        path,
+        in_test_tree: in_test_tree(path),
+    };
+    let registered: BTreeSet<String> = law_registrations(&scanned).into_iter().collect();
+    lint_scanned(&ctx, &scanned, enabled, &registered)
+}
+
 /// Lints the whole workspace rooted at `root` with all rules except
 /// `allow` enabled. Findings are ordered by file, then line.
 pub fn lint_workspace(root: &Path, allow: &BTreeSet<RuleId>) -> io::Result<Vec<Finding>> {
+    lint_workspace_with(root, allow, None)
+}
+
+/// [`lint_workspace`] with an optional `changed` restriction: when
+/// `Some`, findings are reported only for the listed workspace-relative
+/// paths (`cargo xtask lint --changed`). The *whole* workspace is still
+/// scanned regardless — `law-coverage` registrations live in different
+/// files than the impls they cover, so a restricted scan would
+/// false-positive on every changed impl.
+pub fn lint_workspace_with(
+    root: &Path,
+    allow: &BTreeSet<RuleId>,
+    changed: Option<&BTreeSet<String>>,
+) -> io::Result<Vec<Finding>> {
     let enabled: BTreeSet<RuleId> = crate::rules::ALL_RULES
         .into_iter()
         .filter(|r| !allow.contains(r))
         .collect();
-    let mut findings = Vec::new();
+    let mut scanned_files = Vec::new();
+    let mut registered: BTreeSet<String> = BTreeSet::new();
     for file in collect_workspace_files(root)? {
         let rel = file
             .strip_prefix(root)
@@ -88,7 +122,20 @@ pub fn lint_workspace(root: &Path, allow: &BTreeSet<RuleId>) -> io::Result<Vec<F
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)?;
-        findings.extend(lint_source(&rel, &src, &enabled));
+        let scanned = scan(&src);
+        registered.extend(law_registrations(&scanned));
+        scanned_files.push((rel, scanned));
+    }
+    let mut findings = Vec::new();
+    for (rel, scanned) in &scanned_files {
+        if changed.is_some_and(|set| !set.contains(rel)) {
+            continue;
+        }
+        let ctx = FileCtx {
+            path: rel,
+            in_test_tree: in_test_tree(rel),
+        };
+        findings.extend(lint_scanned(&ctx, scanned, &enabled, &registered));
     }
     Ok(findings)
 }

@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::lint::{lint_workspace, render_json, render_text};
+use xtask::lint::{lint_workspace_with, render_json, render_text};
 use xtask::rules::{RuleId, ALL_RULES};
 
 const USAGE: &str = "\
@@ -18,6 +18,9 @@ options:
   --allow <rule>       disable one rule (repeatable); see --list-rules
   --format <text|json> output format (default: text)
   --root <dir>         workspace root (default: auto-detected)
+  --changed            report findings only for files changed per git
+                       (diff vs HEAD plus untracked); the whole tree is
+                       still scanned so cross-file rules stay accurate
   --list-rules         print rule names and descriptions, then exit
   -h, --help           print this help
 ";
@@ -41,6 +44,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     let mut allow: BTreeSet<RuleId> = BTreeSet::new();
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut changed_only = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -71,6 +75,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--changed" => changed_only = true,
             "--list-rules" => {
                 for rule in ALL_RULES {
                     println!("{:<18} {}", rule.name(), rule.describe());
@@ -96,7 +101,19 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    match lint_workspace(&root, &allow) {
+    let changed: Option<BTreeSet<String>> = if changed_only {
+        match changed_files(&root) {
+            Ok(set) => Some(set),
+            Err(err) => {
+                eprintln!("xtask lint: --changed requires a git work tree at the root: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    match lint_workspace_with(&root, &allow, changed.as_ref()) {
         Ok(findings) => {
             if format == "json" {
                 print!("{}", render_json(&findings));
@@ -114,4 +131,36 @@ fn lint_cmd(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Workspace-relative `.rs` paths changed per git: tracked files
+/// differing from `HEAD` plus untracked (non-ignored) files. Errors if
+/// `root` is not inside a git work tree.
+fn changed_files(root: &std::path::Path) -> Result<BTreeSet<String>, String> {
+    let mut set = BTreeSet::new();
+    for args in [
+        &["diff", "--name-only", "HEAD"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("failed to run git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "`git {}` failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let path = line.trim();
+            if path.ends_with(".rs") {
+                set.insert(path.replace('\\', "/"));
+            }
+        }
+    }
+    Ok(set)
 }

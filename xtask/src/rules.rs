@@ -1,4 +1,4 @@
-//! The four workspace invariants enforced by `cargo xtask lint`.
+//! The seven workspace invariants enforced by `cargo xtask lint`.
 //!
 //! Policy lives here as code: the sanctioned-module tables below are the
 //! single source of truth for where `unsafe`, raw atomics, and thread
@@ -15,6 +15,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::items::impl_blocks;
 use crate::scanner::{Scanned, TokKind, Token};
 
 /// Identifier of one lint rule.
@@ -29,14 +30,25 @@ pub enum RuleId {
     ServiceNoPanic,
     /// No floating-point accumulation outside Aggregator ⊕/⊎ impls.
     FloatAccum,
+    /// Every `impl Algorithm for T` is registered with the law harness.
+    LawCoverage,
+    /// Raw `Ordering::*` sites confined to sanctioned modules and
+    /// justified with a `// ordering:` comment.
+    OrderingAudit,
+    /// Direct `.retract(` / `.delta(` calls confined to the refinement
+    /// path and the law harness.
+    RetractGuard,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 4] = [
+pub const ALL_RULES: [RuleId; 7] = [
     RuleId::SafetyComment,
     RuleId::UnsafeConfined,
     RuleId::ServiceNoPanic,
     RuleId::FloatAccum,
+    RuleId::LawCoverage,
+    RuleId::OrderingAudit,
+    RuleId::RetractGuard,
 ];
 
 impl RuleId {
@@ -47,6 +59,9 @@ impl RuleId {
             RuleId::UnsafeConfined => "unsafe-confined",
             RuleId::ServiceNoPanic => "service-no-panic",
             RuleId::FloatAccum => "float-accum",
+            RuleId::LawCoverage => "law-coverage",
+            RuleId::OrderingAudit => "ordering-audit",
+            RuleId::RetractGuard => "retract-guard",
         }
     }
 
@@ -68,6 +83,15 @@ impl RuleId {
             }
             RuleId::FloatAccum => {
                 "no floating-point accumulation outside Aggregator combine/retract"
+            }
+            RuleId::LawCoverage => {
+                "every `impl Algorithm for T` registered via `check_laws::<T>`"
+            }
+            RuleId::OrderingAudit => {
+                "raw `Ordering::*` only in sanctioned modules, with an `// ordering:` comment"
+            }
+            RuleId::RetractGuard => {
+                "direct `.retract(`/`.delta(` only in core::{refine,bsp,laws}"
             }
         }
     }
@@ -138,6 +162,25 @@ const FLOAT_SCOPE: &[&str] = &[
     "crates/algorithms/src/",
 ];
 
+/// Modules sanctioned to call the aggregation operators `⋃-`
+/// (`.retract(`) and `⋃△` (`.delta(`/`.delta_structural(`) directly:
+/// the dependency-driven refinement path, the BSP baseline's tracking
+/// variant, and the law harness itself. Everywhere else, aggregation
+/// state must evolve through `refine`/`run_bsp`, never by hand — a
+/// stray retract desynchronizes the dependency store from the values it
+/// indexes.
+const RETRACT_OK: &[&str] = &[
+    "crates/core/src/refine.rs",
+    "crates/core/src/bsp.rs",
+    "crates/core/src/laws.rs",
+];
+
+/// The memory-ordering variants of `std::sync::atomic::Ordering` (and
+/// loom's mirror of it). `cmp::Ordering`'s variants (`Less`/`Equal`/
+/// `Greater`) are deliberately absent so comparison code never trips
+/// the audit.
+const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
 /// Raw atomic type names whose appearance marks direct atomic usage.
 const ATOMIC_TYPES: &[&str] = &[
     "AtomicBool", "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64", "AtomicUsize", "AtomicI8",
@@ -203,6 +246,135 @@ pub fn run_rules(
     }
     if enabled.contains(&RuleId::FloatAccum) {
         float_accum(ctx, scanned, out);
+    }
+    if enabled.contains(&RuleId::OrderingAudit) {
+        ordering_audit(ctx, scanned, out);
+    }
+    if enabled.contains(&RuleId::RetractGuard) {
+        retract_guard(ctx, scanned, out);
+    }
+    // `law-coverage` is cross-file (registrations live in a different
+    // crate than the impls they cover) and is dispatched by the lint
+    // driver, which owns the workspace-wide registration set.
+}
+
+/// Rule `law-coverage`: every `impl Algorithm for T` in a non-test-tree
+/// file — including `#[cfg(test)]` helper algorithms — must appear in a
+/// `check_laws::<T>` registration somewhere in the workspace
+/// (`registered` is that set; the lint driver collects it across all
+/// files, test trees included, since registrations live in integration
+/// tests). An unregistered aggregation is one whose algebra nothing
+/// checks: its BSP-equivalence guarantee (§3.3) is an unverified claim.
+pub fn law_coverage(
+    ctx: &FileCtx,
+    scanned: &Scanned,
+    registered: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.in_test_tree {
+        return;
+    }
+    for block in impl_blocks(scanned) {
+        if block.trait_name.as_deref() != Some("Algorithm") {
+            continue;
+        }
+        if !registered.contains(&block.type_name) {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::LawCoverage,
+                block.line,
+                format!(
+                    "`impl Algorithm for {0}` has no `check_laws::<{0}>` registration; \
+                     add one to the law-harness tests (see DESIGN.md §9)",
+                    block.type_name
+                ),
+            );
+        }
+    }
+}
+
+/// Rule `ordering-audit`: every raw memory-ordering site
+/// (`Ordering::Relaxed` … `Ordering::SeqCst`) must (a) sit in a module
+/// sanctioned for raw atomics ([`ATOMICS_OK`]) and (b) carry a comment
+/// containing `ordering:` on its line or within the six lines above,
+/// stating why that ordering suffices — the same shape as the SAFETY
+/// rule. The justification obligation applies everywhere, tests
+/// included (a loom test asserting the wrong ordering proves nothing);
+/// the confinement half exempts test regions, which may use atomics to
+/// observe concurrency.
+fn ordering_audit(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "Ordering" {
+            continue;
+        }
+        if !next_is(toks, i, "::") {
+            continue;
+        }
+        let Some(variant) = toks
+            .get(i + 2)
+            .filter(|t| t.kind == TokKind::Ident && ORDERING_VARIANTS.contains(&t.text.as_str()))
+        else {
+            continue;
+        };
+        let lo = tok.line.saturating_sub(6);
+        let missing_comment = !scanned.comment_window_contains(lo, tok.line, "ordering:");
+        let misplaced = !tok.in_test && !ctx.in_test_tree && !path_matches(ctx.path, ATOMICS_OK);
+        let message = match (misplaced, missing_comment) {
+            (true, true) => format!(
+                "raw `Ordering::{}` outside sanctioned modules (engine::parallel, \
+                 engine::bitset, core::sharded) and without a `// ordering:` \
+                 justification comment",
+                variant.text
+            ),
+            (true, false) => format!(
+                "raw `Ordering::{}` outside sanctioned modules (engine::parallel, \
+                 engine::bitset, core::sharded)",
+                variant.text
+            ),
+            (false, true) => format!(
+                "`Ordering::{}` without a `// ordering:` justification comment on or above it",
+                variant.text
+            ),
+            (false, false) => continue,
+        };
+        emit(out, scanned, ctx, RuleId::OrderingAudit, tok.line, message);
+    }
+}
+
+/// Rule `retract-guard`: direct calls to the aggregation operators
+/// `.retract(`, `.delta(`, and `.delta_structural(` are confined to the
+/// sanctioned refinement path ([`RETRACT_OK`]). Test regions and test
+/// trees are exempt — unit tests legitimately probe the operators in
+/// isolation.
+fn retract_guard(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    if ctx.in_test_tree || path_matches(ctx.path, RETRACT_OK) {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let is_operator =
+            tok.text == "retract" || tok.text == "delta" || tok.text == "delta_structural";
+        if is_operator && prev_is(toks, i, ".") && next_is(toks, i, "(") {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::RetractGuard,
+                tok.line,
+                format!(
+                    "direct `.{}(` call outside the refinement path (core::refine, \
+                     core::bsp, core::laws); aggregation state must evolve through \
+                     refine/BSP or the law harness",
+                    tok.text
+                ),
+            );
+        }
     }
 }
 

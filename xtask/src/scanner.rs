@@ -7,9 +7,11 @@
 //! `fn`. This module provides exactly that. It is a deliberate
 //! approximation of a real AST: token-level analysis keeps `xtask` free
 //! of heavyweight parser dependencies and fast enough to run on every
-//! commit, at the cost of a few documented blind spots (e.g. braces in
-//! const-generic argument position would confuse the region tracker —
-//! none exist in this workspace).
+//! commit. Braces and semicolons in signature position — const-generic
+//! arguments (`[(); { N }]`), array-type lengths — are tracked by
+//! delimiter depth so they no longer confuse the region tracker (a
+//! previously documented blind spot). Item-level structure on top of
+//! this stream lives in [`crate::items`].
 
 use std::collections::BTreeMap;
 
@@ -444,6 +446,15 @@ fn annotate_regions(tokens: &mut [Token]) {
     // Set after `fn name`; the next `{` opens that fn's body. Cleared by
     // `;` (trait method declarations).
     let mut pending_fn: Option<String> = None;
+    // Delimiter depths inside a pending item's *signature*. A `{` in
+    // const-generic or array-length position (`[(); { N }]`,
+    // `-> [u8; { N + 1 }]`) must not be taken for the item's body, and
+    // the `;` inside `[(); ...]` must not cancel the pending item.
+    // Tracked only while a pending flag is set; reset when it clears.
+    let mut sig_paren = 0usize;
+    let mut sig_bracket = 0usize;
+    let mut sig_angle = 0usize;
+    let mut sig_brace = 0usize;
 
     let mut i = 0usize;
     while i < tokens.len() {
@@ -502,6 +513,7 @@ fn annotate_regions(tokens: &mut [Token]) {
             }
         }
 
+        let pending = pending_cfg_test || pending_fn.is_some();
         match tokens[i].text.as_str() {
             "fn" => {
                 if let Some(next) = tokens.get(i + 1) {
@@ -510,8 +522,30 @@ fn annotate_regions(tokens: &mut [Token]) {
                     }
                 }
             }
+            "(" if pending => sig_paren += 1,
+            ")" if pending => sig_paren = sig_paren.saturating_sub(1),
+            "[" if pending => sig_bracket += 1,
+            "]" if pending => sig_bracket = sig_bracket.saturating_sub(1),
+            // Angle depth opens only in type position (after an ident,
+            // `>`, or `::`) so a `<` comparison inside a const-expression
+            // brace never inflates it; `>>` closes two levels.
+            "<" if pending
+                && sig_brace == 0
+                && i > 0
+                && (tokens[i - 1].kind == TokKind::Ident
+                    || tokens[i - 1].text == ">"
+                    || tokens[i - 1].text == "::") =>
+            {
+                sig_angle += 1;
+            }
+            ">" if pending && sig_brace == 0 => sig_angle = sig_angle.saturating_sub(1),
+            ">>" if pending && sig_brace == 0 => sig_angle = sig_angle.saturating_sub(2),
             "{" => {
-                if pending_cfg_test {
+                if pending && (sig_paren + sig_bracket + sig_angle + sig_brace) > 0 {
+                    // Const-expression brace inside the signature, not
+                    // the item body.
+                    sig_brace += 1;
+                } else if pending_cfg_test {
                     stack.push(Scope::Test);
                     pending_cfg_test = false;
                     pending_fn = None;
@@ -522,13 +556,27 @@ fn annotate_regions(tokens: &mut [Token]) {
                 }
             }
             "}" => {
-                stack.pop();
+                if sig_brace > 0 {
+                    sig_brace -= 1;
+                } else {
+                    stack.pop();
+                }
             }
-            ";" => {
+            // A `;` at signature top level ends the item (trait method
+            // declarations, cfg'd `use`); inside `[(); ...]` or parens it
+            // is a type separator and the item is still pending.
+            ";" if sig_paren + sig_bracket + sig_brace == 0 => {
                 pending_cfg_test = false;
                 pending_fn = None;
+                sig_angle = 0;
             }
             _ => {}
+        }
+        if !pending_cfg_test && pending_fn.is_none() {
+            sig_paren = 0;
+            sig_bracket = 0;
+            sig_angle = 0;
+            sig_brace = 0;
         }
         i += 1;
     }
@@ -613,6 +661,31 @@ mod tests {
     fn raw_strings_are_opaque() {
         let s = scan(r##"let x = r#"unsafe { panic!() }"#;"##);
         assert!(s.tokens.iter().all(|t| t.text != "panic"));
+    }
+
+    #[test]
+    fn const_generic_braces_do_not_confuse_regions() {
+        // Regression test for the former blind spot: the brace and `;`
+        // inside `[(); { N }]` used to consume the pending-fn /
+        // pending-cfg(test) flags, mis-scoping everything after them.
+        let src = "\
+fn shaped<const N: usize>(x: [(); { N }]) -> [u8; { N + 1 }] { body(); }
+#[cfg(test)]
+mod tests {
+    fn t(y: [(); { 2 < 3 } as usize]) { check(); }
+}
+fn after() { tail(); }
+";
+        let s = scan(src);
+        let body = s.tokens.iter().find(|t| t.text == "body").unwrap();
+        assert_eq!(body.fn_name.as_deref(), Some("shaped"));
+        assert!(!body.in_test);
+        let check = s.tokens.iter().find(|t| t.text == "check").unwrap();
+        assert!(check.in_test);
+        assert_eq!(check.fn_name.as_deref(), Some("t"));
+        let tail = s.tokens.iter().find(|t| t.text == "tail").unwrap();
+        assert!(!tail.in_test, "Test scope leaked past its closing brace");
+        assert_eq!(tail.fn_name.as_deref(), Some("after"));
     }
 
     #[test]

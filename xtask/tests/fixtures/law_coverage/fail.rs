@@ -1,0 +1,22 @@
+//! Three `impl Algorithm` blocks, one registered: `law-coverage`
+//! fires once per unregistered impl.
+
+pub struct Registered;
+impl Algorithm for Registered {
+    fn identity(&self) -> f64 { 0.0 }
+}
+
+pub struct Orphan;
+impl Algorithm for Orphan {
+    fn identity(&self) -> f64 { 0.0 }
+}
+
+pub struct AlsoOrphan;
+impl graphbolt_core::Algorithm for AlsoOrphan {
+    fn identity(&self) -> f64 { 0.0 }
+}
+
+fn register() {
+    check_laws::<Registered>(&Registered, spec());
+    check_laws(&Orphan, spec()); // no turbofish: not a registration
+}

@@ -1,0 +1,25 @@
+//! Every `impl Algorithm` here is registered with the law harness via
+//! a `check_laws::<T>` turbofish; inherent impls are not the rule's
+//! business.
+
+pub struct SumRank;
+impl Algorithm for SumRank {
+    fn identity(&self) -> f64 { 0.0 }
+}
+
+pub struct MinDist;
+impl graphbolt_core::Algorithm for MinDist {
+    fn identity(&self) -> f64 { f64::INFINITY }
+}
+
+impl MinDist {
+    fn helper(&self) -> usize { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    fn laws() {
+        check_laws::<SumRank>(&SumRank, spec()).unwrap();
+        laws::check_laws::<MinDist>(&MinDist, spec()).unwrap();
+    }
+}

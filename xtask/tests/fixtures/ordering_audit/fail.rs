@@ -1,0 +1,23 @@
+//! Raw ordering sites: unannotated, annotated-but-misplaced, and a
+//! test-region site missing its justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(flag: &AtomicU64) {
+    // ordering: Release pairs with an Acquire load in the reader.
+    flag.store(1, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn probe() {
+        let c = AtomicU64::new(0);
+        c.store(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,23 @@
+//! Annotated ordering sites in a sanctioned module, plus a
+//! `cmp::Ordering` path the audit must ignore.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    // ordering: counter only; commutative adds are exact under Relaxed.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(flag: &AtomicU64) {
+    // ordering: Release pairs with the Acquire in `observe`.
+    flag.store(1, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicU64) -> bool {
+    // ordering: Acquire pairs with the Release in `publish`.
+    flag.load(Ordering::Acquire) == 1
+}
+
+pub fn classify(a: u32, b: u32) -> bool {
+    matches!(a.cmp(&b), std::cmp::Ordering::Less)
+}

@@ -1,0 +1,17 @@
+//! Direct operator calls outside the refinement path; fields named
+//! `delta` and test-region probes stay clean.
+
+fn sneaky(alg: &A, g: &G, agg: &mut f64, c: &f64, old: &f64, new: &f64) {
+    alg.retract(agg, c);
+    let d = alg.delta(g, 0, 1, 1.0, old, new);
+    let s = alg.delta_structural(g, g, 0, 1, 1.0, old, new);
+    let window = self.delta;
+    record.delta = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    fn probe(alg: &A, agg: &mut f64, c: &f64) {
+        alg.retract(agg, c);
+    }
+}

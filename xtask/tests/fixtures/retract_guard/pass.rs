@@ -1,0 +1,12 @@
+//! Direct aggregation-operator calls are sanctioned in the
+//! refinement path (this fixture is linted as `core/src/refine.rs`).
+
+fn incorporate(alg: &impl Algorithm, agg: &mut f64, contrib: &f64) {
+    alg.retract(agg, contrib);
+}
+
+fn fused(alg: &impl Algorithm, g: &G, agg: &mut f64, old: &f64, new: &f64) {
+    if let Some(d) = alg.delta(g, 0, 1, 1.0, old, new) {
+        alg.combine(agg, &d);
+    }
+}

@@ -1,11 +1,12 @@
-//! Fixture-backed tests for the four lint rules: each rule has one
+//! Fixture-backed tests for the seven lint rules: each rule has one
 //! passing and one violating fixture with an exact expected finding
-//! count, plus `--allow` behavior and a whole-tree cleanliness check.
+//! count, plus `--allow` behavior, the `--changed` restriction, and a
+//! whole-tree cleanliness check.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use xtask::lint::{lint_source, lint_workspace, render_text};
+use xtask::lint::{lint_source, lint_workspace, lint_workspace_with, render_text};
 use xtask::rules::{Finding, RuleId, ALL_RULES};
 
 fn fixture(rule_dir: &str, name: &str) -> String {
@@ -178,10 +179,193 @@ fn float_accum_fail_fixture_has_two_findings() {
 }
 
 #[test]
+fn law_coverage_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::LawCoverage,
+        "law_coverage",
+        "pass.rs",
+        "crates/algorithms/src/alg.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn law_coverage_fail_fixture_flags_each_orphan_impl() {
+    let f = lint_fixture(
+        RuleId::LawCoverage,
+        "law_coverage",
+        "fail.rs",
+        "crates/algorithms/src/alg.rs",
+    );
+    assert_eq!(f.len(), 2, "{}", render_text(&f));
+    assert_eq!(f[0].line, 10, "plain-path orphan impl line");
+    assert!(f[0].message.contains("Orphan"));
+    assert_eq!(f[1].line, 15, "qualified-path orphan impl line");
+    assert!(f[1].message.contains("AlsoOrphan"));
+}
+
+#[test]
+fn law_coverage_exempts_test_trees() {
+    // Integration tests define throwaway broken aggregators on purpose
+    // (the law harness's own negative tests); they need no registration.
+    let f = lint_fixture(
+        RuleId::LawCoverage,
+        "law_coverage",
+        "fail.rs",
+        "crates/algorithms/tests/laws.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn ordering_audit_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::OrderingAudit,
+        "ordering_audit",
+        "pass.rs",
+        "crates/engine/src/parallel.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn ordering_audit_fail_fixture_in_unsanctioned_module() {
+    // Unannotated + misplaced, annotated-but-misplaced, and a test-region
+    // site missing its comment: three findings.
+    let f = lint_fixture(
+        RuleId::OrderingAudit,
+        "ordering_audit",
+        "fail.rs",
+        "crates/core/src/refine.rs",
+    );
+    assert_eq!(f.len(), 3, "{}", render_text(&f));
+    assert_eq!(f[0].line, 7);
+    assert!(f[0].message.contains("outside sanctioned"));
+    assert!(f[0].message.contains("ordering:"));
+    assert_eq!(f[1].line, 12, "annotated site still misplaced");
+    assert!(f[1].message.contains("outside sanctioned"));
+    assert!(!f[1].message.contains("justification"));
+    assert_eq!(f[2].line, 21, "test region exempts confinement only");
+    assert!(f[2].message.contains("justification"));
+    assert!(!f[2].message.contains("outside sanctioned"));
+}
+
+#[test]
+fn ordering_audit_comment_required_even_in_sanctioned_module() {
+    // Same fixture in a sanctioned module: the misplacement findings
+    // drop, the two missing-comment findings remain.
+    let f = lint_fixture(
+        RuleId::OrderingAudit,
+        "ordering_audit",
+        "fail.rs",
+        "crates/engine/src/parallel.rs",
+    );
+    assert_eq!(f.len(), 2, "{}", render_text(&f));
+    assert_eq!(f[0].line, 7);
+    assert_eq!(f[1].line, 21);
+    assert!(f.iter().all(|x| x.message.contains("justification")));
+}
+
+#[test]
+fn retract_guard_pass_fixture_clean_in_refine_path() {
+    let f = lint_fixture(
+        RuleId::RetractGuard,
+        "retract_guard",
+        "pass.rs",
+        "crates/core/src/refine.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn retract_guard_fail_fixture_flags_each_operator_call() {
+    let f = lint_fixture(
+        RuleId::RetractGuard,
+        "retract_guard",
+        "fail.rs",
+        "crates/core/src/streaming.rs",
+    );
+    assert_eq!(f.len(), 3, "{}", render_text(&f));
+    assert!(f[0].message.contains(".retract("));
+    assert!(f[1].message.contains(".delta("));
+    assert!(f[2].message.contains(".delta_structural("));
+    // Field reads/writes named `delta` (lines 8-9) and the cfg(test)
+    // probe did not fire.
+    assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), [5, 6, 7]);
+}
+
+#[test]
+fn retract_guard_exempts_test_trees() {
+    let f = lint_fixture(
+        RuleId::RetractGuard,
+        "retract_guard",
+        "fail.rs",
+        "crates/core/tests/probe.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn const_generic_signature_braces_do_not_misscope() {
+    // Regression fixture for the scanner's former blind spot: the
+    // `{ 1 }` const brace used to consume the pending `#[cfg(test)]`
+    // flag, so the thread spawn in `helper`'s body looked like live
+    // code and tripped `unsafe-confined` in an unsanctioned module.
+    let enabled: BTreeSet<RuleId> = [RuleId::UnsafeConfined].into_iter().collect();
+    let f = lint_source(
+        "crates/graph/src/lib.rs",
+        &fixture("scanner", "const_generic.rs"),
+        &enabled,
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn changed_restriction_filters_findings_but_scans_whole_tree() {
+    let dir = std::env::temp_dir().join(format!("xtask-changed-{}", std::process::id()));
+    let src_dir = dir.join("crates/algorithms/src");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    // The impl lives in one file, its registration in another: a scan
+    // restricted to the impl's file must still honor the registration.
+    std::fs::write(
+        src_dir.join("alg.rs"),
+        "pub struct Covered;\nimpl Algorithm for Covered { fn f(&self) {} }\n\
+         pub struct Orphan;\nimpl Algorithm for Orphan { fn f(&self) {} }\n",
+    )
+    .expect("write alg.rs");
+    std::fs::write(
+        src_dir.join("other.rs"),
+        "fn reg() { check_laws::<Covered>(&Covered, spec()); }\n\
+         fn bad() { let mut x = 0.0f64; x += 1.0; }\n",
+    )
+    .expect("write other.rs");
+
+    let changed: BTreeSet<String> = ["crates/algorithms/src/alg.rs".to_string()]
+        .into_iter()
+        .collect();
+    let findings =
+        lint_workspace_with(&dir, &BTreeSet::new(), Some(&changed)).expect("restricted walk");
+    // Only alg.rs findings survive the restriction: the Orphan impl.
+    // other.rs's float-accum violation is filtered out, but its
+    // `check_laws::<Covered>` registration still counts.
+    assert_eq!(findings.len(), 1, "{}", render_text(&findings));
+    assert_eq!(findings[0].rule, RuleId::LawCoverage);
+    assert!(findings[0].message.contains("Orphan"));
+
+    let all = lint_workspace_with(&dir, &BTreeSet::new(), None).expect("full walk");
+    assert!(
+        all.iter().any(|f| f.rule == RuleId::FloatAccum),
+        "unrestricted walk must see other.rs too: {}",
+        render_text(&all)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn allow_disables_each_rule() {
     // `--allow <rule>` maps to removing the rule from the enabled set;
     // with its rule disabled, every fail fixture lints clean.
-    let cases: [(RuleId, &str, &str); 4] = [
+    let cases: [(RuleId, &str, &str); 7] = [
         (
             RuleId::SafetyComment,
             "safety_comment",
@@ -201,6 +385,21 @@ fn allow_disables_each_rule() {
             RuleId::FloatAccum,
             "float_accum",
             "crates/algorithms/src/pagerank.rs",
+        ),
+        (
+            RuleId::LawCoverage,
+            "law_coverage",
+            "crates/algorithms/src/alg.rs",
+        ),
+        (
+            RuleId::OrderingAudit,
+            "ordering_audit",
+            "crates/core/src/refine.rs",
+        ),
+        (
+            RuleId::RetractGuard,
+            "retract_guard",
+            "crates/core/src/streaming.rs",
         ),
     ];
     for (rule, dir, path) in cases {
@@ -266,4 +465,33 @@ fn cli_exit_codes() {
         .output()
         .expect("run xtask");
     assert_eq!(out.status.code(), Some(2));
+
+    // --changed outside a git work tree is a usage/environment error.
+    let no_git = std::env::temp_dir().join(format!("xtask-nogit-{}", std::process::id()));
+    std::fs::create_dir_all(&no_git).expect("create non-git dir");
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--changed", "--root"])
+        .arg(&no_git)
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&no_git).ok();
+
+    // --changed in the real (git) workspace: findings are a subset of
+    // the full scan's, and the full tree is clean, so this exits 0.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root");
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--changed", "--root"])
+        .arg(root)
+        .output()
+        .expect("run xtask");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

@@ -88,11 +88,14 @@ pub fn measure_strategies<A: Algorithm + Clone>(
         );
     });
 
-    let before = engine.stats().snapshot();
+    // Read-and-reset: the first take discards work accumulated by the
+    // initial run and earlier batches, the second reads exactly this
+    // batch's work (the engine is quiescent between the two takes).
+    engine.stats().take_snapshot();
     let report = engine
         .apply_batch(batch)
         .expect("benchmark batch must validate");
-    let refine_work = engine.stats().snapshot() - before;
+    let refine_work = engine.stats().take_snapshot();
 
     // Graph-structure adjustment is excluded, as in the paper: all three
     // strategies need the mutated snapshot (the restarts receive it for

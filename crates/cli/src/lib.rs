@@ -30,6 +30,18 @@
 //!   --checkpoint-keep N   newest checkpoints retained        [3]
 //!   --resume            restore from the newest good checkpoint in
 //!                       --checkpoint-dir before replaying the stream
+//!   --metrics-addr A    serve Prometheus text on http://A/metrics (and
+//!                       JSON on /metrics/json, liveness on /healthz);
+//!                       port 0 picks a free port, the bound address is
+//!                       printed in the report
+//!   --trace-out PATH    append structured trace events (JSON lines) to
+//!                       PATH while the session runs
+//!
+//! observability:
+//!   gbolt stats [--metrics-addr A]
+//!                       without an address: print this process's metric
+//!                       registry; with one: scrape a running serve-mode
+//!                       session's /metrics/json and pretty-print it
 //! ```
 //!
 //! The binary is a thin wrapper over [`run`], which is exercised directly
@@ -43,7 +55,7 @@ use graphbolt_algorithms::{
     WidestPaths,
 };
 use graphbolt_core::{
-    recover_session, Algorithm, CheckpointPolicy, DegradeLevel, EngineOptions, F64Codec,
+    recover_session, telemetry, Algorithm, CheckpointPolicy, DegradeLevel, EngineOptions, F64Codec,
     SessionConfig, StreamSession, StreamingEngine,
 };
 use graphbolt_graph::{io, GraphSnapshot, MutationBatch};
@@ -87,6 +99,10 @@ pub struct Options {
     pub checkpoint_keep: usize,
     /// Restore from the newest good checkpoint before replaying.
     pub resume: bool,
+    /// Bind an HTTP metrics endpoint here (serve mode / `stats`).
+    pub metrics_addr: Option<String>,
+    /// Write structured trace events (JSONL) here (serve mode).
+    pub trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -110,6 +126,8 @@ impl Default for Options {
             checkpoint_every: 1,
             checkpoint_keep: 3,
             resume: false,
+            metrics_addr: None,
+            trace_out: None,
         }
     }
 }
@@ -166,10 +184,15 @@ impl Options {
                         parse_num(&value("--checkpoint-keep")?, "--checkpoint-keep")?
                 }
                 "--resume" => opts.resume = true,
+                "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
+                "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
                 other => return Err(format!("unknown option {other}\n{}", usage())),
             }
         }
-        if opts.graph.is_empty() {
+        // The `stats` subcommand inspects a metrics endpoint (or this
+        // process's registry) — it takes no graph and no serve session.
+        let is_stats = opts.algorithm == "stats";
+        if opts.graph.is_empty() && !is_stats {
             return Err(format!("--graph is required\n{}", usage()));
         }
         if opts.iterations == 0 {
@@ -183,6 +206,12 @@ impl Options {
         }
         if opts.resume && opts.checkpoint_dir.is_none() {
             return Err("--resume requires --checkpoint-dir".to_string());
+        }
+        if opts.metrics_addr.is_some() && !(opts.serve || is_stats) {
+            return Err("--metrics-addr requires --serve (or the stats subcommand)".to_string());
+        }
+        if opts.trace_out.is_some() && !opts.serve {
+            return Err("--trace-out requires --serve".to_string());
         }
         Ok(opts)
     }
@@ -199,7 +228,8 @@ pub fn usage() -> String {
      [--stream PATH] [--iterations N] [--source V] [--labels F] [--seed-stride S] \
      [--tolerance X] [--cutoff K] [--symmetric] [--output PATH] [--memory-budget B] \
      [--serve [--queue-capacity N] [--checkpoint-dir D] [--checkpoint-every N] \
-     [--checkpoint-keep N] [--resume]]"
+     [--checkpoint-keep N] [--resume] [--metrics-addr HOST:PORT] [--trace-out PATH]]\n\
+     \x20      gbolt stats [--metrics-addr HOST:PORT]"
         .to_string()
 }
 
@@ -235,6 +265,9 @@ fn load_stream(opts: &Options) -> Result<Vec<MutationBatch>, String> {
 ///
 /// Returns a human-readable message on bad arguments or I/O failure.
 pub fn run(opts: &Options) -> Result<String, String> {
+    if opts.algorithm == "stats" {
+        return run_stats(opts);
+    }
     let graph = load_graph(opts)?;
     let batches = load_stream(opts)?;
     let engine_opts = {
@@ -381,6 +414,35 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
     opts: &Options,
     report: &mut String,
 ) -> Result<StreamingEngine<A>, String> {
+    // Bind the metrics endpoint before any engine work so scrapes see
+    // the whole run; the bound address (resolving port 0) goes into the
+    // report so callers can find it.
+    let metrics_server = match &opts.metrics_addr {
+        Some(addr) => {
+            let server = telemetry::http::MetricsServer::bind(addr.as_str())
+                .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            let _ = writeln!(
+                report,
+                "metrics endpoint: http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    let _trace = match &opts.trace_out {
+        Some(path) => {
+            let sink = std::sync::Arc::new(
+                telemetry::trace::JsonlSink::create(Path::new(path))
+                    .map_err(|e| format!("--trace-out {path}: {e}"))?,
+            );
+            telemetry::trace::set_subscriber(sink.clone());
+            let _ = writeln!(report, "trace events: {path}");
+            Some(TraceOutGuard(sink))
+        }
+        None => None,
+    };
+
     let t = std::time::Instant::now();
     let engine = match (&opts.checkpoint_dir, opts.resume) {
         (Some(dir), true) => {
@@ -460,7 +522,142 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
             outcome.engine.degrade_level()
         );
     }
+    // Keep answering scrapes for the rest of the process: tooling that
+    // launched a serve run expects to read /metrics after the replay.
+    if let Some(server) = metrics_server {
+        server.detach();
+    }
     Ok(outcome.engine)
+}
+
+/// Unsubscribes and flushes the `--trace-out` sink when serve mode
+/// exits (on success *and* on every `?` early return, so a failed run
+/// never leaves a stale subscriber installed for later in-process
+/// callers).
+struct TraceOutGuard(std::sync::Arc<telemetry::trace::JsonlSink>);
+
+impl Drop for TraceOutGuard {
+    fn drop(&mut self) {
+        telemetry::trace::clear_subscriber();
+        self.0.flush();
+    }
+}
+
+/// `gbolt stats`: report metrics, either scraped from a running
+/// serve-mode session (`--metrics-addr`) or from this process's own
+/// registry.
+fn run_stats(opts: &Options) -> Result<String, String> {
+    match &opts.metrics_addr {
+        Some(addr) => {
+            let body = http_get(addr, "/metrics/json")?;
+            Ok(pretty_json(&body))
+        }
+        None => Ok(render_local_stats()),
+    }
+}
+
+/// Minimal HTTP/1.1 GET against `addr`, returning the response body.
+/// Enough for the loopback metrics endpoint; not a general client.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("response from {addr} failed: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        return Err(format!("{addr}{path} answered: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Indentation-by-nesting pretty printer for the metrics JSON (which
+/// contains no nested strings with braces beyond its own values).
+fn pretty_json(json: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in json.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Human-readable dump of this process's metric registry.
+fn render_local_stats() -> String {
+    let snapshot = telemetry::metrics().snapshot();
+    let mut out = String::new();
+    let _ = writeln!(out, "counters:");
+    for c in &snapshot.counters {
+        let _ = writeln!(out, "  {:<44} {}", c.name, c.value);
+    }
+    let _ = writeln!(out, "gauges:");
+    for g in &snapshot.gauges {
+        let _ = writeln!(out, "  {:<44} {}", g.name, g.value);
+    }
+    let _ = writeln!(out, "histograms (count / p50 / p90 / p99 / max):");
+    for h in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "  {:<44} {} / {} / {} / {} / {}",
+            h.name,
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max
+        );
+    }
+    out
 }
 
 fn initial_engine<A: Algorithm>(
@@ -650,6 +847,55 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("--checkpoint-dir"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_telemetry_flags_without_serve() {
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--metrics-addr", "127.0.0.1:0"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--trace-out", "t.jsonl"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+    }
+
+    #[test]
+    fn parse_stats_subcommand_needs_no_graph() {
+        let opts = Options::parse(["stats".to_string()]).unwrap();
+        assert_eq!(opts.algorithm, "stats");
+        let opts =
+            Options::parse(["stats", "--metrics-addr", "127.0.0.1:9090"].map(String::from))
+                .unwrap();
+        assert_eq!(opts.metrics_addr.as_deref(), Some("127.0.0.1:9090"));
+    }
+
+    #[test]
+    fn stats_without_address_dumps_the_local_registry() {
+        let report = run(&Options {
+            algorithm: "stats".into(),
+            ..Options::default()
+        })
+        .unwrap();
+        assert!(report.contains("counters:"), "{report}");
+        assert!(report.contains("graphbolt_batches_applied_total"), "{report}");
+        assert!(report.contains("histograms"), "{report}");
+        assert!(report.contains("graphbolt_batch_refine_ns"), "{report}");
+    }
+
+    #[test]
+    fn stats_against_a_dead_address_reports_the_failure() {
+        // Port 1 on loopback is essentially never listening.
+        let err = run(&Options {
+            algorithm: "stats".into(),
+            metrics_addr: Some("127.0.0.1:1".into()),
+            ..Options::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 
     #[test]

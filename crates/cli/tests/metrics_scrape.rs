@@ -1,0 +1,180 @@
+//! Serve-mode observability acceptance: a session run with
+//! `--metrics-addr` must answer `/metrics` with well-formed Prometheus
+//! text exposing the refinement-latency histogram, edge-computation
+//! counters, and the queue/degrade gauges — scraped here over real TCP
+//! after replaying a known mutation stream.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use graphbolt_cli::{run, Options};
+use graphbolt_graph::{io, Edge, MutationBatch};
+
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("headers + body");
+    (head.to_string(), body.to_string())
+}
+
+/// Every non-comment line of a Prometheus text exposition must be
+/// `name[{labels}] value` with a numeric value; `# HELP`/`# TYPE`
+/// comments must name a `graphbolt_`-prefixed metric.
+fn assert_valid_prometheus(body: &str) {
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.split_whitespace();
+            let keyword = words.next().unwrap_or_default();
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unexpected comment: {line}"
+            );
+            let name = words.next().unwrap_or_default();
+            assert!(
+                name.starts_with("graphbolt_"),
+                "metric {name} misses the graphbolt_ prefix: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.starts_with("graphbolt_")
+                && name
+                    .trim_start_matches("graphbolt_")
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '_'),
+            "malformed series name in: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "non-numeric sample value in: {line}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition must not be empty:\n{body}");
+}
+
+fn sample_value(body: &str, series_prefix: &str) -> Option<f64> {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.starts_with(series_prefix))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[test]
+fn serve_mode_exposes_scrapable_metrics() {
+    let dir = std::env::temp_dir().join("gbolt-metrics-scrape");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("g.txt");
+    io::write_edge_list(
+        &graph_path,
+        &[
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(2, 0, 1.0),
+            Edge::new(2, 3, 1.0),
+        ],
+    )
+    .unwrap();
+    // A known stream: one insertion batch, one deletion batch.
+    let mut b1 = MutationBatch::new();
+    b1.add(Edge::new(3, 0, 1.0));
+    let mut b2 = MutationBatch::new();
+    b2.delete(Edge::new(2, 3, 1.0));
+    let stream_path = dir.join("s.gbms");
+    io::write_batches(&stream_path, &[b1, b2]).unwrap();
+    let trace_path = dir.join("trace.jsonl");
+
+    let report = run(&Options {
+        algorithm: "pagerank".into(),
+        graph: graph_path.to_string_lossy().into_owned(),
+        stream: Some(stream_path.to_string_lossy().into_owned()),
+        serve: true,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        trace_out: Some(trace_path.to_string_lossy().into_owned()),
+        ..Options::default()
+    })
+    .unwrap();
+
+    // The report names the bound endpoint (port 0 was resolved).
+    let addr = report
+        .lines()
+        .find_map(|l| l.strip_prefix("metrics endpoint: http://"))
+        .and_then(|l| l.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("no metrics endpoint line in report:\n{report}"))
+        .to_string();
+
+    let (head, body) = http_get(&addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.contains("text/plain"),
+        "Prometheus text content type expected: {head}"
+    );
+    assert_valid_prometheus(&body);
+
+    // The acceptance series: refinement-latency histogram, edge
+    // counters, queue occupancy, degrade level.
+    assert!(
+        body.contains("graphbolt_batch_refine_ns_bucket{le=\""),
+        "refinement latency histogram missing:\n{body}"
+    );
+    assert!(sample_value(&body, "graphbolt_batch_refine_ns_count").unwrap() >= 2.0);
+    assert!(
+        sample_value(&body, "graphbolt_edge_computations_total").unwrap() > 0.0,
+        "edge computations must be counted"
+    );
+    assert!(sample_value(&body, "graphbolt_mutations_applied_total").unwrap() >= 2.0);
+    assert!(sample_value(&body, "graphbolt_queue_occupancy").is_some());
+    assert_eq!(sample_value(&body, "graphbolt_degrade_level"), Some(0.0));
+    assert!(
+        sample_value(&body, "graphbolt_refine_tag_ns_count").unwrap() > 0.0,
+        "per-phase refinement histograms must be populated"
+    );
+
+    // Liveness and JSON exposition on the same endpoint.
+    let (head, body) = http_get(&addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+    let (head, body) = http_get(&addr, "/metrics/json");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.starts_with('{') && body.trim_end().ends_with('}'), "{body}");
+    assert!(body.contains("\"graphbolt_batches_applied_total\""), "{body}");
+
+    // The stats subcommand scrapes the same endpoint.
+    let stats = run(&Options {
+        algorithm: "stats".into(),
+        metrics_addr: Some(addr.clone()),
+        ..Options::default()
+    })
+    .unwrap();
+    assert!(stats.contains("graphbolt_batch_refine_ns"), "{stats}");
+
+    // --trace-out produced one JSON object per line covering the
+    // session lifecycle.
+    let trace = std::fs::read_to_string(Path::new(&trace_path)).unwrap();
+    assert!(!trace.is_empty(), "trace file must not be empty");
+    for line in trace.lines() {
+        assert!(
+            line.starts_with("{\"event\":\"") && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+    }
+    assert!(trace.contains("\"event\":\"session_started\""), "{trace}");
+    assert!(trace.contains("\"event\":\"batch_applied\""), "{trace}");
+    assert!(trace.contains("\"event\":\"session_shutdown\""), "{trace}");
+}

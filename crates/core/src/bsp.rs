@@ -201,13 +201,18 @@ impl<'a, A: Algorithm> Driver<'a, A> {
     fn step(&mut self, mode: ExecutionMode) -> usize {
         self.iter += 1;
         let full = mode == ExecutionMode::Full || self.iter == 1;
-        if full {
+        let start = std::time::Instant::now();
+        let changed = if full {
             self.step_full()
         } else if self.alg.decomposable() {
             self.step_delta()
         } else {
             self.step_pull_frontier()
-        }
+        };
+        crate::telemetry::metrics()
+            .bsp_iteration_ns
+            .record_duration(start.elapsed());
+        changed
     }
 
     /// Recomputes every vertex's aggregation from all in-edges (pull).

@@ -32,6 +32,7 @@ pub mod sharded;
 pub mod stats;
 pub mod store;
 pub mod streaming;
+pub mod telemetry;
 
 pub use algorithm::{agg_total_bytes, Algorithm};
 pub use bsp::{run_bsp, run_bsp_from, run_tracking, BspState, TrackingOutcome};
@@ -51,3 +52,4 @@ pub use sharded::ShardedMut;
 pub use stats::{EngineStats, RefineReport, StatsSnapshot};
 pub use store::DependencyStore;
 pub use streaming::{doctest_support, DegradeLevel, StreamingEngine};
+pub use telemetry::{metrics, MetricsRegistry, TraceEvent, TraceSubscriber};

@@ -41,6 +41,7 @@ use crate::options::EngineOptions;
 use crate::sharded::ShardedMut;
 use crate::stats::{EngineStats, RefineReport};
 use crate::store::DependencyStore;
+use crate::telemetry::trace;
 
 /// Mutable engine state handed to [`refine`].
 pub struct RefineState<'s, A: Algorithm> {
@@ -233,6 +234,12 @@ pub fn refine<A: Algorithm>(
 
     for i in 1..=refine_upto {
         pair_cache.clear();
+        // Phase timing (DESIGN.md §10): tag = impacted-set derivation +
+        // slot seeding, propagate = the union passes, apply = the commit
+        // loop. `tag_done` is overwritten at the branch-specific
+        // tag/propagate boundary below.
+        let iter_start = std::time::Instant::now();
+        let tag_done;
 
         if alg.decomposable() {
             // ⋃△ sources: changed at i-1, plus structural sources whose
@@ -303,6 +310,7 @@ pub fn refine<A: Algorithm>(
                 }
             }
 
+            tag_done = std::time::Instant::now();
             // Apply the three unions in parallel. Destinations are guarded
             // by shard locks (multiple workers may combine into the same
             // aggregation); counts accumulate in per-task locals published
@@ -433,6 +441,7 @@ pub fn refine<A: Algorithm>(
                     pair_cache.insert(u, (val.clone(), val));
                 }
             }
+            tag_done = std::time::Instant::now();
             let prev_ref = &prev_changed;
             let cache_ref = &pair_cache;
             let recomputed: Vec<(VertexId, A::Agg, u64)> =
@@ -462,6 +471,7 @@ pub fn refine<A: Algorithm>(
             }
         }
 
+        let propagate_done = std::time::Instant::now();
         // Commit: derive new values, write refined aggregations, and
         // build the next iteration's changed set (the old value was
         // derived when the slot was seeded).
@@ -481,6 +491,25 @@ pub fn refine<A: Algorithm>(
         }
         stats.add_iteration();
         report.refined_iterations += 1;
+
+        let m = crate::telemetry::metrics();
+        let tag_ns = tag_done.duration_since(iter_start);
+        let propagate_ns = propagate_done.duration_since(tag_done);
+        let apply_ns = propagate_done.elapsed();
+        m.refine_tag_ns.record_duration(tag_ns);
+        m.refine_propagate_ns.record_duration(propagate_ns);
+        m.refine_apply_ns.record_duration(apply_ns);
+        for (phase, elapsed) in [
+            (trace::RefinePhase::Tag, tag_ns),
+            (trace::RefinePhase::Propagate, propagate_ns),
+            (trace::RefinePhase::Apply, apply_ns),
+        ] {
+            trace::emit(|| trace::TraceEvent::RefinePhaseDone {
+                iteration: i as u64,
+                phase,
+                nanos: crate::telemetry::saturating_nanos(elapsed),
+            });
+        }
     }
 
     stats.add_edge_computations(edge_work);

@@ -39,11 +39,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use graphbolt_engine::parallel::WorkCounter;
 use graphbolt_graph::{Edge, MutationBatch};
 
 use crate::algorithm::Algorithm;
 use crate::checkpoint::{self, CheckpointError, StateCodec};
 use crate::streaming::{DegradeLevel, StreamingEngine};
+use crate::telemetry::{self, trace, TraceEvent};
 
 /// Commands accepted by the session worker.
 enum Command<V> {
@@ -249,6 +251,15 @@ pub fn retry_with_backoff<T>(
 pub struct StreamSession<A: Algorithm + 'static> {
     tx: Sender<Command<A::Value>>,
     worker: JoinHandle<SessionOutcome<A>>,
+    /// Commands submitted but not yet dequeued by the worker. The
+    /// vendored channel exposes no `len()`, so occupancy is tracked
+    /// explicitly: producers add *before* sending (and compensate on a
+    /// failed send), the worker subtracts on every dequeue. Counting
+    /// before the send keeps the counter at or above the true queue
+    /// length, so the worker's decrement can never underflow it.
+    depth: Arc<WorkCounter>,
+    /// Configured queue bound (0 = unbounded), kept for trace events.
+    queue_capacity: usize,
 }
 
 impl<A: Algorithm + 'static> StreamSession<A> {
@@ -279,24 +290,45 @@ impl<A: Algorithm + 'static> StreamSession<A> {
             Some(cap) => channel::bounded(cap.max(1)),
             None => channel::unbounded(),
         };
-        let worker = std::thread::spawn(move || worker_loop(engine, rx, config));
-        Self { tx, worker }
+        let queue_capacity = config.queue_capacity.unwrap_or(0);
+        let depth = Arc::new(WorkCounter::new());
+        let worker_depth = Arc::clone(&depth);
+        let worker = std::thread::spawn(move || worker_loop(engine, rx, config, worker_depth));
+        Self {
+            tx,
+            worker,
+            depth,
+            queue_capacity,
+        }
     }
 
     fn submit(&self, cmd: Command<A::Value>) -> Result<(), SessionError> {
         if crate::fault::fire_error("session::ingest") {
             return Err(SessionError::Injected);
         }
-        self.tx.send(cmd).map_err(|_| SessionError::WorkerGone)
+        self.depth.add(1);
+        self.tx.send(cmd).map_err(|_| {
+            self.depth.sub(1);
+            SessionError::WorkerGone
+        })
     }
 
     fn try_submit(&self, cmd: Command<A::Value>) -> Result<(), SessionError> {
         if crate::fault::fire_error("session::ingest") {
             return Err(SessionError::Injected);
         }
-        self.tx.try_send(cmd).map_err(|e| match e {
-            TrySendError::Full(_) => SessionError::QueueFull,
-            TrySendError::Disconnected(_) => SessionError::WorkerGone,
+        self.depth.add(1);
+        self.tx.try_send(cmd).map_err(|e| {
+            self.depth.sub(1);
+            match e {
+                TrySendError::Full(_) => {
+                    telemetry::metrics().backpressure_rejections.inc();
+                    let queue_capacity = self.queue_capacity;
+                    trace::emit(|| TraceEvent::Backpressure { queue_capacity });
+                    SessionError::QueueFull
+                }
+                TrySendError::Disconnected(_) => SessionError::WorkerGone,
+            }
         })
     }
 
@@ -369,7 +401,10 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     /// [`SessionError::WorkerGone`] if the worker thread cannot be joined
     /// (it died outside the panic-isolated refinement path).
     pub fn finish(self) -> Result<SessionOutcome<A>, SessionError> {
-        let _ = self.tx.send(Command::Shutdown);
+        self.depth.add(1);
+        if self.tx.send(Command::Shutdown).is_err() {
+            self.depth.sub(1);
+        }
         drop(self.tx);
         self.worker.join().map_err(|_| SessionError::WorkerGone)
     }
@@ -394,12 +429,26 @@ struct WorkerState<A: Algorithm> {
     pending: MutationBatch,
     batches_since_checkpoint: usize,
     checkpoint_seq: u64,
+    /// Shared queue-occupancy counter (see [`StreamSession::depth`]).
+    depth: Arc<WorkCounter>,
 }
 
 impl<A: Algorithm> WorkerState<A> {
+    /// Accounts one dequeued command: the shared depth counter goes
+    /// down, and the observed occupancy feeds both the gauge (current
+    /// value) and the histogram (distribution over time).
+    fn note_dequeue(&self) {
+        self.depth.sub(1);
+        let now = self.depth.get();
+        let m = telemetry::metrics();
+        m.queue_occupancy.set(now);
+        m.queue_depth.record(now);
+    }
+
     fn quarantine(&mut self, batch: MutationBatch, reason: String, cap: usize) {
         self.stats.batches_quarantined += 1;
         self.stats.mutations_quarantined += batch.len();
+        telemetry::metrics().batches_quarantined.inc();
         if self.dead_letters.len() == cap && cap > 0 {
             self.dead_letters.remove(0);
         }
@@ -420,6 +469,12 @@ impl<A: Algorithm> WorkerState<A> {
             return;
         }
         self.stats.batches += 1;
+        let mutations = batch.len();
+        let queue_depth = self.depth.get();
+        trace::emit(|| TraceEvent::BatchIngested {
+            mutations,
+            queue_depth,
+        });
         let engine = &mut self.engine;
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| engine.apply_batch(&batch)));
         match outcome {
@@ -438,8 +493,15 @@ impl<A: Algorithm> WorkerState<A> {
                 // dependency state may be torn mid-iteration, so rebuild
                 // it from scratch on that snapshot.
                 self.stats.panics_recovered += 1;
-                self.quarantine(batch, panic_message(&*payload), config.max_dead_letters);
+                telemetry::metrics().panics_recovered.inc();
+                let reason = panic_message(&*payload);
+                trace::emit(|| TraceEvent::SessionQuarantined {
+                    mutations,
+                    reason: reason.clone(),
+                });
+                self.quarantine(batch, reason, config.max_dead_letters);
                 self.engine.run_initial();
+                trace::emit(|| TraceEvent::SessionRebuilt);
             }
         }
     }
@@ -460,12 +522,23 @@ impl<A: Algorithm> WorkerState<A> {
         }
         self.batches_since_checkpoint = 0;
         self.checkpoint_seq += 1;
-        match (policy.write)(&policy.dir, &self.engine, self.checkpoint_seq) {
+        let seq = self.checkpoint_seq;
+        let start = std::time::Instant::now();
+        match (policy.write)(&policy.dir, &self.engine, seq) {
             Ok(_) => {
+                let nanos = telemetry::saturating_nanos(start.elapsed());
                 self.stats.checkpoints_written += 1;
+                let m = telemetry::metrics();
+                m.checkpoints_written.inc();
+                m.checkpoint_write_ns.record(nanos);
+                trace::emit(|| TraceEvent::CheckpointWritten { seq, nanos });
                 checkpoint::prune_session_checkpoints(&policy.dir, policy.keep);
             }
-            Err(_) => self.stats.checkpoint_failures += 1,
+            Err(_) => {
+                self.stats.checkpoint_failures += 1;
+                telemetry::metrics().checkpoint_failures.inc();
+                trace::emit(|| TraceEvent::CheckpointFailed { seq });
+            }
         }
     }
 }
@@ -474,7 +547,10 @@ fn worker_loop<A: Algorithm>(
     engine: StreamingEngine<A>,
     rx: Receiver<Command<A::Value>>,
     config: SessionConfig<A>,
+    depth: Arc<WorkCounter>,
 ) -> SessionOutcome<A> {
+    let queue_capacity = config.queue_capacity.unwrap_or(0);
+    trace::emit(|| TraceEvent::SessionStarted { queue_capacity });
     // Continue the on-disk sequence: a session resumed into an existing
     // checkpoint directory must number its checkpoints *after* whatever is
     // already there, or pruning would keep the stale pre-resume files and
@@ -491,6 +567,7 @@ fn worker_loop<A: Algorithm>(
         pending: MutationBatch::new(),
         batches_since_checkpoint: 0,
         checkpoint_seq,
+        depth,
     };
 
     let finish = |mut ws: WorkerState<A>, rx: &Receiver<Command<A::Value>>| {
@@ -500,6 +577,7 @@ fn worker_loop<A: Algorithm>(
         // against the final state.
         ws.apply_pending(&config);
         while let Ok(cmd) = rx.try_recv() {
+            ws.note_dequeue();
             match cmd {
                 Command::Add(e) => {
                     ws.pending.add(e);
@@ -519,6 +597,8 @@ fn worker_loop<A: Algorithm>(
             }
         }
         ws.apply_pending(&config);
+        let batches = ws.stats.batches as u64;
+        trace::emit(|| TraceEvent::SessionShutdown { batches });
         SessionOutcome {
             engine: ws.engine,
             stats: ws.stats,
@@ -554,8 +634,10 @@ fn worker_loop<A: Algorithm>(
             }
             false
         };
+        ws.note_dequeue();
         shutdown |= service(first, &mut ws);
         while let Ok(cmd) = rx.try_recv() {
+            ws.note_dequeue();
             shutdown |= service(cmd, &mut ws);
         }
         if shutdown {

@@ -79,6 +79,21 @@ impl EngineStats {
             iterations: self.iterations(),
         }
     }
+
+    /// Reads and resets the counters in one pass, returning what was
+    /// read. Each counter is taken atomically (a swap), so counts
+    /// bumped concurrently land either in the returned snapshot or in
+    /// the next one — never lost, never doubled. The three takes are
+    /// not a single cross-counter cut; callers wanting an exactly
+    /// consistent triple must quiesce workers first (the bench harness
+    /// reads between phases, where that holds anyway).
+    pub fn take_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            edge_computations: self.edge_computations.take(),
+            vertex_computations: self.vertex_computations.take(),
+            iterations: self.iterations.take(),
+        }
+    }
 }
 
 /// Plain-value snapshot of [`EngineStats`].
@@ -149,6 +164,25 @@ mod tests {
         s.add_edge_computations(5);
         s.reset();
         assert_eq!(s.edge_computations(), 0);
+    }
+
+    #[test]
+    fn take_snapshot_reads_and_resets() {
+        let s = EngineStats::new();
+        s.add_edge_computations(10);
+        s.add_vertex_computations(4);
+        s.add_iteration();
+        let taken = s.take_snapshot();
+        assert_eq!(taken.edge_computations, 10);
+        assert_eq!(taken.vertex_computations, 4);
+        assert_eq!(taken.iterations, 1);
+        assert_eq!(s.snapshot(), StatsSnapshot::default(), "reset to zero");
+        s.add_edge_computations(2);
+        assert_eq!(
+            s.take_snapshot().edge_computations,
+            2,
+            "next epoch counts only post-take work"
+        );
     }
 
     #[test]

@@ -9,8 +9,9 @@ use crate::algorithm::{agg_total_bytes, Algorithm};
 use crate::bsp::{run_bsp, run_tracking, BspState};
 use crate::options::{EngineOptions, ExecutionMode};
 use crate::refine::{refine, RefineState};
-use crate::stats::{EngineStats, RefineReport};
+use crate::stats::{EngineStats, RefineReport, StatsSnapshot};
 use crate::store::DependencyStore;
+use crate::telemetry::{self, trace, TraceEvent};
 
 /// Error returned by the `try_*` accessors when
 /// [`StreamingEngine::run_initial`] has not completed.
@@ -47,6 +48,18 @@ pub enum DegradeLevel {
     /// Dependency store dropped entirely; every batch is served by a
     /// from-scratch recompute on the new snapshot (the GB-Reset shape).
     DroppedStore,
+}
+
+impl DegradeLevel {
+    /// Stable numeric encoding for the `graphbolt_degrade_level` gauge
+    /// and `degrade_changed` trace events: 0 none, 1 pruned, 2 dropped.
+    pub fn index(self) -> u8 {
+        match self {
+            DegradeLevel::None => 0,
+            DegradeLevel::PrunedStore => 1,
+            DegradeLevel::DroppedStore => 2,
+        }
+    }
 }
 
 /// GraphBolt's streaming processing engine for one algorithm over one
@@ -140,12 +153,14 @@ impl<A: Algorithm> StreamingEngine<A> {
     /// the tracked state inconsistent. The memory-budget watchdog runs
     /// afterwards, so an over-budget initial store degrades immediately.
     pub fn run_initial(&mut self) -> &[A::Value] {
+        let stats_before = self.stats.snapshot();
         if self.degrade == DegradeLevel::DroppedStore {
             self.recompute_full();
         } else {
             self.rebuild_tracked();
             self.enforce_memory_budget();
         }
+        self.publish_work_telemetry(self.stats.snapshot() - stats_before);
         self.values()
     }
 
@@ -201,7 +216,7 @@ impl<A: Algorithm> StreamingEngine<A> {
             DegradeLevel::DroppedStore => {
                 // Jump straight to the bottom rung (skipping the
                 // intermediate cut-off halvings and their rebuilds).
-                self.degrade = DegradeLevel::DroppedStore;
+                self.set_degrade(DegradeLevel::DroppedStore);
                 if self.state.is_some() {
                     self.recompute_full();
                 }
@@ -215,7 +230,7 @@ impl<A: Algorithm> StreamingEngine<A> {
             DegradeLevel::None => {
                 self.opts.vertical_pruning = true;
                 self.opts.horizontal_cutoff = Some((self.opts.effective_cutoff() / 2).max(1));
-                self.degrade = DegradeLevel::PrunedStore;
+                self.set_degrade(DegradeLevel::PrunedStore);
                 if self.state.is_some() {
                     self.rebuild_tracked();
                 }
@@ -227,7 +242,7 @@ impl<A: Algorithm> StreamingEngine<A> {
                         self.rebuild_tracked();
                     }
                 } else {
-                    self.degrade = DegradeLevel::DroppedStore;
+                    self.set_degrade(DegradeLevel::DroppedStore);
                     if self.state.is_some() {
                         self.recompute_full();
                     }
@@ -235,6 +250,21 @@ impl<A: Algorithm> StreamingEngine<A> {
             }
             DegradeLevel::DroppedStore => {}
         }
+    }
+
+    /// Commits a degrade-level transition, publishing it to the gauge
+    /// and the trace stream.
+    fn set_degrade(&mut self, to: DegradeLevel) {
+        let from = self.degrade;
+        if from == to {
+            return;
+        }
+        self.degrade = to;
+        telemetry::metrics().degrade_level.set(u64::from(to.index()));
+        trace::emit(|| TraceEvent::DegradeChanged {
+            from: from.index(),
+            to: to.index(),
+        });
     }
 
     /// The memory-budget watchdog: while the dependency store exceeds the
@@ -308,6 +338,10 @@ impl<A: Algorithm> StreamingEngine<A> {
             // asserted above and nothing in between clears `state`.
             unreachable!("state checked above")
         };
+        let stats_before = self.stats.snapshot();
+        trace::emit(|| TraceEvent::RefineStarted {
+            mutations: batch.len(),
+        });
         let start = Instant::now();
         let new_graph = self.graph.apply_arc(batch)?;
         let structure_duration = start.elapsed();
@@ -330,6 +364,7 @@ impl<A: Algorithm> StreamingEngine<A> {
         report.duration += structure_duration;
         self.graph = new_graph;
         self.enforce_memory_budget();
+        self.publish_batch_telemetry(batch.len(), &report, self.stats.snapshot() - stats_before);
         Ok(report)
     }
 
@@ -337,6 +372,9 @@ impl<A: Algorithm> StreamingEngine<A> {
     /// every value from scratch on the new snapshot. No dependency state
     /// is kept, so the result is the from-scratch answer by construction.
     fn apply_batch_recompute(&mut self, batch: &MutationBatch) -> Result<RefineReport, MutationError> {
+        trace::emit(|| TraceEvent::RefineStarted {
+            mutations: batch.len(),
+        });
         let start = Instant::now();
         let new_graph = self.graph.apply_arc(batch)?;
         let structure_duration = start.elapsed();
@@ -344,7 +382,7 @@ impl<A: Algorithm> StreamingEngine<A> {
         let before = self.stats.snapshot();
         self.recompute_full();
         let spent = self.stats.snapshot() - before;
-        Ok(RefineReport {
+        let report = RefineReport {
             duration: start.elapsed(),
             structure_duration,
             refined_vertices: self.graph.num_vertices(),
@@ -353,7 +391,43 @@ impl<A: Algorithm> StreamingEngine<A> {
             refined_iterations: 0,
             hybrid_iterations: spent.iterations as usize,
             degraded: true,
-        })
+        };
+        self.publish_batch_telemetry(batch.len(), &report, spent);
+        Ok(report)
+    }
+
+    /// Publishes one committed batch to the global metrics registry and
+    /// trace stream: work counters, refinement latency, and the current
+    /// store footprint / degrade gauges.
+    fn publish_batch_telemetry(
+        &self,
+        mutations: usize,
+        report: &RefineReport,
+        spent: StatsSnapshot,
+    ) {
+        let m = telemetry::metrics();
+        m.batches_applied.inc();
+        m.mutations_applied.add(mutations as u64);
+        m.batch_refine_ns.record_duration(report.duration);
+        self.publish_work_telemetry(spent);
+        m.store_bytes.record(self.dependency_memory_bytes() as u64);
+        trace::emit(|| TraceEvent::BatchApplied {
+            mutations,
+            nanos: telemetry::saturating_nanos(report.duration),
+            degraded: report.degraded,
+        });
+    }
+
+    /// Publishes a work-counter delta plus the current footprint gauges.
+    fn publish_work_telemetry(&self, spent: StatsSnapshot) {
+        let m = telemetry::metrics();
+        m.edge_computations.add(spent.edge_computations);
+        m.vertex_computations.add(spent.vertex_computations);
+        m.iterations.add(spent.iterations);
+        m.dependency_store_bytes
+            .set(self.dependency_memory_bytes() as u64);
+        m.stored_aggregations.set(self.stored_aggregations() as u64);
+        m.degrade_level.set(u64::from(self.degrade.index()));
     }
 
     /// Estimated bytes of dependency information currently tracked — the

@@ -1,0 +1,205 @@
+//! Exposition encoders: Prometheus text format and JSON.
+//!
+//! Both are hand-rolled over the plain-value [`Snapshot`] — no serde,
+//! no formatting dependencies. The Prometheus encoder follows the text
+//! exposition format v0.0.4: `# HELP` / `# TYPE` headers, cumulative
+//! `_bucket{le="..."}` series ending in `+Inf`, and `_sum` / `_count`
+//! series per histogram. The JSON encoder adds the quantile estimates
+//! (p50/p90/p99/max) that Prometheus leaves to the query side.
+
+use super::{HistogramSnapshot, MetricValue, Snapshot};
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for c in &snap.counters {
+        simple(&mut out, c, "counter");
+    }
+    for g in &snap.gauges {
+        simple(&mut out, g, "gauge");
+    }
+    for h in &snap.histograms {
+        header(&mut out, h.name, h.help, "histogram");
+        for b in &h.buckets {
+            out.push_str(h.name);
+            out.push_str("_bucket{le=\"");
+            out.push_str(&b.le.to_string());
+            out.push_str("\"} ");
+            out.push_str(&b.cumulative.to_string());
+            out.push('\n');
+        }
+        out.push_str(h.name);
+        out.push_str("_bucket{le=\"+Inf\"} ");
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+        out.push_str(h.name);
+        out.push_str("_sum ");
+        out.push_str(&h.sum.to_string());
+        out.push('\n');
+        out.push_str(h.name);
+        out.push_str("_count ");
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn simple(out: &mut String, m: &MetricValue, kind: &str) {
+    header(out, m.name, m.help, kind);
+    out.push_str(m.name);
+    out.push(' ');
+    out.push_str(&m.value.to_string());
+    out.push('\n');
+}
+
+/// Renders a snapshot as a single JSON object:
+/// `{"counters":{..},"gauges":{..},"histograms":{..}}`.
+pub fn json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"counters\":{");
+    join_values(&mut out, &snap.counters);
+    out.push_str("},\"gauges\":{");
+    join_values(&mut out, &snap.gauges);
+    out.push_str("},\"histograms\":{");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        histogram_json(&mut out, h);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn join_values(out: &mut String, values: &[MetricValue]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(v.name);
+        out.push_str("\":");
+        out.push_str(&v.value.to_string());
+    }
+}
+
+fn histogram_json(out: &mut String, h: &HistogramSnapshot) {
+    out.push('"');
+    out.push_str(h.name);
+    out.push_str("\":{\"count\":");
+    out.push_str(&h.count.to_string());
+    out.push_str(",\"sum\":");
+    out.push_str(&h.sum.to_string());
+    out.push_str(",\"max\":");
+    out.push_str(&h.max.to_string());
+    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        out.push_str(",\"");
+        out.push_str(label);
+        out.push_str("\":");
+        out.push_str(&h.quantile(q).to_string());
+    }
+    out.push_str(",\"buckets\":[");
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"le\":");
+        out.push_str(&b.le.to_string());
+        out.push_str(",\"count\":");
+        out.push_str(&b.cumulative.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{Counter, Gauge, Histogram};
+
+    fn sample_snapshot() -> Snapshot {
+        let c = Counter::new("graphbolt_test_total", "a counter");
+        c.add(3);
+        let g = Gauge::new("graphbolt_test_gauge", "a gauge");
+        g.set(9);
+        let h = Histogram::new("graphbolt_test_ns", "a histogram");
+        h.record(1);
+        h.record(100);
+        h.record(100);
+        Snapshot {
+            counters: vec![MetricValue {
+                name: "graphbolt_test_total",
+                help: "a counter",
+                value: c.get(),
+            }],
+            gauges: vec![MetricValue {
+                name: "graphbolt_test_gauge",
+                help: "a gauge",
+                value: g.get(),
+            }],
+            histograms: vec![h.snapshot()],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_has_types_buckets_and_totals() {
+        let text = prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE graphbolt_test_total counter\n"));
+        assert!(text.contains("graphbolt_test_total 3\n"));
+        assert!(text.contains("# TYPE graphbolt_test_gauge gauge\n"));
+        assert!(text.contains("graphbolt_test_gauge 9\n"));
+        assert!(text.contains("# TYPE graphbolt_test_ns histogram\n"));
+        assert!(text.contains("graphbolt_test_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("graphbolt_test_ns_bucket{le=\"127\"} 3\n"));
+        assert!(text.contains("graphbolt_test_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("graphbolt_test_ns_sum 201\n"));
+        assert!(text.contains("graphbolt_test_ns_count 3\n"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_bucket() {
+        let h = Histogram::new("graphbolt_test_ns", "a histogram");
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![h.snapshot()],
+        };
+        let text = prometheus(&snap);
+        assert!(text.contains("graphbolt_test_ns_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("graphbolt_test_ns_count 0\n"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_has_quantiles() {
+        let text = json(&sample_snapshot());
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"graphbolt_test_total\":3"));
+        assert!(text.contains("\"graphbolt_test_gauge\":9"));
+        assert!(text.contains("\"count\":3"));
+        assert!(text.contains("\"p50\":"));
+        assert!(text.contains("\"p99\":"));
+        assert!(text.contains("\"max\":100"));
+        assert!(text.contains("\"buckets\":[{\"le\":1,\"count\":1},{\"le\":127,\"count\":3}]"));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+        );
+        assert_eq!(
+            text.matches('[').count(),
+            text.matches(']').count(),
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Tiny std-only HTTP responder for `/metrics`, `/metrics/json`, and
+//! `/healthz`.
+//!
+//! Serves scrapes from a background thread over `std::net::TcpListener`
+//! — no async runtime, no HTTP library, no TLS. This is a metrics
+//! endpoint, not a web server: requests are answered one at a time, the
+//! request line is the only part parsed, and oversized or slow requests
+//! are dropped via a read timeout. Bind to port 0 to let the OS pick
+//! (tests do); [`MetricsServer::local_addr`] reports the actual socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphbolt_engine::parallel::WorkCounter;
+
+use super::metrics;
+
+/// Handle to a running metrics endpoint. Dropping it (without
+/// [`MetricsServer::detach`]) shuts the server down.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    /// 1 once shutdown is requested; the accept loop re-checks after
+    /// every connection.
+    stop: Arc<WorkCounter>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`, port 0 for OS-assigned) and
+    /// starts answering scrapes on a background thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(WorkCounter::new());
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gb-metrics".to_string())
+            .spawn(move || accept_loop(listener, &stop_thread))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The socket actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Leaves the endpoint serving for the remaining life of the
+    /// process (the CLI serve mode wants scrapes to keep working after
+    /// the stream replay finishes).
+    pub fn detach(mut self) -> SocketAddr {
+        self.handle.take();
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.set(1);
+        // Wake the blocking accept with a throwaway connection; if the
+        // connect fails the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &WorkCounter) {
+    for conn in listener.incoming() {
+        if stop.get() != 0 {
+            break;
+        }
+        let Ok(stream) = conn else {
+            continue;
+        };
+        // A stalled scraper must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        serve_one(stream);
+    }
+}
+
+/// Answers a single request; all I/O errors are swallowed (the scraper
+/// retries, the session must not notice).
+fn serve_one(stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            // The text exposition format content type, version 0.0.4.
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics().render_prometheus(),
+        ),
+        "/metrics/json" | "/json" => (
+            "200 OK",
+            "application/json",
+            metrics().render_json(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_json_and_health() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("ok\n"));
+
+        let prom = get(addr, "/metrics");
+        assert!(prom.starts_with("HTTP/1.1 200"), "{prom}");
+        assert!(prom.contains("text/plain; version=0.0.4"));
+        assert!(prom.contains("# TYPE graphbolt_batches_applied_total counter"));
+        assert!(prom.contains("graphbolt_batch_refine_ns_bucket{le=\"+Inf\"}"));
+
+        let json = get(addr, "/metrics/json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"graphbolt_batches_applied_total\""));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_the_port() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown the listener is closed: rebinding the same
+        // address succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+}

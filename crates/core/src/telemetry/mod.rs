@@ -1,0 +1,468 @@
+//! End-to-end telemetry: metrics registry, structured tracing, and
+//! exposition (DESIGN.md §10).
+//!
+//! The paper's whole evaluation (§5, Figure 6 / Table 7) is an
+//! observability argument — edge-computation counts, per-batch
+//! refinement latency, dependency-store footprint. This module makes
+//! those first-class: a process-global [`MetricsRegistry`] of lock-free
+//! counters, gauges, and log-scale [`Histogram`]s built on the engine's
+//! padded [`WorkCounter`] primitive, a typed [`trace`] event stream with
+//! pluggable subscribers, Prometheus/JSON [`encode`]rs, and a tiny
+//! std-only [`http`] responder for `/metrics` + `/healthz`.
+//!
+//! Everything is dependency-free and pay-for-what-you-use: with no HTTP
+//! server bound and no trace subscriber registered, instrumented sites
+//! cost one padded relaxed counter update (metrics) or one
+//! load-and-branch (tracing).
+//!
+//! Metric names follow `graphbolt_[a-z_]+` and must be documented in
+//! DESIGN.md §10 — both enforced by the `cargo xtask lint`
+//! `metrics-naming` rule.
+
+pub mod encode;
+pub mod hist;
+pub mod http;
+pub mod trace;
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use graphbolt_engine::parallel::WorkCounter;
+use graphbolt_engine::profile;
+
+pub use hist::{BucketCount, Histogram, HistogramSnapshot};
+pub use trace::{JsonlSink, RefinePhase, RingBufferSink, TraceEvent, TraceSubscriber};
+
+/// A monotonically increasing counter with a registered name.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    cell: WorkCounter,
+}
+
+impl Counter {
+    /// Creates a zeroed counter under `name` (must match
+    /// `graphbolt_[a-z_]+`; enforced by `cargo xtask lint`).
+    pub fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            cell: WorkCounter::new(),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.cell.add(delta);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+/// A last-value-wins gauge with a registered name.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    cell: WorkCounter,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge under `name` (must match
+    /// `graphbolt_[a-z_]+`; enforced by `cargo xtask lint`).
+    pub fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            cell: WorkCounter::new(),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.cell.set(value);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+/// Plain-value copy of one counter or gauge.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricValue {
+    /// Metric name (`graphbolt_*`).
+    pub name: &'static str,
+    /// Human-readable description.
+    pub help: &'static str,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time copy of the whole registry; input to the encoders and
+/// the `stats` CLI surface. Values are read per-metric (each exact);
+/// the set is not a cross-metric consistent cut.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All registered counters, registration order.
+    pub counters: Vec<MetricValue>,
+    /// All registered gauges, registration order.
+    pub gauges: Vec<MetricValue>,
+    /// All registered histograms, registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// The fixed set of process-global metrics. Fields are typed and named
+/// (no string lookup on the hot path); the name table is documented in
+/// DESIGN.md §10 and enforced by the `metrics-naming` lint rule.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Batches committed by `apply_batch` (refined or degraded path).
+    pub batches_applied: Counter,
+    /// Mutations contained in committed batches.
+    pub mutations_applied: Counter,
+    /// Batches moved to the dead-letter queue after a refinement panic.
+    pub batches_quarantined: Counter,
+    /// Refinement panics caught and recovered by session workers.
+    pub panics_recovered: Counter,
+    /// Non-blocking submissions rejected by a full ingestion queue.
+    pub backpressure_rejections: Counter,
+    /// Session checkpoints successfully written.
+    pub checkpoints_written: Counter,
+    /// Session checkpoint attempts that failed.
+    pub checkpoint_failures: Counter,
+    /// Contribution / delta / retraction evaluations (paper Figure 6).
+    pub edge_computations: Counter,
+    /// `∮` (vertex compute) evaluations.
+    pub vertex_computations: Counter,
+    /// BSP iterations executed (initial + refinement + hybrid).
+    pub iterations: Counter,
+
+    /// Commands currently queued for the session worker.
+    pub queue_occupancy: Gauge,
+    /// Memory-budget degrade level (0 none, 1 pruned, 2 dropped).
+    pub degrade_level: Gauge,
+    /// Current dependency-store footprint in bytes.
+    pub dependency_store_bytes: Gauge,
+    /// Aggregation records currently held by the dependency store.
+    pub stored_aggregations: Gauge,
+
+    /// Per-batch end-to-end refinement latency (ns).
+    pub batch_refine_ns: Histogram,
+    /// Per-call `edge_map` latency (ns), via the engine profiling hook.
+    pub edge_map_ns: Histogram,
+    /// Per-iteration BSP step latency (ns).
+    pub bsp_iteration_ns: Histogram,
+    /// Refinement tag phase (impacted-set derivation) latency (ns).
+    pub refine_tag_ns: Histogram,
+    /// Refinement propagate phase (⊎/⋃-/⋃△ unions) latency (ns).
+    pub refine_propagate_ns: Histogram,
+    /// Refinement apply phase (commit loop) latency (ns).
+    pub refine_apply_ns: Histogram,
+    /// Ingestion-queue depth sampled at each worker dequeue.
+    pub queue_depth: Histogram,
+    /// Per-checkpoint serialize + persist latency (ns).
+    pub checkpoint_write_ns: Histogram,
+    /// Dependency-store bytes sampled after each batch.
+    pub store_bytes: Histogram,
+}
+
+impl MetricsRegistry {
+    fn new() -> Self {
+        Self {
+            batches_applied: Counter::new(
+                "graphbolt_batches_applied_total",
+                "Mutation batches committed (refined or degraded path)",
+            ),
+            mutations_applied: Counter::new(
+                "graphbolt_mutations_applied_total",
+                "Edge mutations contained in committed batches",
+            ),
+            batches_quarantined: Counter::new(
+                "graphbolt_batches_quarantined_total",
+                "Batches dead-lettered after a refinement panic",
+            ),
+            panics_recovered: Counter::new(
+                "graphbolt_panics_recovered_total",
+                "Refinement panics caught and recovered by session workers",
+            ),
+            backpressure_rejections: Counter::new(
+                "graphbolt_backpressure_rejections_total",
+                "Non-blocking submissions rejected by a full queue",
+            ),
+            checkpoints_written: Counter::new(
+                "graphbolt_checkpoints_written_total",
+                "Session checkpoints successfully written",
+            ),
+            checkpoint_failures: Counter::new(
+                "graphbolt_checkpoint_failures_total",
+                "Session checkpoint attempts that failed",
+            ),
+            edge_computations: Counter::new(
+                "graphbolt_edge_computations_total",
+                "Contribution / delta / retraction evaluations",
+            ),
+            vertex_computations: Counter::new(
+                "graphbolt_vertex_computations_total",
+                "Vertex compute evaluations",
+            ),
+            iterations: Counter::new(
+                "graphbolt_iterations_total",
+                "BSP iterations executed (initial + refinement + hybrid)",
+            ),
+            queue_occupancy: Gauge::new(
+                "graphbolt_queue_occupancy",
+                "Commands currently queued for the session worker",
+            ),
+            degrade_level: Gauge::new(
+                "graphbolt_degrade_level",
+                "Memory-budget degrade level (0 none, 1 pruned, 2 dropped)",
+            ),
+            dependency_store_bytes: Gauge::new(
+                "graphbolt_dependency_store_bytes",
+                "Current dependency-store footprint in bytes",
+            ),
+            stored_aggregations: Gauge::new(
+                "graphbolt_stored_aggregations",
+                "Aggregation records held by the dependency store",
+            ),
+            batch_refine_ns: Histogram::new(
+                "graphbolt_batch_refine_ns",
+                "Per-batch end-to-end refinement latency in nanoseconds",
+            ),
+            edge_map_ns: Histogram::new(
+                "graphbolt_edge_map_ns",
+                "Per-call edge_map latency in nanoseconds",
+            ),
+            bsp_iteration_ns: Histogram::new(
+                "graphbolt_bsp_iteration_ns",
+                "Per-iteration BSP step latency in nanoseconds",
+            ),
+            refine_tag_ns: Histogram::new(
+                "graphbolt_refine_tag_ns",
+                "Refinement tag phase latency in nanoseconds",
+            ),
+            refine_propagate_ns: Histogram::new(
+                "graphbolt_refine_propagate_ns",
+                "Refinement propagate phase latency in nanoseconds",
+            ),
+            refine_apply_ns: Histogram::new(
+                "graphbolt_refine_apply_ns",
+                "Refinement apply phase latency in nanoseconds",
+            ),
+            queue_depth: Histogram::new(
+                "graphbolt_queue_depth",
+                "Ingestion-queue depth sampled at each worker dequeue",
+            ),
+            checkpoint_write_ns: Histogram::new(
+                "graphbolt_checkpoint_write_ns",
+                "Per-checkpoint serialize and persist latency in nanoseconds",
+            ),
+            store_bytes: Histogram::new(
+                "graphbolt_store_bytes",
+                "Dependency-store bytes sampled after each batch",
+            ),
+        }
+    }
+
+    /// All counters, registration order.
+    pub fn counters(&self) -> [&Counter; 10] {
+        [
+            &self.batches_applied,
+            &self.mutations_applied,
+            &self.batches_quarantined,
+            &self.panics_recovered,
+            &self.backpressure_rejections,
+            &self.checkpoints_written,
+            &self.checkpoint_failures,
+            &self.edge_computations,
+            &self.vertex_computations,
+            &self.iterations,
+        ]
+    }
+
+    /// All gauges, registration order.
+    pub fn gauges(&self) -> [&Gauge; 4] {
+        [
+            &self.queue_occupancy,
+            &self.degrade_level,
+            &self.dependency_store_bytes,
+            &self.stored_aggregations,
+        ]
+    }
+
+    /// All histograms, registration order.
+    pub fn histograms(&self) -> [&Histogram; 9] {
+        [
+            &self.batch_refine_ns,
+            &self.edge_map_ns,
+            &self.bsp_iteration_ns,
+            &self.refine_tag_ns,
+            &self.refine_propagate_ns,
+            &self.refine_apply_ns,
+            &self.queue_depth,
+            &self.checkpoint_write_ns,
+            &self.store_bytes,
+        ]
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters()
+                .iter()
+                .map(|c| MetricValue {
+                    name: c.name(),
+                    help: c.help(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges()
+                .iter()
+                .map(|g| MetricValue {
+                    name: g.name(),
+                    help: g.help(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self.histograms().iter().map(|h| h.snapshot()).collect(),
+        }
+    }
+
+    /// Prometheus text-format exposition of the current state.
+    pub fn render_prometheus(&self) -> String {
+        encode::prometheus(&self.snapshot())
+    }
+
+    /// JSON exposition of the current state.
+    pub fn render_json(&self) -> String {
+        encode::json(&self.snapshot())
+    }
+}
+
+static METRICS: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global registry. First access also installs the engine's
+/// `edge_map` profiling hook, so engine-level timings flow into
+/// [`MetricsRegistry::edge_map_ns`] from then on; code that never
+/// touches telemetry (the criterion benches) never installs the hook
+/// and pays nothing.
+pub fn metrics() -> &'static MetricsRegistry {
+    METRICS.get_or_init(|| {
+        profile::install_edge_map_hook(record_edge_map_sample);
+        MetricsRegistry::new()
+    })
+}
+
+/// Engine profiling hook: forwards one `edge_map` sample into the
+/// registry. Runs only after `metrics()` initialized, so the inner
+/// `get_or_init` never recurses.
+fn record_edge_map_sample(sample: profile::EdgeMapSample) {
+    metrics().edge_map_ns.record(sample.nanos);
+}
+
+/// `Duration` → saturated nanoseconds for histogram recording.
+#[inline]
+pub fn saturating_nanos(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Serializes tests that manipulate the process-global trace subscriber
+/// or assert on global metric deltas. Not part of the stable API.
+#[doc(hidden)]
+pub fn test_trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_well_formed() {
+        let m = metrics();
+        let mut names: Vec<&str> = Vec::new();
+        for c in m.counters() {
+            names.push(c.name());
+        }
+        for g in m.gauges() {
+            names.push(g.name());
+        }
+        for h in m.histograms() {
+            names.push(h.name());
+        }
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric name registered");
+        for name in names {
+            let rest = name.strip_prefix("graphbolt_").unwrap_or_else(|| {
+                panic!("metric `{name}` missing graphbolt_ prefix")
+            });
+            assert!(
+                !rest.is_empty()
+                    && rest.bytes().all(|b| b == b'_' || b.is_ascii_lowercase()),
+                "metric `{name}` violates graphbolt_[a-z_]+"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let c = Counter::new("graphbolt_test_total", "test");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new("graphbolt_test_gauge", "test");
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn snapshot_covers_every_registered_metric() {
+        let snap = metrics().snapshot();
+        assert_eq!(snap.counters.len(), metrics().counters().len());
+        assert_eq!(snap.gauges.len(), metrics().gauges().len());
+        assert_eq!(snap.histograms.len(), metrics().histograms().len());
+    }
+}

@@ -1,0 +1,510 @@
+//! Structured trace events: typed, bounded, subscriber-pluggable.
+//!
+//! Instrumented sites throughout the session/refinement stack call
+//! [`emit`] with a closure building a [`TraceEvent`]. When no subscriber
+//! is registered — the default — the cost at every site is a single
+//! `OnceLock` load-and-branch: the closure never runs, no clock is read,
+//! nothing allocates. Registering a [`TraceSubscriber`] (a bounded
+//! [`RingBufferSink`] for tests and the `stats` surface, a [`JsonlSink`]
+//! for the CLI's `--trace-out`) flips the runtime gate; this is the
+//! "feature gate" for tracing — a cargo feature would either be
+//! default-off (making `--trace-out` dead in release binaries) or
+//! default-on (buying nothing over the branch).
+//!
+//! Event ordering is defined per emitting thread: the session worker
+//! emits its lifecycle sequence (ingest → refine → checkpoint →
+//! quarantine/rebuild) in program order, so subscribers can assert on
+//! sequences like `SessionQuarantined` before `SessionRebuilt`.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use graphbolt_engine::parallel::WorkCounter;
+
+/// Refinement phase within one tracked iteration, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefinePhase {
+    /// Tagging: deriving the impacted-vertex sets for the iteration.
+    Tag,
+    /// Propagation: the ⊎ / ⋃- / ⋃△ union passes over impacted edges.
+    Propagate,
+    /// Application: committing refined aggregations and new values.
+    Apply,
+}
+
+impl RefinePhase {
+    /// Stable lower-case name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RefinePhase::Tag => "tag",
+            RefinePhase::Propagate => "propagate",
+            RefinePhase::Apply => "apply",
+        }
+    }
+}
+
+/// One typed trace event. Variants mirror the observable lifecycle of a
+/// streaming session; the catalogue is documented in DESIGN.md §10.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A session worker thread started.
+    SessionStarted {
+        /// Configured ingestion queue bound.
+        queue_capacity: usize,
+    },
+    /// A session worker exited cleanly.
+    SessionShutdown {
+        /// Batches applied over the session's lifetime.
+        batches: u64,
+    },
+    /// The worker coalesced queued mutations into a batch.
+    BatchIngested {
+        /// Mutations in the batch.
+        mutations: usize,
+        /// Commands still queued when the batch was cut.
+        queue_depth: u64,
+    },
+    /// A caller's non-blocking submit was rejected by a full queue.
+    Backpressure {
+        /// The configured queue bound that was hit.
+        queue_capacity: usize,
+    },
+    /// Refinement of a batch began.
+    RefineStarted {
+        /// Mutations in the batch.
+        mutations: usize,
+    },
+    /// One refinement phase of one tracked iteration completed.
+    RefinePhaseDone {
+        /// 1-based tracked iteration number.
+        iteration: u64,
+        /// Which phase completed.
+        phase: RefinePhase,
+        /// Wall-clock nanoseconds spent in the phase.
+        nanos: u64,
+    },
+    /// A batch finished refinement and was committed.
+    BatchApplied {
+        /// Mutations in the batch.
+        mutations: usize,
+        /// End-to-end nanoseconds (structure + refinement).
+        nanos: u64,
+        /// Whether the degraded full-recompute path served the batch.
+        degraded: bool,
+    },
+    /// A session checkpoint was written.
+    CheckpointWritten {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Nanoseconds spent serializing + persisting.
+        nanos: u64,
+    },
+    /// A session checkpoint attempt failed (the session continues).
+    CheckpointFailed {
+        /// Checkpoint sequence number that failed.
+        seq: u64,
+    },
+    /// The memory-budget ladder changed the degrade level.
+    DegradeChanged {
+        /// Previous level (0 = none, 1 = pruned store, 2 = dropped).
+        from: u8,
+        /// New level.
+        to: u8,
+    },
+    /// A batch panicked mid-refinement and was moved to the dead-letter
+    /// queue. Always precedes the matching [`TraceEvent::SessionRebuilt`].
+    SessionQuarantined {
+        /// Mutations in the quarantined batch.
+        mutations: usize,
+        /// Panic message captured from the refinement worker.
+        reason: String,
+    },
+    /// The engine finished rebuilding from the last good snapshot after
+    /// a quarantine.
+    SessionRebuilt,
+}
+
+impl TraceEvent {
+    /// Stable event-kind name used in JSONL output and assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SessionStarted { .. } => "session_started",
+            TraceEvent::SessionShutdown { .. } => "session_shutdown",
+            TraceEvent::BatchIngested { .. } => "batch_ingested",
+            TraceEvent::Backpressure { .. } => "backpressure",
+            TraceEvent::RefineStarted { .. } => "refine_started",
+            TraceEvent::RefinePhaseDone { .. } => "refine_phase",
+            TraceEvent::BatchApplied { .. } => "batch_applied",
+            TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
+            TraceEvent::CheckpointFailed { .. } => "checkpoint_failed",
+            TraceEvent::DegradeChanged { .. } => "degrade_changed",
+            TraceEvent::SessionQuarantined { .. } => "session_quarantined",
+            TraceEvent::SessionRebuilt => "session_rebuilt",
+        }
+    }
+
+    /// Encodes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"event\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        let mut field = |key: &str, value: String| {
+            s.push_str(",\"");
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value);
+        };
+        match self {
+            TraceEvent::SessionStarted { queue_capacity } => {
+                field("queue_capacity", queue_capacity.to_string());
+            }
+            TraceEvent::SessionShutdown { batches } => {
+                field("batches", batches.to_string());
+            }
+            TraceEvent::BatchIngested {
+                mutations,
+                queue_depth,
+            } => {
+                field("mutations", mutations.to_string());
+                field("queue_depth", queue_depth.to_string());
+            }
+            TraceEvent::Backpressure { queue_capacity } => {
+                field("queue_capacity", queue_capacity.to_string());
+            }
+            TraceEvent::RefineStarted { mutations } => {
+                field("mutations", mutations.to_string());
+            }
+            TraceEvent::RefinePhaseDone {
+                iteration,
+                phase,
+                nanos,
+            } => {
+                field("iteration", iteration.to_string());
+                field("phase", format!("\"{}\"", phase.name()));
+                field("nanos", nanos.to_string());
+            }
+            TraceEvent::BatchApplied {
+                mutations,
+                nanos,
+                degraded,
+            } => {
+                field("mutations", mutations.to_string());
+                field("nanos", nanos.to_string());
+                field("degraded", degraded.to_string());
+            }
+            TraceEvent::CheckpointWritten { seq, nanos } => {
+                field("seq", seq.to_string());
+                field("nanos", nanos.to_string());
+            }
+            TraceEvent::CheckpointFailed { seq } => {
+                field("seq", seq.to_string());
+            }
+            TraceEvent::DegradeChanged { from, to } => {
+                field("from", from.to_string());
+                field("to", to.to_string());
+            }
+            TraceEvent::SessionQuarantined { mutations, reason } => {
+                field("mutations", mutations.to_string());
+                field("reason", format!("\"{}\"", json_escape(reason)));
+            }
+            TraceEvent::SessionRebuilt => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Receives every emitted [`TraceEvent`] while registered. Implementors
+/// must be cheap and non-blocking — events are delivered synchronously
+/// from instrumented hot paths.
+pub trait TraceSubscriber: Send + Sync {
+    /// Called once per emitted event.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` events,
+/// dropping the oldest on overflow (and counting the drops). The default
+/// subscriber for tests and the `stats` surface.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: WorkCounter,
+}
+
+impl RingBufferSink {
+    /// Creates a sink bounded to `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: WorkCounter::new(),
+        }
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match self.events.lock() {
+            Ok(g) => g.iter().cloned().collect(),
+            Err(poisoned) => poisoned.into_inner().iter().cloned().collect(),
+        }
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        match self.events.lock() {
+            Ok(mut g) => g.drain(..).collect(),
+            Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+        }
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+impl TraceSubscriber for RingBufferSink {
+    fn on_event(&self, event: &TraceEvent) {
+        let mut g = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if g.len() == self.capacity {
+            g.pop_front();
+            self.dropped.add(1);
+        }
+        g.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line to the wrapped writer (the CLI's
+/// `--trace-out FILE`). Write errors are counted, not propagated — trace
+/// output must never take down the session it observes.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    errors: WorkCounter,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("errors", &self.errors.get())
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+            errors: WorkCounter::new(),
+        }
+    }
+
+    /// Creates (truncating) `path` and writes JSONL to it, buffered.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) {
+        let mut g = match self.out.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if g.flush().is_err() {
+            self.errors.add(1);
+        }
+    }
+
+    /// Write errors swallowed so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+}
+
+impl TraceSubscriber for JsonlSink {
+    fn on_event(&self, event: &TraceEvent) {
+        let line = event.to_json();
+        let mut g = match self.out.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if writeln!(g, "{line}").is_err() {
+            self.errors.add(1);
+        }
+    }
+}
+
+/// Global dispatch state, allocated on first subscription only. Before
+/// any subscriber ever registers, [`emit`]'s entire cost is the
+/// `OnceLock` load returning `None`.
+struct TraceState {
+    /// 1 while a subscriber is registered; a padded relaxed load gates
+    /// the hot path after the first registration in process history.
+    enabled: WorkCounter,
+    subscriber: RwLock<Option<Arc<dyn TraceSubscriber>>>,
+}
+
+static TRACE: OnceLock<TraceState> = OnceLock::new();
+
+/// Registers `subscriber` as the process-global trace sink, replacing
+/// any previous one. Events emitted concurrently with the swap go to
+/// whichever subscriber the emitting thread observes.
+pub fn set_subscriber(subscriber: Arc<dyn TraceSubscriber>) {
+    let state = TRACE.get_or_init(|| TraceState {
+        enabled: WorkCounter::new(),
+        subscriber: RwLock::new(None),
+    });
+    match state.subscriber.write() {
+        Ok(mut g) => *g = Some(subscriber),
+        Err(poisoned) => *poisoned.into_inner() = Some(subscriber),
+    }
+    state.enabled.set(1);
+}
+
+/// Unregisters the current subscriber (if any); emission returns to the
+/// single-branch disabled path.
+pub fn clear_subscriber() {
+    if let Some(state) = TRACE.get() {
+        state.enabled.set(0);
+        match state.subscriber.write() {
+            Ok(mut g) => *g = None,
+            Err(poisoned) => *poisoned.into_inner() = None,
+        }
+    }
+}
+
+/// True when a subscriber is registered. Instrumented sites use this to
+/// skip building expensive event payloads (and reading clocks).
+#[inline]
+pub fn enabled() -> bool {
+    TRACE.get().is_some_and(|s| s.enabled.get() != 0)
+}
+
+/// Emits an event to the registered subscriber, if any. The closure is
+/// evaluated only when a subscriber is present.
+#[inline]
+pub fn emit(make: impl FnOnce() -> TraceEvent) {
+    let Some(state) = TRACE.get() else {
+        return;
+    };
+    if state.enabled.get() == 0 {
+        return;
+    }
+    let subscriber = match state.subscriber.read() {
+        Ok(g) => g.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    };
+    if let Some(subscriber) = subscriber {
+        subscriber.on_event(&make());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_bounds_and_counts_drops() {
+        let sink = RingBufferSink::new(3);
+        for i in 0..5u64 {
+            sink.on_event(&TraceEvent::SessionShutdown { batches: i });
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(
+            events[0],
+            TraceEvent::SessionShutdown { batches: 2 },
+            "oldest events are evicted first"
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_shape() {
+        let ev = TraceEvent::SessionQuarantined {
+            mutations: 4,
+            reason: "boom \"quoted\"\nline".to_string(),
+        };
+        let json = ev.to_json();
+        assert!(json.starts_with("{\"event\":\"session_quarantined\""));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Clone, Default)]
+        struct Shared(Arc<StdMutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Shared::default();
+        let sink = JsonlSink::new(Box::new(shared.clone()));
+        sink.on_event(&TraceEvent::SessionRebuilt);
+        sink.on_event(&TraceEvent::SessionStarted { queue_capacity: 8 });
+        sink.flush();
+        let buf = shared.0.lock().expect("buffer lock").clone();
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"event\":\"session_rebuilt\"}");
+        assert!(lines[1].contains("\"queue_capacity\":8"));
+        assert_eq!(sink.errors(), 0);
+    }
+
+    #[test]
+    fn emit_runs_closure_only_when_subscribed() {
+        // Serialize against other tests touching the global subscriber.
+        let _guard = crate::telemetry::test_trace_lock();
+        clear_subscriber();
+        let mut ran = false;
+        emit(|| {
+            ran = true;
+            TraceEvent::SessionRebuilt
+        });
+        assert!(!ran, "closure must not run with no subscriber");
+        assert!(!enabled());
+
+        let sink = Arc::new(RingBufferSink::new(16));
+        set_subscriber(sink.clone());
+        assert!(enabled());
+        emit(|| TraceEvent::SessionRebuilt);
+        assert_eq!(sink.drain(), vec![TraceEvent::SessionRebuilt]);
+        clear_subscriber();
+        emit(|| TraceEvent::SessionRebuilt);
+        assert!(sink.events().is_empty(), "cleared subscriber gets nothing");
+    }
+}

@@ -1,0 +1,196 @@
+//! Trace-event acceptance suite: the structured events emitted across a
+//! session's life arrive in the order the observability docs promise
+//! (DESIGN.md §10), both on the happy path and through a quarantine /
+//! rebuild cycle driven by the fault injector.
+//!
+//! Every test manipulates the process-global trace subscriber, so each
+//! one holds `telemetry::test_trace_lock()` for its full duration and
+//! clears the subscriber before releasing it.
+
+use std::sync::Arc;
+
+use graphbolt_core::doctest_support::DocRank;
+use graphbolt_core::telemetry::{self, trace, RingBufferSink, TraceEvent};
+use graphbolt_core::{EngineOptions, StreamSession, StreamingEngine};
+use graphbolt_graph::{Edge, GraphBuilder};
+
+fn engine() -> StreamingEngine<DocRank> {
+    let g = GraphBuilder::new(6)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 4, 1.0)
+        .add_edge(4, 5, 1.0)
+        .add_edge(5, 0, 1.0)
+        .build();
+    let mut e = StreamingEngine::new(g, DocRank, EngineOptions::with_iterations(8));
+    e.run_initial();
+    e
+}
+
+/// Runs `f` with a fresh ring-buffer subscriber installed and returns
+/// the events recorded while it ran.
+fn record_events(f: impl FnOnce()) -> Vec<TraceEvent> {
+    let _guard = telemetry::test_trace_lock();
+    let sink = Arc::new(RingBufferSink::new(4096));
+    trace::set_subscriber(sink.clone());
+    f();
+    trace::clear_subscriber();
+    sink.drain()
+}
+
+/// Index of the first event whose `kind()` is `kind`, or a panic with
+/// the observed sequence for the failure message.
+fn first_index(events: &[TraceEvent], kind: &str) -> usize {
+    events
+        .iter()
+        .position(|e| e.kind() == kind)
+        .unwrap_or_else(|| {
+            panic!(
+                "no `{kind}` event; saw: {:?}",
+                events.iter().map(TraceEvent::kind).collect::<Vec<_>>()
+            )
+        })
+}
+
+#[test]
+fn session_lifecycle_events_arrive_in_order() {
+    let events = record_events(|| {
+        let session = StreamSession::spawn(engine());
+        session.add(Edge::new(0, 3, 1.0)).unwrap();
+        session.flush().unwrap();
+        session.finish().unwrap();
+    });
+
+    let started = first_index(&events, "session_started");
+    let ingested = first_index(&events, "batch_ingested");
+    let refine_started = first_index(&events, "refine_started");
+    let applied = first_index(&events, "batch_applied");
+    let shutdown = first_index(&events, "session_shutdown");
+    assert!(started < ingested, "worker starts before ingesting");
+    assert!(ingested < refine_started, "batch is cut before refinement");
+    assert!(refine_started < applied, "refinement precedes commit");
+    assert!(applied < shutdown, "shutdown is last");
+
+    match &events[ingested] {
+        TraceEvent::BatchIngested { mutations, .. } => assert_eq!(*mutations, 1),
+        other => panic!("expected BatchIngested, got {other:?}"),
+    }
+    match &events[shutdown] {
+        TraceEvent::SessionShutdown { batches } => assert!(*batches >= 1),
+        other => panic!("expected SessionShutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn refine_phases_emit_tag_propagate_apply_per_iteration() {
+    let events = record_events(|| {
+        let session = StreamSession::spawn(engine());
+        session.add(Edge::new(1, 4, 1.0)).unwrap();
+        session.flush().unwrap();
+        session.finish().unwrap();
+    });
+
+    let phases: Vec<(u64, trace::RefinePhase, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::RefinePhaseDone {
+                iteration,
+                phase,
+                nanos,
+            } => Some((*iteration, *phase, *nanos)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !phases.is_empty(),
+        "tracked refinement must report phase timings"
+    );
+    // Per iteration the three phases arrive in execution order, and
+    // iterations arrive in ascending order.
+    for window in phases.chunks(3) {
+        let [(i1, p1, _), (i2, p2, _), (i3, p3, _)] = window else {
+            panic!("phases come in triples, got {window:?}");
+        };
+        assert_eq!((i1, i2, i3), (i1, i1, i1), "one iteration per triple");
+        assert_eq!(*p1, trace::RefinePhase::Tag);
+        assert_eq!(*p2, trace::RefinePhase::Propagate);
+        assert_eq!(*p3, trace::RefinePhase::Apply);
+    }
+    let iterations: Vec<u64> = phases.iter().map(|(i, _, _)| *i).collect();
+    let mut sorted = iterations.clone();
+    sorted.sort_unstable();
+    assert_eq!(iterations, sorted, "iterations are reported in order");
+}
+
+#[test]
+fn no_events_are_recorded_without_a_subscriber() {
+    let _guard = telemetry::test_trace_lock();
+    trace::clear_subscriber();
+    let sink = Arc::new(RingBufferSink::new(64));
+    // Run a session with no subscriber installed, then install one:
+    // nothing from the unsubscribed window may appear.
+    {
+        let session = StreamSession::spawn(engine());
+        session.add(Edge::new(2, 5, 1.0)).unwrap();
+        session.finish().unwrap();
+    }
+    trace::set_subscriber(sink.clone());
+    trace::clear_subscriber();
+    assert!(sink.drain().is_empty());
+}
+
+#[cfg(feature = "fault-injection")]
+mod quarantine_ordering {
+    use super::*;
+    use graphbolt_core::fault::{arm, FaultAction};
+
+    /// Acceptance: a panicking batch produces `SessionQuarantined`
+    /// strictly before the matching `SessionRebuilt`, and the rebuild
+    /// completes before the worker shuts down.
+    #[test]
+    fn quarantine_precedes_rebuild() {
+        let events = record_events(|| {
+            let session = StreamSession::spawn(engine());
+            arm("refine::start", FaultAction::Panic, 1);
+            session.add(Edge::new(0, 3, 1.0)).unwrap();
+            session.flush().unwrap();
+            // A later batch must refine normally after the rebuild.
+            session.add(Edge::new(1, 4, 1.0)).unwrap();
+            let outcome = session.finish().unwrap();
+            assert_eq!(outcome.stats.panics_recovered, 1);
+        });
+
+        let quarantined = first_index(&events, "session_quarantined");
+        let rebuilt = first_index(&events, "session_rebuilt");
+        let shutdown = first_index(&events, "session_shutdown");
+        assert!(
+            quarantined < rebuilt,
+            "quarantine event must precede the rebuild event"
+        );
+        assert!(rebuilt < shutdown, "rebuild completes before shutdown");
+
+        match &events[quarantined] {
+            TraceEvent::SessionQuarantined { mutations, reason } => {
+                assert_eq!(*mutations, 1);
+                assert!(
+                    reason.contains("injected fault"),
+                    "reason records the panic message, got: {reason}"
+                );
+            }
+            other => panic!("expected SessionQuarantined, got {other:?}"),
+        }
+
+        // The second batch refined normally after recovery.
+        let applied: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind() == "batch_applied")
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            applied.iter().any(|&i| i > rebuilt),
+            "a batch must be applied after the rebuild"
+        );
+    }
+}

@@ -86,11 +86,23 @@ where
         let work = frontier.len() + frontier.out_degree_sum(g);
         work > g.num_edges() / opts.dense_denominator.max(1)
     };
-    if use_dense {
+    // Clocks are read only when a profiling hook is installed; the
+    // default path costs one load-and-branch per call.
+    let hook = crate::profile::edge_map_hook();
+    let profiled = hook.map(|h| (h, std::time::Instant::now(), edge_work.get()));
+    let out = if use_dense {
         edge_map_dense(g, frontier, update, cond, edge_work)
     } else {
         edge_map_sparse(g, frontier, update, cond, edge_work)
+    };
+    if let Some((hook, start, work_before)) = profiled {
+        hook(crate::profile::EdgeMapSample {
+            nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            edges: edge_work.get().wrapping_sub(work_before),
+            dense: use_dense,
+        });
     }
+    out
 }
 
 /// Edges per chunk floor for the edge-balanced sparse partition; below

@@ -16,6 +16,7 @@
 pub mod bitset;
 pub mod edge_map;
 pub mod parallel;
+pub mod profile;
 pub mod subset;
 pub mod vertex_map;
 

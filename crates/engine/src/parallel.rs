@@ -262,6 +262,54 @@ impl WorkCounter {
         // ordering: reset is single-threaded between phases.
         self.0 .0.store(value, Ordering::Relaxed);
     }
+
+    /// Subtracts `delta` (for gauge-style occupancy tracking). Zero
+    /// deltas are skipped to mirror [`WorkCounter::add`]. Wraps on
+    /// underflow — callers pair every `sub` with a prior `add`.
+    #[inline]
+    pub fn sub(&self, delta: u64) {
+        if delta != 0 {
+            // ordering: pure counter, no dependent data; commutative
+            // subtraction is exact under Relaxed.
+            self.0 .0.fetch_sub(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Atomically reads the value and resets it to zero, returning what
+    /// was read. Concurrent `add`s land either in the returned value or
+    /// in the fresh epoch — never both, never neither — so periodic
+    /// read-and-reset consumers (`EngineStats::take_snapshot`) lose no
+    /// counts.
+    #[inline]
+    pub fn take(&self) -> u64 {
+        // ordering: the swap itself is the atomicity guarantee; no
+        // dependent data is published through the counter.
+        self.0 .0.swap(0, Ordering::Relaxed)
+    }
+
+    /// Raises the value to `candidate` if larger (running-maximum
+    /// tracking, e.g. a histogram's exact max). A CAS loop rather than
+    /// `fetch_max` so the loom model checker (whose atomic stub has no
+    /// `fetch_max`) exercises the same code path as production.
+    #[inline]
+    pub fn record_max(&self, candidate: u64) {
+        // ordering: max is commutative and idempotent; Relaxed CAS
+        // retries converge to the true maximum regardless of
+        // interleaving, and no dependent data rides on the value.
+        let mut seen = self.0 .0.load(Ordering::Relaxed);
+        while candidate > seen {
+            // ordering: Relaxed for both CAS orderings, per above.
+            match self.0 .0.compare_exchange_weak(
+                seen,
+                candidate,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
 }
 
 #[cfg(test)]

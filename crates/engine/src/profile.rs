@@ -1,0 +1,58 @@
+//! Profiling hooks: a process-global, install-once observer for
+//! `edge_map` timings.
+//!
+//! The engine sits below the telemetry registry in the crate graph, so it
+//! cannot record into `graphbolt_core::telemetry` directly. Instead it
+//! exposes a plain-`fn` hook: the telemetry layer installs a recorder at
+//! registry initialization, and every `edge_map` call afterwards reports
+//! one [`EdgeMapSample`]. When no hook is installed — the default, and
+//! the state every benchmark runs in — the cost on the `edge_map` hot
+//! path is a single `OnceLock` load-and-branch per *call* (not per
+//! edge), and no clocks are read.
+
+use std::sync::OnceLock;
+
+/// Measurements from one `edge_map` invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeMapSample {
+    /// Wall-clock nanoseconds spent in the call (saturated at `u64::MAX`).
+    pub nanos: u64,
+    /// `update` invocations performed by the call.
+    pub edges: u64,
+    /// True when the dense (pull) traversal was selected.
+    pub dense: bool,
+}
+
+/// Signature of an `edge_map` observer. A plain `fn` keeps installation
+/// allocation-free and the hook trivially `Send + Sync`.
+pub type EdgeMapHook = fn(EdgeMapSample);
+
+static EDGE_MAP_HOOK: OnceLock<EdgeMapHook> = OnceLock::new();
+
+/// Installs the process-global `edge_map` observer. The first
+/// installation wins and is permanent (the hook lives for the process);
+/// returns false if a hook was already installed.
+pub fn install_edge_map_hook(hook: EdgeMapHook) -> bool {
+    EDGE_MAP_HOOK.set(hook).is_ok()
+}
+
+/// The installed hook, if any. One load-and-branch on the miss path.
+#[inline]
+pub(crate) fn edge_map_hook() -> Option<EdgeMapHook> {
+    EDGE_MAP_HOOK.get().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_install_is_rejected() {
+        fn h(_: EdgeMapSample) {}
+        // Whichever test in the process installed first, a repeat install
+        // of `h` after `h` is in place must report failure.
+        install_edge_map_hook(h);
+        assert!(!install_edge_map_hook(h));
+        assert!(edge_map_hook().is_some());
+    }
+}

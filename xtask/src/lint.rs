@@ -6,7 +6,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::items::law_registrations;
-use crate::rules::{law_coverage, run_rules, FileCtx, Finding, RuleId};
+use crate::rules::{law_coverage, metrics_naming, run_rules, FileCtx, Finding, RuleId};
 use crate::scanner::{scan, Scanned};
 
 /// Directory names never descended into.
@@ -56,19 +56,24 @@ fn in_test_tree(rel: &str) -> bool {
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
 }
 
-/// Runs every enabled rule (per-file rules plus `law-coverage` against
-/// the given registration set) over one scanned file, with the per-file
-/// (rule, line) dedup applied.
+/// Runs every enabled rule (per-file rules plus the cross-file pair:
+/// `law-coverage` against the given registration set, `metrics-naming`
+/// against DESIGN.md §10's documented names) over one scanned file,
+/// with the per-file (rule, line) dedup applied.
 fn lint_scanned(
     ctx: &FileCtx,
     scanned: &Scanned,
     enabled: &BTreeSet<RuleId>,
     registered: &BTreeSet<String>,
+    documented: Option<&BTreeSet<String>>,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     run_rules(ctx, scanned, enabled, &mut findings);
     if enabled.contains(&RuleId::LawCoverage) {
         law_coverage(ctx, scanned, registered, &mut findings);
+    }
+    if enabled.contains(&RuleId::MetricsNaming) {
+        metrics_naming(ctx, scanned, documented, &mut findings);
     }
     // One finding per (rule, line): e.g. `use ...::{AtomicU64, AtomicUsize}`
     // is one violation, not two.
@@ -83,13 +88,50 @@ fn lint_scanned(
 /// in its single-file form — registrations are collected from this text
 /// alone (the workspace walk collects them globally instead).
 pub fn lint_source(path: &str, src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Finding> {
+    lint_source_with_docs(path, src, enabled, None)
+}
+
+/// [`lint_source`] with an explicit documented-metric set for the
+/// `metrics-naming` rule. `None` skips the documentation half (the
+/// well-formedness half still runs), which keeps fixture tests
+/// self-contained: they inject the set instead of reading DESIGN.md, so
+/// the suite passes in a bare source export with no repo checkout.
+pub fn lint_source_with_docs(
+    path: &str,
+    src: &str,
+    enabled: &BTreeSet<RuleId>,
+    documented: Option<&BTreeSet<String>>,
+) -> Vec<Finding> {
     let scanned = scan(src);
     let ctx = FileCtx {
         path,
         in_test_tree: in_test_tree(path),
     };
     let registered: BTreeSet<String> = law_registrations(&scanned).into_iter().collect();
-    lint_scanned(&ctx, &scanned, enabled, &registered)
+    lint_scanned(&ctx, &scanned, enabled, &registered, documented)
+}
+
+/// Extracts every `graphbolt_[a-z_]+` name mentioned in DESIGN.md §10's
+/// metric table (in practice: anywhere in DESIGN.md — mentioning a
+/// metric elsewhere in the document also counts as documenting it).
+/// Returns `None` when DESIGN.md is absent, which downgrades
+/// `metrics-naming` to its well-formedness half rather than flagging
+/// every metric in a docs-less export.
+pub fn documented_metric_names(root: &Path) -> Option<BTreeSet<String>> {
+    let text = std::fs::read_to_string(root.join("DESIGN.md")).ok()?;
+    let mut names = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(off) = text[i..].find("graphbolt_") {
+        let start = i + off;
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_lowercase() || bytes[end] == b'_') {
+            end += 1;
+        }
+        names.insert(text[start..end].to_string());
+        i = end;
+    }
+    Some(names)
 }
 
 /// Lints the whole workspace rooted at `root` with all rules except
@@ -113,6 +155,7 @@ pub fn lint_workspace_with(
         .into_iter()
         .filter(|r| !allow.contains(r))
         .collect();
+    let documented = documented_metric_names(root);
     let mut scanned_files = Vec::new();
     let mut registered: BTreeSet<String> = BTreeSet::new();
     for file in collect_workspace_files(root)? {
@@ -135,7 +178,13 @@ pub fn lint_workspace_with(
             path: rel,
             in_test_tree: in_test_tree(rel),
         };
-        findings.extend(lint_scanned(&ctx, scanned, &enabled, &registered));
+        findings.extend(lint_scanned(
+            &ctx,
+            scanned,
+            &enabled,
+            &registered,
+            documented.as_ref(),
+        ));
     }
     Ok(findings)
 }

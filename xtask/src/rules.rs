@@ -1,4 +1,4 @@
-//! The seven workspace invariants enforced by `cargo xtask lint`.
+//! The eight workspace invariants enforced by `cargo xtask lint`.
 //!
 //! Policy lives here as code: the sanctioned-module tables below are the
 //! single source of truth for where `unsafe`, raw atomics, and thread
@@ -38,10 +38,13 @@ pub enum RuleId {
     /// Direct `.retract(` / `.delta(` calls confined to the refinement
     /// path and the law harness.
     RetractGuard,
+    /// Registered metric names match `graphbolt_[a-z_]+` and appear in
+    /// DESIGN.md §10's metric table.
+    MetricsNaming,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 8] = [
     RuleId::SafetyComment,
     RuleId::UnsafeConfined,
     RuleId::ServiceNoPanic,
@@ -49,6 +52,7 @@ pub const ALL_RULES: [RuleId; 7] = [
     RuleId::LawCoverage,
     RuleId::OrderingAudit,
     RuleId::RetractGuard,
+    RuleId::MetricsNaming,
 ];
 
 impl RuleId {
@@ -62,6 +66,7 @@ impl RuleId {
             RuleId::LawCoverage => "law-coverage",
             RuleId::OrderingAudit => "ordering-audit",
             RuleId::RetractGuard => "retract-guard",
+            RuleId::MetricsNaming => "metrics-naming",
         }
     }
 
@@ -92,6 +97,9 @@ impl RuleId {
             }
             RuleId::RetractGuard => {
                 "direct `.retract(`/`.delta(` only in core::{refine,bsp,laws}"
+            }
+            RuleId::MetricsNaming => {
+                "metric names match `graphbolt_[a-z_]+` and are documented in DESIGN.md §10"
             }
         }
     }
@@ -138,6 +146,7 @@ const ATOMICS_OK: &[&str] = &[
 const THREAD_OK: &[&str] = &[
     "crates/engine/src/parallel.rs",
     "crates/core/src/session.rs",
+    "crates/core/src/telemetry/http.rs",
 ];
 
 /// The service layer: modules where a panic kills a long-lived session
@@ -174,6 +183,10 @@ const RETRACT_OK: &[&str] = &[
     "crates/core/src/bsp.rs",
     "crates/core/src/laws.rs",
 ];
+
+/// The telemetry registration types whose `::new(` first argument is a
+/// metric name (see `core::telemetry`).
+const METRIC_TYPES: &[&str] = &["Counter", "Gauge", "Histogram"];
 
 /// The memory-ordering variants of `std::sync::atomic::Ordering` (and
 /// loom's mirror of it). `cmp::Ordering`'s variants (`Less`/`Equal`/
@@ -253,9 +266,91 @@ pub fn run_rules(
     if enabled.contains(&RuleId::RetractGuard) {
         retract_guard(ctx, scanned, out);
     }
-    // `law-coverage` is cross-file (registrations live in a different
-    // crate than the impls they cover) and is dispatched by the lint
-    // driver, which owns the workspace-wide registration set.
+    // `law-coverage` and `metrics-naming` are cross-file (registrations
+    // are checked against sets collected elsewhere — `check_laws` calls
+    // and DESIGN.md §10's metric table) and are dispatched by the lint
+    // driver, which owns those workspace-wide sets.
+}
+
+/// Rule `metrics-naming`: every metric registration —
+/// `Counter::new("…")`, `Gauge::new("…")`, `Histogram::new("…")` — must
+/// (a) pass a string literal as the name, (b) name it
+/// `graphbolt_<suffix>` with a nonempty `[a-z_]` suffix, and (c) appear
+/// in DESIGN.md §10's metric table (`documented` is that set; `None`
+/// skips the documentation half so fixture runs stay self-contained).
+/// Undocumented metrics are dashboards nobody can discover; malformed
+/// names break Prometheus relabeling downstream. Test regions are
+/// exempt — unit tests register throwaway metrics to probe the
+/// encoders.
+pub fn metrics_naming(
+    ctx: &FileCtx,
+    scanned: &Scanned,
+    documented: Option<&BTreeSet<String>>,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.in_test_tree {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if !METRIC_TYPES.contains(&tok.text.as_str()) {
+            continue;
+        }
+        if !(next_is(toks, i, "::")
+            && toks.get(i + 2).is_some_and(|t| t.text == "new")
+            && next_is(toks, i + 2, "("))
+        {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 4).filter(|t| t.kind == TokKind::Str) else {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::MetricsNaming,
+                tok.line,
+                format!(
+                    "`{}::new` name must be a string literal so the lint (and a \
+                     grep) can see it",
+                    tok.text
+                ),
+            );
+            continue;
+        };
+        let name = name_tok.literal.as_str();
+        let suffix = name.strip_prefix("graphbolt_");
+        let well_formed = suffix
+            .is_some_and(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        if !well_formed {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::MetricsNaming,
+                name_tok.line,
+                format!("metric name `{name}` does not match `graphbolt_[a-z_]+`"),
+            );
+            continue;
+        }
+        if let Some(docs) = documented {
+            if !docs.contains(name) {
+                emit(
+                    out,
+                    scanned,
+                    ctx,
+                    RuleId::MetricsNaming,
+                    name_tok.line,
+                    format!(
+                        "metric `{name}` is not documented in DESIGN.md §10's metric \
+                         table; add a row for it"
+                    ),
+                );
+            }
+        }
+    }
 }
 
 /// Rule `law-coverage`: every `impl Algorithm for T` in a non-test-tree

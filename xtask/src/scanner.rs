@@ -40,6 +40,11 @@ pub struct Token {
     /// Token text. Empty for [`TokKind::Str`] and [`TokKind::Char`] so
     /// literal contents can never satisfy an identifier match.
     pub text: String,
+    /// String-literal contents ([`TokKind::Str`] only; empty for every
+    /// other kind). Held apart from `text` so rules that inspect
+    /// *declared names* — metric registrations, for instance — can read
+    /// the literal without identifier matches ever seeing it.
+    pub literal: String,
     /// 1-based source line.
     pub line: usize,
     /// Lexical class.
@@ -159,7 +164,8 @@ pub fn scan(src: &str) -> Scanned {
             }
             if chars.get(j) == Some(&'"') {
                 i = consume_raw_string(&chars, j + 1, hashes, &mut line);
-                out.tokens.push(raw_token(TokKind::Str, line));
+                out.tokens
+                    .push(str_token(line, literal_body(&chars, j + 1, i, 1 + hashes)));
                 continue;
             }
             if hashes == 1 && chars.get(j).is_some_and(|&ch| is_ident_start(ch)) {
@@ -172,6 +178,7 @@ pub fn scan(src: &str) -> Scanned {
                 let text: String = chars[start..k].iter().collect();
                 out.tokens.push(Token {
                     text,
+                    literal: String::new(),
                     line,
                     kind: TokKind::Ident,
                     in_test: false,
@@ -184,8 +191,10 @@ pub fn scan(src: &str) -> Scanned {
         }
         // Byte strings / byte chars / C strings: b".." br".." b'..' c"..".
         if (c == 'b' || c == 'c') && matches!(chars.get(i + 1), Some(&'"')) {
+            let start = i + 2;
             i = consume_string(&chars, i + 2, &mut line);
-            out.tokens.push(raw_token(TokKind::Str, line));
+            out.tokens
+                .push(str_token(line, literal_body(&chars, start, i, 1)));
             continue;
         }
         if c == 'b' && chars.get(i + 1) == Some(&'\'') {
@@ -202,7 +211,8 @@ pub fn scan(src: &str) -> Scanned {
             }
             if chars.get(j) == Some(&'"') {
                 i = consume_raw_string(&chars, j + 1, hashes, &mut line);
-                out.tokens.push(raw_token(TokKind::Str, line));
+                out.tokens
+                    .push(str_token(line, literal_body(&chars, j + 1, i, 1 + hashes)));
                 continue;
             }
         }
@@ -215,6 +225,7 @@ pub fn scan(src: &str) -> Scanned {
             let text: String = chars[start..i].iter().collect();
             out.tokens.push(Token {
                 text,
+                literal: String::new(),
                 line,
                 kind: TokKind::Ident,
                 in_test: false,
@@ -224,8 +235,10 @@ pub fn scan(src: &str) -> Scanned {
         }
         // Strings.
         if c == '"' {
+            let start = i + 1;
             i = consume_string(&chars, i + 1, &mut line);
-            out.tokens.push(raw_token(TokKind::Str, line));
+            out.tokens
+                .push(str_token(line, literal_body(&chars, start, i, 1)));
             continue;
         }
         // Lifetime vs char literal.
@@ -241,6 +254,7 @@ pub fn scan(src: &str) -> Scanned {
                 let text: String = chars[start..i].iter().collect();
                 out.tokens.push(Token {
                     text,
+                    literal: String::new(),
                     line,
                     kind: TokKind::Lifetime,
                     in_test: false,
@@ -266,6 +280,7 @@ pub fn scan(src: &str) -> Scanned {
             if chars[i..].starts_with(&pc) {
                 out.tokens.push(Token {
                     text: (*p).to_string(),
+                    literal: String::new(),
                     line,
                     kind: TokKind::Punct,
                     in_test: false,
@@ -281,6 +296,7 @@ pub fn scan(src: &str) -> Scanned {
         }
         out.tokens.push(Token {
             text: c.to_string(),
+            literal: String::new(),
             line,
             kind: TokKind::Punct,
             in_test: false,
@@ -296,11 +312,29 @@ pub fn scan(src: &str) -> Scanned {
 fn raw_token(kind: TokKind, line: usize) -> Token {
     Token {
         text: String::new(),
+        literal: String::new(),
         line,
         kind,
         in_test: false,
         fn_name: None,
     }
+}
+
+/// A [`TokKind::Str`] token carrying its body for name-inspecting rules.
+fn str_token(line: usize, literal: String) -> Token {
+    Token {
+        literal,
+        ..raw_token(TokKind::Str, line)
+    }
+}
+
+/// Extracts a literal body from `start` up to `end` (which points past
+/// the closing delimiter); `trailer` is the delimiter width to strip
+/// (`1` for a quote, `1 + hashes` for raw strings). An unterminated
+/// literal at EOF has no trailer to strip.
+fn literal_body(chars: &[char], start: usize, end: usize, trailer: usize) -> String {
+    let stop = end.saturating_sub(trailer).max(start).min(chars.len());
+    chars[start..stop].iter().collect()
 }
 
 /// Consumes a normal (escaped) string body starting after the opening
@@ -418,6 +452,7 @@ fn consume_number(chars: &[char], mut i: usize, line: usize) -> (usize, Token) {
         i,
         Token {
             text,
+            literal: String::new(),
             line,
             kind: if is_float { TokKind::Float } else { TokKind::Int },
             in_test: false,
@@ -686,6 +721,19 @@ fn after() { tail(); }
         let tail = s.tokens.iter().find(|t| t.text == "tail").unwrap();
         assert!(!tail.in_test, "Test scope leaked past its closing brace");
         assert_eq!(tail.fn_name.as_deref(), Some("after"));
+    }
+
+    #[test]
+    fn string_literal_contents_live_in_literal_not_text() {
+        let s = scan(r###"let a = "graphbolt_total"; let b = r#"raw_name"#; let c = b"bytes";"###);
+        let strs: Vec<&Token> = s.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert_eq!(strs[0].literal, "graphbolt_total");
+        assert_eq!(strs[1].literal, "raw_name");
+        assert_eq!(strs[2].literal, "bytes");
+        // `text` stays empty: identifier matches never see literal bodies.
+        assert!(strs.iter().all(|t| t.text.is_empty()));
+        assert!(s.tokens.iter().all(|t| t.text != "graphbolt_total"));
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Deliberate metrics-naming violations, one per line 4-7.
+
+pub fn build(name: &'static str) -> Registry {
+    let _missing_prefix = Counter::new("batches_total", "no graphbolt_ prefix");
+    let _bad_charset = Gauge::new("graphbolt_QueueDepth", "uppercase suffix");
+    let _empty_suffix = Histogram::new("graphbolt_", "prefix alone");
+    let _computed = Counter::new(name, "name invisible to the lint");
+    let _well_formed = Counter::new("graphbolt_fixture_ok_total", "fires only via the doc set");
+    Registry
+}

@@ -1,4 +1,4 @@
-//! Fixture-backed tests for the seven lint rules: each rule has one
+//! Fixture-backed tests for the eight lint rules: each rule has one
 //! passing and one violating fixture with an exact expected finding
 //! count, plus `--allow` behavior, the `--changed` restriction, and a
 //! whole-tree cleanliness check.
@@ -6,7 +6,9 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use xtask::lint::{lint_source, lint_workspace, lint_workspace_with, render_text};
+use xtask::lint::{
+    lint_source, lint_source_with_docs, lint_workspace, lint_workspace_with, render_text,
+};
 use xtask::rules::{Finding, RuleId, ALL_RULES};
 
 fn fixture(rule_dir: &str, name: &str) -> String {
@@ -306,6 +308,71 @@ fn retract_guard_exempts_test_trees() {
 }
 
 #[test]
+fn metrics_naming_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::MetricsNaming,
+        "metrics_naming",
+        "pass.rs",
+        "crates/core/src/telemetry/mod.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn metrics_naming_fail_fixture_flags_each_violation() {
+    // Missing prefix, bad charset, empty suffix, computed name — the
+    // well-formed registration on line 8 passes (no doc set injected).
+    let f = lint_fixture(
+        RuleId::MetricsNaming,
+        "metrics_naming",
+        "fail.rs",
+        "crates/core/src/telemetry/mod.rs",
+    );
+    assert_eq!(f.len(), 4, "{}", render_text(&f));
+    assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), [4, 5, 6, 7]);
+    assert!(f[0].message.contains("graphbolt_[a-z_]+"));
+    assert!(f[1].message.contains("graphbolt_QueueDepth"));
+    assert!(f[2].message.contains("graphbolt_`"));
+    assert!(f[3].message.contains("string literal"));
+}
+
+#[test]
+fn metrics_naming_documented_set_is_injected_not_read() {
+    // The fixture tests never read DESIGN.md: the documented set is
+    // passed in, so the suite works in a bare source export.
+    let enabled: BTreeSet<RuleId> = [RuleId::MetricsNaming].into_iter().collect();
+    let src = fixture("metrics_naming", "pass.rs");
+    let path = "crates/core/src/telemetry/mod.rs";
+    let documented: BTreeSet<String> = [
+        "graphbolt_fixture_batches_total",
+        "graphbolt_fixture_queue_occupancy",
+        "graphbolt_fixture_refine_ns",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    let f = lint_source_with_docs(path, &src, &enabled, Some(&documented));
+    assert!(f.is_empty(), "{f:?}");
+
+    // An empty documented set flags every (well-formed) registration.
+    let none = BTreeSet::new();
+    let f = lint_source_with_docs(path, &src, &enabled, Some(&none));
+    assert_eq!(f.len(), 3, "{}", render_text(&f));
+    assert!(f.iter().all(|x| x.message.contains("DESIGN.md")));
+}
+
+#[test]
+fn metrics_naming_exempts_test_trees() {
+    let f = lint_fixture(
+        RuleId::MetricsNaming,
+        "metrics_naming",
+        "fail.rs",
+        "crates/core/tests/encoders.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn const_generic_signature_braces_do_not_misscope() {
     // Regression fixture for the scanner's former blind spot: the
     // `{ 1 }` const brace used to consume the pending `#[cfg(test)]`
@@ -365,7 +432,7 @@ fn changed_restriction_filters_findings_but_scans_whole_tree() {
 fn allow_disables_each_rule() {
     // `--allow <rule>` maps to removing the rule from the enabled set;
     // with its rule disabled, every fail fixture lints clean.
-    let cases: [(RuleId, &str, &str); 7] = [
+    let cases: [(RuleId, &str, &str); 8] = [
         (
             RuleId::SafetyComment,
             "safety_comment",
@@ -400,6 +467,11 @@ fn allow_disables_each_rule() {
             RuleId::RetractGuard,
             "retract_guard",
             "crates/core/src/streaming.rs",
+        ),
+        (
+            RuleId::MetricsNaming,
+            "metrics_naming",
+            "crates/core/src/telemetry/mod.rs",
         ),
     ];
     for (rule, dir, path) in cases {

@@ -5,7 +5,8 @@
 //! vertices), so the sparse (push) path's load balance and per-edge
 //! bookkeeping dominate end-to-end refinement cost. This bench sweeps
 //! frontier density — 0.1%, 1%, 10%, and full — against the forced
-//! sparse, forced dense, and auto (Ligra heuristic) paths.
+//! sparse, forced dense, static (fixed Ligra heuristic), and auto
+//! (adaptive online cost model, the engine default) paths.
 //!
 //! Besides the criterion groups, the bench writes a machine-readable
 //! `BENCH_edge_map.json` at the workspace root (median-of-runs,
@@ -33,13 +34,14 @@ const DENSITIES: &[(&str, f64)] = &[
     ("full", 1.0),
 ];
 
-const MODES: &[&str] = &["sparse", "dense", "auto"];
+const MODES: &[&str] = &["sparse", "dense", "static", "auto"];
 
 fn mode_options(mode: &str) -> EdgeMapOptions {
     match mode {
         "sparse" => EdgeMapOptions::sparse(),
         "dense" => EdgeMapOptions::dense(),
-        _ => EdgeMapOptions::default(),
+        "static" => EdgeMapOptions::static_heuristic(),
+        _ => EdgeMapOptions::adaptive(),
     }
 }
 
@@ -98,14 +100,44 @@ fn benches(c: &mut Criterion) {
 /// are trivially diffable across PRs.
 fn write_summary() {
     const RUNS: usize = 7;
+    /// Extra adaptive warm-ups so the controller has measured both paths
+    /// (cold start + probe) before the timed samples.
+    const ADAPTIVE_WARMUPS: usize = 4;
     let g = standard_graph(GraphSpec::at_scale(SCALE));
+    let threads = graphbolt_engine::parallel::default_threads();
     let mut entries = Vec::new();
     for &(label, density) in DENSITIES {
         let frontier = make_frontier(g.num_vertices(), density);
-        let touched = (frontier.len() + frontier.out_degree_sum(&g)) as u64;
+        let sparse_units = (frontier.len() + frontier.out_degree_sum(&g)) as u64;
+        let dense_units = (g.num_vertices() + g.num_edges()) as u64;
+        let touched = sparse_units;
         for &mode in MODES {
             let opts = mode_options(mode);
-            traverse(&g, &frontier, opts); // warm-up
+            let warmups = if mode == "auto" { ADAPTIVE_WARMUPS } else { 1 };
+            for _ in 0..warmups {
+                traverse(&g, &frontier, opts);
+            }
+            // The direction this row's configuration resolves to: forced
+            // for sparse/dense, the Ligra cut-off for static, and the
+            // controller's post-warm-up prediction for auto.
+            let decision = match mode {
+                "sparse" => "sparse",
+                "dense" => "dense",
+                "static" => {
+                    if sparse_units > (g.num_edges() / 20) as u64 {
+                        "dense"
+                    } else {
+                        "sparse"
+                    }
+                }
+                _ => match graphbolt_engine::adaptive::global().predict(sparse_units, dense_units)
+                {
+                    Some(true) => "dense",
+                    Some(false) => "sparse",
+                    None => "static",
+                },
+            };
+            let before = graphbolt_engine::adaptive::global().snapshot();
             let mut samples: Vec<f64> = (0..RUNS)
                 .map(|_| {
                     let t = Instant::now();
@@ -113,13 +145,16 @@ fn write_summary() {
                     t.elapsed().as_secs_f64()
                 })
                 .collect();
+            let after = graphbolt_engine::adaptive::global().snapshot();
             samples.sort_by(|a, b| a.total_cmp(b));
             let median = samples[RUNS / 2];
             entries.push(format!(
                 concat!(
                     "    {{\"density\": \"{}\", \"mode\": \"{}\", ",
                     "\"frontier_vertices\": {}, \"edges_plus_frontier\": {}, ",
-                    "\"median_ms\": {:.4}, \"medges_per_sec\": {:.2}}}"
+                    "\"median_ms\": {:.4}, \"medges_per_sec\": {:.2}, ",
+                    "\"threads\": {}, \"decision\": \"{}\", ",
+                    "\"probes\": {}, \"mispredicts\": {}}}"
                 ),
                 label,
                 mode,
@@ -127,6 +162,10 @@ fn write_summary() {
                 touched,
                 median * 1e3,
                 touched as f64 / median / 1e6,
+                threads,
+                decision,
+                after.probes - before.probes,
+                after.mispredicts - before.mispredicts,
             ));
         }
     }

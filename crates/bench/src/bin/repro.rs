@@ -2,7 +2,7 @@
 //! evaluation section at laptop scale.
 //!
 //! ```text
-//! repro <experiment> [--scale N]
+//! repro <experiment> [--scale N] [--threads N]
 //!
 //! experiments:
 //!   table1 fig2 fig4                 motivation (§2)
@@ -11,22 +11,27 @@
 //!   fig8 fig9                        system comparisons (§5.4)
 //!   table9                           memory overhead (§5.5)
 //!   structure                        graph-family sensitivity (§5.2 note)
+//!   scaling                          thread-scaling sweep (DESIGN.md §3.6)
 //!   ablation                         design-choice ablations
 //!   all                              everything above
 //! ```
 
-use graphbolt_bench::experiments::{ablation, fig8, fig9, motivation, structure, table9, tables};
+use graphbolt_bench::experiments::{
+    ablation, fig8, fig9, motivation, scaling, structure, table9, tables,
+};
 use graphbolt_bench::report::Table;
 use graphbolt_bench::workloads::GraphSpec;
 
 struct Args {
     experiment: String,
     scale: u32,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
     let mut experiment = String::from("all");
     let mut scale = GraphSpec::default_scale().scale;
+    let mut threads = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -36,6 +41,14 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs an integer"));
             }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&t: &usize| t > 0)
+                        .unwrap_or_else(|| die("--threads needs a positive integer")),
+                );
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -44,7 +57,11 @@ fn parse_args() -> Args {
             other => die(&format!("unknown flag {other}")),
         }
     }
-    Args { experiment, scale }
+    Args {
+        experiment,
+        scale,
+        threads,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -55,7 +72,7 @@ fn die(msg: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|table5|fig6|table6|table7|fig7|table8|fig8|fig9|table9|structure|ablation|all> [--scale N]"
+        "usage: repro <table1|fig2|fig4|table5|fig6|table6|table7|fig7|table8|fig8|fig9|table9|structure|scaling|ablation|all> [--scale N] [--threads N]"
     );
 }
 
@@ -67,6 +84,11 @@ fn show(tables: Vec<Table>) {
 
 fn main() {
     let args = parse_args();
+    if let Some(threads) = args.threads {
+        // Best-effort: the global pool can only be sized once per
+        // process; experiments that build scoped pools are unaffected.
+        let _ = graphbolt_engine::parallel::set_global_threads(threads);
+    }
     let spec = GraphSpec::at_scale(args.scale);
     // Batch sizes proportional to the synthetic graphs: the paper's
     // 1K/10K/100K batches on ~1B-edge inputs are ≤ 1e-4 of the edges, so
@@ -96,6 +118,12 @@ fn main() {
             ]),
             "table9" => show(vec![table9::table9(spec)]),
             "structure" => show(vec![structure::structure(spec, rel(9))]),
+            "scaling" => show(vec![scaling::table(&scaling::run_scaling(
+                spec,
+                &[1, 2, 4, 8],
+                4,
+                rel(9),
+            ))]),
             "ablation" => show(vec![
                 ablation::vertical_pruning(spec, rel(9)),
                 ablation::horizontal_cutoff(spec, rel(9)),
@@ -121,6 +149,7 @@ fn main() {
             "table9",
             "table6",
             "structure",
+            "scaling",
             "ablation",
         ] {
             run(name);

@@ -6,6 +6,7 @@ pub mod common;
 pub mod fig8;
 pub mod fig9;
 pub mod motivation;
+pub mod scaling;
 pub mod perf;
 pub mod structure;
 pub mod suite;

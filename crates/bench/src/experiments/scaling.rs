@@ -1,0 +1,274 @@
+//! Thread-scaling sweep: the first multicore story (DESIGN.md §3.6).
+//!
+//! Runs the standard streaming PageRank workload — initial execution
+//! plus a fixed batch schedule — once per requested worker-thread count
+//! inside a scoped rayon pool, and reports wall-clock plus the tagging /
+//! propagation / application phase breakdown captured from the
+//! [`TraceEvent::RefinePhaseDone`] stream. Adaptive-controller activity
+//! (direction picks, probes, mispredicts) is reported as deltas so the
+//! rows also show what the online cost model did at each width.
+//!
+//! [`TraceEvent::RefinePhaseDone`]: graphbolt_core::telemetry::TraceEvent
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphbolt_core::telemetry::trace;
+use graphbolt_core::telemetry::{RefinePhase, RingBufferSink, TraceEvent};
+use graphbolt_core::StreamingEngine;
+use graphbolt_engine::{edge_map, parallel, EdgeMapOptions, VertexSubset};
+use graphbolt_graph::{GraphSnapshot, VertexId, WorkloadBias};
+
+use crate::experiments::common::bench_options;
+use crate::harness::time;
+use crate::workloads::{standard_stream, GraphSpec};
+
+/// Nanoseconds per refinement phase, summed over all tracked iterations
+/// of all batches in one sweep configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseNanos {
+    /// Impacted-set derivation.
+    pub tag: u64,
+    /// Union passes over impacted edges.
+    pub propagate: u64,
+    /// Committing refined aggregations and values.
+    pub apply: u64,
+}
+
+impl PhaseNanos {
+    /// Sum of the three phases.
+    pub fn total(&self) -> u64 {
+        self.tag + self.propagate + self.apply
+    }
+}
+
+/// One row of the scaling sweep: everything measured at one thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Worker threads the scoped pool was built with.
+    pub threads: usize,
+    /// Initial (pre-mutation) execution wall-clock seconds.
+    pub initial_secs: f64,
+    /// Total refinement wall-clock seconds across all batches.
+    pub refine_secs: f64,
+    /// Batches applied.
+    pub batches: usize,
+    /// Per-phase nanoseconds from the trace stream.
+    pub phases: PhaseNanos,
+    /// Adaptive `edge_map` throughput (M edges+frontier/s) on a 10%
+    /// frontier of the final snapshot at this thread width.
+    pub edge_map_medges_per_sec: f64,
+    /// Adaptive sparse (push) picks during the row.
+    pub sparse_picks: u64,
+    /// Adaptive dense (pull) picks during the row.
+    pub dense_picks: u64,
+    /// Probe iterations spent re-measuring the predicted-slower path.
+    pub probes: u64,
+    /// Picks the post-observation cost model scored as the slower path.
+    pub mispredicts: u64,
+}
+
+/// Runs the sweep: one [`ScalingRow`] per entry of `threads`.
+///
+/// Each configuration rebuilds the stream and engine from scratch so the
+/// rows face identical work; the trace subscriber is installed only for
+/// the duration of the sweep.
+pub fn run_scaling(
+    spec: GraphSpec,
+    threads: &[usize],
+    batches: usize,
+    batch_size: usize,
+) -> Vec<ScalingRow> {
+    let mut rows = Vec::with_capacity(threads.len());
+    for &t in threads {
+        // Capacity covers iterations × 3 phases × batches with slack;
+        // drops would silently under-report phase time.
+        let sink = Arc::new(RingBufferSink::new(1 << 16));
+        trace::set_subscriber(sink.clone());
+        let before = graphbolt_engine::adaptive::global().snapshot();
+        let (initial_secs, refine_secs, edge_map_medges_per_sec) = parallel::with_threads(t, || {
+            let mut stream = standard_stream(spec, WorkloadBias::Uniform);
+            let g = stream.initial_snapshot();
+            let opts = bench_options();
+            let mut engine =
+                StreamingEngine::new(g, graphbolt_algorithms::PageRank::default(), opts);
+            let initial = time(|| {
+                engine.run_initial();
+            });
+            let mut refine_secs = 0.0;
+            for _ in 0..batches {
+                let Some(batch) = stream.next_batch(engine.graph(), batch_size) else {
+                    break;
+                };
+                let report = engine.apply_batch(&batch).expect("bench batch validates");
+                refine_secs += (report.duration - report.structure_duration).as_secs_f64();
+            }
+            // The BSP driver's aggregation steps use their own push/pull
+            // traversals, so exercise the adaptive edge_map path
+            // explicitly at this width — the controller columns below
+            // reflect these picks.
+            let throughput = edge_map_throughput(engine.graph());
+            (initial.secs(), refine_secs, throughput)
+        });
+        let after = graphbolt_engine::adaptive::global().snapshot();
+        trace::clear_subscriber();
+        let mut phases = PhaseNanos::default();
+        for event in sink.drain() {
+            if let TraceEvent::RefinePhaseDone { phase, nanos, .. } = event {
+                match phase {
+                    RefinePhase::Tag => phases.tag += nanos,
+                    RefinePhase::Propagate => phases.propagate += nanos,
+                    RefinePhase::Apply => phases.apply += nanos,
+                }
+            }
+        }
+        assert_eq!(sink.dropped(), 0, "trace sink overflowed; raise capacity");
+        rows.push(ScalingRow {
+            threads: t,
+            initial_secs,
+            refine_secs,
+            batches,
+            phases,
+            edge_map_medges_per_sec,
+            sparse_picks: after.sparse_picks - before.sparse_picks,
+            dense_picks: after.dense_picks - before.dense_picks,
+            probes: after.probes - before.probes,
+            mispredicts: after.mispredicts - before.mispredicts,
+        });
+    }
+    rows
+}
+
+/// Adaptive `edge_map` rounds per scaling row (first rounds warm the
+/// controller at the new width, the rest are measured).
+const EDGE_MAP_ROUNDS: usize = 8;
+const EDGE_MAP_WARMUPS: usize = 3;
+
+/// Median adaptive-`edge_map` throughput on a deterministic 10% frontier
+/// (every 10th vertex) of `g`, in M (edges + frontier members) / s.
+fn edge_map_throughput(g: &GraphSnapshot) -> f64 {
+    let n = g.num_vertices();
+    let ids: Vec<VertexId> = (0..n as VertexId).step_by(10).collect();
+    let frontier = VertexSubset::from_ids(n, ids);
+    let touched = (frontier.len() + frontier.out_degree_sum(g)) as f64;
+    let work = parallel::WorkCounter::new();
+    let traverse = |work: &parallel::WorkCounter| {
+        std::hint::black_box(edge_map(
+            g,
+            &frontier,
+            |u, v, _w| (u ^ v) & 1 == 0,
+            |_| true,
+            EdgeMapOptions::adaptive(),
+            work,
+        ))
+    };
+    let mut samples = Vec::with_capacity(EDGE_MAP_ROUNDS);
+    for round in 0..EDGE_MAP_WARMUPS + EDGE_MAP_ROUNDS {
+        let t = Instant::now();
+        traverse(&work);
+        if round >= EDGE_MAP_WARMUPS {
+            samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    touched / samples[samples.len() / 2] / 1e6
+}
+
+/// Renders the rows as the `BENCH_scaling.json` document.
+pub fn to_json(spec: GraphSpec, batch_size: usize, rows: &[ScalingRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"threads\": {}, \"initial_secs\": {:.6}, ",
+                    "\"refine_secs\": {:.6}, \"batches\": {}, ",
+                    "\"tag_ms\": {:.4}, \"propagate_ms\": {:.4}, ",
+                    "\"apply_ms\": {:.4}, \"edge_map_medges_per_sec\": {:.2}, ",
+                    "\"sparse_picks\": {}, ",
+                    "\"dense_picks\": {}, \"probes\": {}, \"mispredicts\": {}}}"
+                ),
+                r.threads,
+                r.initial_secs,
+                r.refine_secs,
+                r.batches,
+                r.phases.tag as f64 / 1e6,
+                r.phases.propagate as f64 / 1e6,
+                r.phases.apply as f64 / 1e6,
+                r.edge_map_medges_per_sec,
+                r.sparse_picks,
+                r.dense_picks,
+                r.probes,
+                r.mispredicts,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"scaling\",\n  \"algorithm\": \"pagerank\",\n",
+            "  \"graph\": {{\"generator\": \"rmat\", \"scale\": {}}},\n",
+            "  \"batch_size\": {},\n  \"host_threads\": {},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        spec.scale,
+        batch_size,
+        parallel::default_threads(),
+        entries.join(",\n"),
+    )
+}
+
+/// Renders the rows as a `repro` console table.
+pub fn table(rows: &[ScalingRow]) -> crate::report::Table {
+    let mut t = crate::report::Table::new(
+        "Thread scaling — streaming PageRank (initial + refinement, per-phase)",
+        vec![
+            "threads",
+            "initial",
+            "refine",
+            "tag ms",
+            "propagate ms",
+            "apply ms",
+            "edge_map ME/s",
+            "probes",
+            "mispredicts",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.threads.to_string(),
+            crate::report::fmt_secs(r.initial_secs),
+            crate::report::fmt_secs(r.refine_secs),
+            format!("{:.1}", r.phases.tag as f64 / 1e6),
+            format!("{:.1}", r.phases.propagate as f64 / 1e6),
+            format!("{:.1}", r.phases.apply as f64 / 1e6),
+            format!("{:.1}", r.edge_map_medges_per_sec),
+            r.probes.to_string(),
+            r.mispredicts.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_per_phase_rows() {
+        let rows = run_scaling(GraphSpec::at_scale(8), &[1, 2], 2, 16);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.initial_secs > 0.0);
+            assert!(row.batches == 2);
+            // Refinement ran, so phase time was traced.
+            assert!(row.phases.total() > 0, "no phase events captured");
+            // The explicit edge_map workload drove the controller.
+            assert!(row.edge_map_medges_per_sec > 0.0);
+            assert!(row.sparse_picks + row.dense_picks > 0);
+        }
+        let json = to_json(GraphSpec::at_scale(8), 16, &rows);
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("propagate_ms"));
+    }
+}

@@ -103,6 +103,8 @@ pub struct Options {
     pub metrics_addr: Option<String>,
     /// Write structured trace events (JSONL) here (serve mode).
     pub trace_out: Option<String>,
+    /// Worker threads for the global pool (`None` = machine default).
+    pub threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -128,6 +130,7 @@ impl Default for Options {
             resume: false,
             metrics_addr: None,
             trace_out: None,
+            threads: None,
         }
     }
 }
@@ -186,6 +189,7 @@ impl Options {
                 "--resume" => opts.resume = true,
                 "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
                 "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+                "--threads" => opts.threads = Some(parse_num(&value("--threads")?, "--threads")?),
                 other => return Err(format!("unknown option {other}\n{}", usage())),
             }
         }
@@ -213,6 +217,9 @@ impl Options {
         if opts.trace_out.is_some() && !opts.serve {
             return Err("--trace-out requires --serve".to_string());
         }
+        if opts.threads == Some(0) {
+            return Err("--threads must be positive".to_string());
+        }
         Ok(opts)
     }
 }
@@ -227,6 +234,7 @@ pub fn usage() -> String {
     "usage: gbolt <pagerank|labelprop|coem|cc|sssp|bfs|sswp|triangles> --graph PATH \
      [--stream PATH] [--iterations N] [--source V] [--labels F] [--seed-stride S] \
      [--tolerance X] [--cutoff K] [--symmetric] [--output PATH] [--memory-budget B] \
+     [--threads N] \
      [--serve [--queue-capacity N] [--checkpoint-dir D] [--checkpoint-every N] \
      [--checkpoint-keep N] [--resume] [--metrics-addr HOST:PORT] [--trace-out PATH]]\n\
      \x20      gbolt stats [--metrics-addr HOST:PORT]"
@@ -267,6 +275,11 @@ fn load_stream(opts: &Options) -> Result<Vec<MutationBatch>, String> {
 pub fn run(opts: &Options) -> Result<String, String> {
     if opts.algorithm == "stats" {
         return run_stats(opts);
+    }
+    if let Some(threads) = opts.threads {
+        // Best effort: the global pool freezes at its first use, so a
+        // second `run` in the same process keeps the first size.
+        let _ = graphbolt_engine::parallel::set_global_threads(threads);
     }
     let graph = load_graph(opts)?;
     let batches = load_stream(opts)?;
@@ -798,6 +811,8 @@ mod tests {
                 "--cutoff",
                 "5",
                 "--symmetric",
+                "--threads",
+                "4",
             ]
             .map(String::from),
         )
@@ -807,6 +822,16 @@ mod tests {
         assert_eq!(opts.iterations, 12);
         assert_eq!(opts.cutoff, Some(5));
         assert!(opts.symmetric);
+        assert_eq!(opts.threads, Some(4));
+    }
+
+    #[test]
+    fn parse_rejects_zero_threads() {
+        let err = Options::parse(
+            ["pagerank", "--graph", "g.txt", "--threads", "0"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
     }
 
     #[test]

@@ -109,6 +109,14 @@ pub fn run_tracking<A: Algorithm>(
     let mut changed_at_cutoff = vec![false; n];
     let mut vals_at_cutoff = driver.vals.clone();
     let mut iterations_run = 0;
+    // Adaptive c_k: with no explicit cut-off, stop recording once the
+    // changed count has peaked and stayed quiet (see `adaptive_cutoff`).
+    // Only recording stops — the store's configured cut-off, and thus
+    // checkpoint compatibility, is untouched.
+    let mut cap = crate::adaptive_cutoff::CapTracker::new(
+        (opts.horizontal_cutoff.is_none() && opts.adaptive_cutoff)
+            .then(|| crate::adaptive_cutoff::changed_threshold(n)),
+    );
     for iter in 1..=opts.max_iterations {
         let changed = driver.step(ExecutionMode::Incremental);
         iterations_run += 1;
@@ -121,7 +129,8 @@ pub fn run_tracking<A: Algorithm>(
         // that they always describe the last iteration the store reaches
         // (the computation may converge — stop touching aggregations —
         // before the cut-off, and refinement then resumes from there).
-        if iter <= cutoff && (!driver.touched.is_empty() || !opts.vertical_pruning) {
+        if iter <= cutoff && !cap.capped() && (!driver.touched.is_empty() || !opts.vertical_pruning)
+        {
             if opts.vertical_pruning {
                 for &v in &driver.touched {
                     store.record(v as usize, iter, &driver.aggs[v as usize]);
@@ -148,6 +157,9 @@ pub fn run_tracking<A: Algorithm>(
                 vals_at_cutoff.clone_from(&driver.vals);
             }
         }
+        // Fed after recording: the iteration that completes the quiet
+        // streak is still tracked; recording stops from the next one.
+        cap.observe(changed);
         if opts.convergence_exit && changed == 0 {
             break;
         }
@@ -549,6 +561,87 @@ mod tests {
         // And the changed bits must describe iteration k (where vertices
         // 2 and 8 were still in motion).
         assert!(out.changed_at_cutoff[2] || out.changed_at_cutoff[8]);
+    }
+
+    /// Star + slow-converging tail: the changed count peaks at `~n`
+    /// while the star settles, then stays at the tail's handful of
+    /// vertices. The adaptive cap must stop tracking shortly after the
+    /// peak, the cut-off snapshot must describe the last *tracked*
+    /// iteration exactly (refinement correctness hinges on it), and
+    /// opting out must restore full tracking. The graph is sized so the
+    /// verdict is the same across the whole clamp range of the
+    /// process-global cost ratio.
+    #[test]
+    fn adaptive_cap_stops_tracking_after_peak() {
+        let n = 1 << 15;
+        let mut b = GraphBuilder::new(n);
+        // Star: hub 0 → every vertex outside the tail (peak changed
+        // count well above the maximum threshold n/16).
+        for v in 1..(n - 5) as u32 {
+            b = b.add_edge(0, v, 1.0);
+        }
+        // Tail on the last 5 vertices: a cycle with an uneven degree
+        // split keeps a few values in motion every iteration (quiet
+        // changed count below the minimum threshold n/4096 = 8).
+        let t = (n - 5) as u32;
+        b = b
+            .add_edge(t, t + 1, 1.0)
+            .add_edge(t + 1, t + 2, 1.0)
+            .add_edge(t + 2, t, 1.0)
+            .add_edge(t + 2, t + 3, 2.0)
+            .add_edge(t + 3, t + 4, 1.0);
+        let g = b.build();
+        let opts = EngineOptions::with_iterations(8);
+        let out = run_tracking(&TestRank, &g, &opts, &EngineStats::new());
+        let k = out.store.tracked_iterations();
+        assert!(k < 8, "adaptive cap never fired (tracked {k})");
+        assert!(k >= 1, "cap must not fire before any peak");
+        // Snapshot invariant: vals_at_cutoff == c_k of a fresh run.
+        let at_k = run_bsp(
+            &TestRank,
+            &g,
+            &EngineOptions::with_iterations(k),
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for v in 0..n {
+            assert!(
+                (out.vals_at_cutoff[v] - at_k.vals[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                out.vals_at_cutoff[v],
+                at_k.vals[v]
+            );
+        }
+        // Final values are unaffected by where tracking stopped.
+        let scratch = run_bsp(
+            &TestRank,
+            &g,
+            &opts,
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for v in 0..n {
+            assert!((out.state.vals[v] - scratch.vals[v]).abs() < 1e-9);
+        }
+        // Opt-out restores the old behavior: the tail keeps the store
+        // advancing through every iteration.
+        let full = run_tracking(
+            &TestRank,
+            &g,
+            &EngineOptions::with_iterations(8).adaptive(false),
+            &EngineStats::new(),
+        );
+        assert_eq!(full.store.tracked_iterations(), 8);
+    }
+
+    /// An explicit cut-off disables the adaptive cap entirely, however
+    /// quiet the workload.
+    #[test]
+    fn explicit_cutoff_overrides_adaptive_cap() {
+        let g = cycle_with_tail();
+        let opts = EngineOptions::with_iterations(10).cutoff(3);
+        let out = run_tracking(&TestRank, &g, &opts, &EngineStats::new());
+        assert_eq!(out.store.tracked_iterations(), 3);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   naive reuse of stale values (Table 1 / Figure 2 of the paper),
 //! * the [`StreamingEngine`] façade combining all of the above.
 
+pub mod adaptive_cutoff;
 pub mod algorithm;
 pub mod bsp;
 pub mod checkpoint;

@@ -22,8 +22,15 @@ pub struct EngineOptions {
     pub max_iterations: usize,
     /// Horizontal-pruning cut-off `k`: aggregations are tracked for
     /// iterations `1..=k`; past it, refinement switches to hybrid
-    /// execution. `None` tracks all `max_iterations`.
+    /// execution. `None` tracks up to `max_iterations`, with the
+    /// tracking run free to stop earlier when `adaptive_cutoff` is on.
     pub horizontal_cutoff: Option<usize>,
+    /// When `horizontal_cutoff` is `None`, let the tracking run pick
+    /// `c_k` online from observed per-iteration changed fractions and
+    /// refine/hybrid cost estimates (see
+    /// [`adaptive_cutoff`](crate::adaptive_cutoff)). Results are
+    /// unaffected — the cut-off is a pure performance knob. Default on.
+    pub adaptive_cutoff: bool,
     /// Vertical pruning: stop a vertex's history once its aggregation
     /// stabilizes (default on).
     pub vertical_pruning: bool,
@@ -48,6 +55,7 @@ impl Default for EngineOptions {
         Self {
             max_iterations: 10,
             horizontal_cutoff: None,
+            adaptive_cutoff: true,
             vertical_pruning: true,
             fused_delta: true,
             convergence_exit: false,
@@ -68,6 +76,13 @@ impl EngineOptions {
     /// Sets the horizontal-pruning cut-off.
     pub fn cutoff(mut self, k: usize) -> Self {
         self.horizontal_cutoff = Some(k);
+        self
+    }
+
+    /// Enables or disables adaptive cut-off selection (only consulted
+    /// while `horizontal_cutoff` is `None`).
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive_cutoff = on;
         self
     }
 

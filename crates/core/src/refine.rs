@@ -232,6 +232,9 @@ pub fn refine<A: Algorithm>(
     let mut changed_last: Vec<VertexId> = Vec::new();
     let mut edge_work = 0u64;
 
+    // Total tag+propagate+apply time, feeding the adaptive-cut-off cost
+    // model's refine-per-iteration estimate after the loop.
+    let mut refine_phase_ns: u64 = 0;
     for i in 1..=refine_upto {
         pair_cache.clear();
         // Phase timing (DESIGN.md §10): tag = impacted-set derivation +
@@ -496,6 +499,8 @@ pub fn refine<A: Algorithm>(
         let tag_ns = tag_done.duration_since(iter_start);
         let propagate_ns = propagate_done.duration_since(tag_done);
         let apply_ns = propagate_done.elapsed();
+        refine_phase_ns = refine_phase_ns
+            .saturating_add(crate::telemetry::saturating_nanos(tag_ns + propagate_ns + apply_ns));
         m.refine_tag_ns.record_duration(tag_ns);
         m.refine_propagate_ns.record_duration(propagate_ns);
         m.refine_apply_ns.record_duration(apply_ns);
@@ -515,6 +520,10 @@ pub fn refine<A: Algorithm>(
     stats.add_edge_computations(edge_work);
     report.edge_computations = edge_work;
     report.refined_vertices = refined.len();
+    if report.refined_iterations > 0 {
+        crate::adaptive_cutoff::cost_model()
+            .observe_refine(refine_phase_ns / report.refined_iterations as u64);
+    }
 
     // Update c_k (and the cut-off changed-bits) for the refined
     // trajectory, then continue with hybrid execution if iterations remain.
@@ -560,6 +569,7 @@ pub fn refine<A: Algorithm>(
         let mut seed: Vec<VertexId> =
             parallel::par_filter_map(0..new_n, |v| changed_ref[v].then_some(v as VertexId));
         seed.sort_unstable();
+        let hybrid_start = std::time::Instant::now();
         let hybrid = run_hybrid(
             alg,
             new_g,
@@ -569,6 +579,12 @@ pub fn refine<A: Algorithm>(
             total_iters,
             stats,
         );
+        if hybrid.iterations > 0 {
+            crate::adaptive_cutoff::cost_model().observe_hybrid(
+                crate::telemetry::saturating_nanos(hybrid_start.elapsed())
+                    / hybrid.iterations as u64,
+            );
+        }
         report.hybrid_iterations = hybrid.iterations;
         report.edge_computations += hybrid.edge_work;
         let mut changed_final = 0;

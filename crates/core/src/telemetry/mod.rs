@@ -170,6 +170,16 @@ pub struct MetricsRegistry {
     pub vertex_computations: Counter,
     /// BSP iterations executed (initial + refinement + hybrid).
     pub iterations: Counter,
+    /// `edge_map` invocations routed to the sparse (push) path.
+    pub edge_map_sparse: Counter,
+    /// `edge_map` invocations routed to the dense (pull) path.
+    pub edge_map_dense: Counter,
+    /// Adaptive-controller probe invocations (stale/unmeasured path
+    /// re-measurement).
+    pub edge_map_probes: Counter,
+    /// Adaptive picks that the post-observation cost model scored as
+    /// the slower path.
+    pub edge_map_mispredicts: Counter,
 
     /// Commands currently queued for the session worker.
     pub queue_occupancy: Gauge,
@@ -243,6 +253,22 @@ impl MetricsRegistry {
                 "graphbolt_iterations_total",
                 "BSP iterations executed (initial + refinement + hybrid)",
             ),
+            edge_map_sparse: Counter::new(
+                "graphbolt_edge_map_sparse_total",
+                "edge_map invocations routed to the sparse (push) path",
+            ),
+            edge_map_dense: Counter::new(
+                "graphbolt_edge_map_dense_total",
+                "edge_map invocations routed to the dense (pull) path",
+            ),
+            edge_map_probes: Counter::new(
+                "graphbolt_edge_map_probes_total",
+                "Adaptive-controller probes of a stale or unmeasured path",
+            ),
+            edge_map_mispredicts: Counter::new(
+                "graphbolt_edge_map_mispredicts_total",
+                "Adaptive picks scored as the slower path after observation",
+            ),
             queue_occupancy: Gauge::new(
                 "graphbolt_queue_occupancy",
                 "Commands currently queued for the session worker",
@@ -299,7 +325,7 @@ impl MetricsRegistry {
     }
 
     /// All counters, registration order.
-    pub fn counters(&self) -> [&Counter; 10] {
+    pub fn counters(&self) -> [&Counter; 14] {
         [
             &self.batches_applied,
             &self.mutations_applied,
@@ -311,6 +337,10 @@ impl MetricsRegistry {
             &self.edge_computations,
             &self.vertex_computations,
             &self.iterations,
+            &self.edge_map_sparse,
+            &self.edge_map_dense,
+            &self.edge_map_probes,
+            &self.edge_map_mispredicts,
         ]
     }
 
@@ -393,7 +423,19 @@ pub fn metrics() -> &'static MetricsRegistry {
 /// registry. Runs only after `metrics()` initialized, so the inner
 /// `get_or_init` never recurses.
 fn record_edge_map_sample(sample: profile::EdgeMapSample) {
-    metrics().edge_map_ns.record(sample.nanos);
+    let m = metrics();
+    m.edge_map_ns.record(sample.nanos);
+    if sample.dense {
+        m.edge_map_dense.inc();
+    } else {
+        m.edge_map_sparse.inc();
+    }
+    if sample.probe {
+        m.edge_map_probes.inc();
+    }
+    if sample.mispredict {
+        m.edge_map_mispredicts.inc();
+    }
 }
 
 /// `Duration` → saturated nanoseconds for histogram recording.

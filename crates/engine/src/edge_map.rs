@@ -6,25 +6,40 @@ use crate::bitset::AtomicBitSet;
 use crate::parallel;
 use crate::subset::VertexSubset;
 
+/// Direction-selection policy for [`edge_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Always push along out-edges.
+    Sparse,
+    /// Always pull along in-edges.
+    Dense,
+    /// Ligra's fixed density heuristic:
+    /// `|F| + outdeg(F) > |E| / dense_denominator`.
+    Static,
+    /// Online cost model (see [`crate::adaptive`]): pick the path with
+    /// the lower predicted cost from measured per-unit throughput,
+    /// falling back to the static heuristic until measurements exist.
+    #[default]
+    Adaptive,
+}
+
 /// Tuning knobs for [`edge_map`].
 #[derive(Debug, Clone, Copy)]
 pub struct EdgeMapOptions {
-    /// A frontier is processed densely (pull) when
-    /// `|F| + outdeg(F) > |E| / denominator` — Ligra's heuristic with
-    /// denominator 20.
+    /// Denominator of the static density cut-off — a frontier is
+    /// processed densely (pull) when `|F| + outdeg(F) > |E| /
+    /// denominator` (Ligra uses 20). Consulted by [`Mode::Static`] and
+    /// by [`Mode::Adaptive`] before the controller has measurements.
     pub dense_denominator: usize,
-    /// Force push (sparse) traversal regardless of density.
-    pub force_sparse: bool,
-    /// Force pull (dense) traversal regardless of density.
-    pub force_dense: bool,
+    /// Direction-selection policy.
+    pub mode: Mode,
 }
 
 impl Default for EdgeMapOptions {
     fn default() -> Self {
         Self {
             dense_denominator: 20,
-            force_sparse: false,
-            force_dense: false,
+            mode: Mode::default(),
         }
     }
 }
@@ -33,7 +48,7 @@ impl EdgeMapOptions {
     /// Options forcing push-based traversal.
     pub fn sparse() -> Self {
         Self {
-            force_sparse: true,
+            mode: Mode::Sparse,
             ..Self::default()
         }
     }
@@ -41,9 +56,22 @@ impl EdgeMapOptions {
     /// Options forcing pull-based traversal.
     pub fn dense() -> Self {
         Self {
-            force_dense: true,
+            mode: Mode::Dense,
             ..Self::default()
         }
+    }
+
+    /// Options using the fixed Ligra density heuristic.
+    pub fn static_heuristic() -> Self {
+        Self {
+            mode: Mode::Static,
+            ..Self::default()
+        }
+    }
+
+    /// Options using the adaptive online cost model (the default).
+    pub fn adaptive() -> Self {
+        Self::default()
     }
 }
 
@@ -78,29 +106,68 @@ where
     if frontier.is_empty() {
         return VertexSubset::empty(n);
     }
-    let use_dense = if opts.force_sparse {
-        false
-    } else if opts.force_dense {
-        true
-    } else {
-        let work = frontier.len() + frontier.out_degree_sum(g);
-        work > g.num_edges() / opts.dense_denominator.max(1)
+    // Unit counts for the cost models: what each traversal touches.
+    // Forced modes skip the out-degree scan entirely.
+    let units = |sparse_needed: bool| -> (u64, u64) {
+        let sparse = if sparse_needed {
+            (frontier.len() + frontier.out_degree_sum(g)) as u64
+        } else {
+            0
+        };
+        (sparse, (n + g.num_edges()) as u64)
     };
-    // Clocks are read only when a profiling hook is installed; the
-    // default path costs one load-and-branch per call.
+    let static_pick = |sparse_units: u64| {
+        sparse_units > (g.num_edges() / opts.dense_denominator.max(1)) as u64
+    };
+    let mut adaptive_state: Option<(crate::adaptive::Decision, u64, u64)> = None;
+    let use_dense = match opts.mode {
+        Mode::Sparse => false,
+        Mode::Dense => true,
+        Mode::Static => {
+            let (sparse_units, _) = units(true);
+            static_pick(sparse_units)
+        }
+        Mode::Adaptive => {
+            let (sparse_units, dense_units) = units(true);
+            let decision = crate::adaptive::global().choose(
+                sparse_units,
+                dense_units,
+                static_pick(sparse_units),
+            );
+            adaptive_state = Some((decision, sparse_units, dense_units));
+            decision.dense
+        }
+    };
+    // Clocks are read when a profiling hook is installed or the adaptive
+    // controller needs an observation; forced/static modes without a
+    // hook cost one load-and-branch per call.
     let hook = crate::profile::edge_map_hook();
-    let profiled = hook.map(|h| (h, std::time::Instant::now(), edge_work.get()));
+    let timed = (hook.is_some() || adaptive_state.is_some())
+        .then(|| (std::time::Instant::now(), edge_work.get()));
     let out = if use_dense {
         edge_map_dense(g, frontier, update, cond, edge_work)
     } else {
         edge_map_sparse(g, frontier, update, cond, edge_work)
     };
-    if let Some((hook, start, work_before)) = profiled {
-        hook(crate::profile::EdgeMapSample {
-            nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            edges: edge_work.get().wrapping_sub(work_before),
-            dense: use_dense,
-        });
+    if let Some((start, work_before)) = timed {
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut probe = false;
+        let mut mispredict = false;
+        if let Some((decision, sparse_units, dense_units)) = adaptive_state {
+            probe = decision.probe;
+            mispredict =
+                crate::adaptive::global().observe(decision, sparse_units, dense_units, nanos);
+        }
+        if let Some(hook) = hook {
+            hook(crate::profile::EdgeMapSample {
+                nanos,
+                edges: edge_work.get().wrapping_sub(work_before),
+                dense: use_dense,
+                adaptive: adaptive_state.is_some(),
+                probe,
+                mispredict,
+            });
+        }
     }
     out
 }
@@ -401,12 +468,19 @@ mod tests {
             };
             let (pushed, push_work) = run(EdgeMapOptions::sparse());
             let (pulled, pull_work) = run(EdgeMapOptions::dense());
-            let (auto, _) = run(EdgeMapOptions::default());
+            let (static_pick, static_work) = run(EdgeMapOptions::static_heuristic());
+            let (adaptive, adaptive_work) = run(EdgeMapOptions::adaptive());
             proptest::prop_assert_eq!(&pushed, &pulled);
-            proptest::prop_assert_eq!(&pushed, &auto);
-            // Both directions visit the same live edge set, so the work
+            proptest::prop_assert_eq!(&pushed, &static_pick);
+            // Adaptive mode shares the process-global controller with
+            // every other test in the binary, so whichever direction it
+            // lands on must still be a pure performance choice.
+            proptest::prop_assert_eq!(&pushed, &adaptive);
+            // All modes visit the same live edge set, so the work
             // counters must agree exactly.
             proptest::prop_assert_eq!(push_work, pull_work);
+            proptest::prop_assert_eq!(push_work, static_work);
+            proptest::prop_assert_eq!(push_work, adaptive_work);
             // Dense→sparse→dense round-trip preserves membership.
             let round_trip = frontier
                 .clone()

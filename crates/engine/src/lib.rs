@@ -13,6 +13,7 @@
 //! layer (the "Ligra baseline" of the evaluation is expressed directly on
 //! it).
 
+pub mod adaptive;
 pub mod bitset;
 pub mod edge_map;
 pub mod parallel;
@@ -21,6 +22,6 @@ pub mod subset;
 pub mod vertex_map;
 
 pub use bitset::AtomicBitSet;
-pub use edge_map::{edge_map, EdgeMapOptions};
+pub use edge_map::{edge_map, EdgeMapOptions, Mode};
 pub use subset::VertexSubset;
 pub use vertex_map::{vertex_filter, vertex_map};

@@ -33,6 +33,17 @@ pub fn default_threads() -> usize {
 /// });
 /// assert_eq!(sum, 4950);
 /// ```
+/// Sizes the *global* rayon pool to `threads` workers — the CLI
+/// `--threads` knob. Must run before the first parallel operation;
+/// returns false (leaving the existing pool untouched) when the global
+/// pool was already initialized.
+pub fn set_global_threads(threads: usize) -> bool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build_global()
+        .is_ok()
+}
+
 pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)

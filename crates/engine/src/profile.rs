@@ -21,6 +21,15 @@ pub struct EdgeMapSample {
     pub edges: u64,
     /// True when the dense (pull) traversal was selected.
     pub dense: bool,
+    /// True when the adaptive controller made the direction decision
+    /// (as opposed to a forced or static-heuristic mode).
+    pub adaptive: bool,
+    /// True when the call was a controller probe of a stale or
+    /// unmeasured path.
+    pub probe: bool,
+    /// True when the post-observation cost model scored the chosen path
+    /// as the slower one (routine adaptive picks only).
+    pub mispredict: bool,
 }
 
 /// Signature of an `edge_map` observer. A plain `fn` keeps installation

@@ -256,6 +256,23 @@ pub mod strategy {
 
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 high bits of the draw → uniform in [0, 1).
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
     macro_rules! tuple_strategy {
         ($(($($s:ident $idx:tt),+))*) => {$(
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -314,6 +331,28 @@ pub mod strategy {
     pub fn any<T: ArbitraryValue>() -> Any<T> {
         Any {
             _marker: ::std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod bool {
+    //! Mirrors `proptest::bool`: a strategy over both booleans.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
         }
     }
 }

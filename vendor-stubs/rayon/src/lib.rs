@@ -63,6 +63,19 @@ impl ThreadPoolBuilder {
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool(()))
     }
+
+    /// Mirrors real rayon's global-pool initialization semantics: the
+    /// first call succeeds, every later call errors (the stub's "pool"
+    /// is inline either way).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        static GLOBAL_BUILT: std::sync::atomic::AtomicBool =
+            std::sync::atomic::AtomicBool::new(false);
+        if GLOBAL_BUILT.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            Err(ThreadPoolBuildError(()))
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// Runs both closures (sequentially here, in parallel under real rayon).

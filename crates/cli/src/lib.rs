@@ -37,6 +37,18 @@
 //!   --trace-out PATH    append structured trace events (JSON lines) to
 //!                       PATH while the session runs
 //!
+//! front door (serve mode):
+//!   --listen HOST:PORT  after replaying --stream, serve HTTP ingestion
+//!                       until a client POSTs /shutdown: POST /update
+//!                       (singleton fast path), POST /batch, GET /query,
+//!                       plus the /metrics family; port 0 picks a free
+//!                       port, the bound address is printed in the report
+//!   --admit-interactive RATE[:BURST]   per-class token buckets gating
+//!   --admit-bulk RATE[:BURST]          admission (tokens/sec; burst
+//!   --admit-best-effort RATE[:BURST]   defaults to one second of rate)
+//!   --deadline-ms N     default request deadline when the client sends
+//!                       no X-Deadline-Ms header
+//!
 //! observability:
 //!   gbolt stats [--metrics-addr A]
 //!                       without an address: print this process's metric
@@ -55,7 +67,8 @@ use graphbolt_algorithms::{
     WidestPaths,
 };
 use graphbolt_core::{
-    recover_session, telemetry, Algorithm, CheckpointPolicy, DegradeLevel, EngineOptions, F64Codec,
+    recover_session, telemetry, AdmissionConfig, AdmissionController, Algorithm, BucketConfig,
+    CheckpointPolicy, DegradeLevel, EngineOptions, F64Codec, FrontDoor, FrontDoorConfig,
     SessionConfig, StreamSession, StreamingEngine,
 };
 use graphbolt_graph::{io, GraphSnapshot, MutationBatch};
@@ -105,6 +118,18 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// Worker threads for the global pool (`None` = machine default).
     pub threads: Option<usize>,
+    /// Bind the HTTP front door here after the stream replay (serve
+    /// mode); the process then serves until a client POSTs `/shutdown`.
+    pub listen: Option<String>,
+    /// Interactive-class admission bucket override.
+    pub admit_interactive: Option<BucketConfig>,
+    /// Bulk-class admission bucket override.
+    pub admit_bulk: Option<BucketConfig>,
+    /// Best-effort-class admission bucket override.
+    pub admit_best_effort: Option<BucketConfig>,
+    /// Default request deadline (milliseconds) for front-door requests
+    /// that carry no `X-Deadline-Ms` header.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -131,6 +156,11 @@ impl Default for Options {
             metrics_addr: None,
             trace_out: None,
             threads: None,
+            listen: None,
+            admit_interactive: None,
+            admit_bulk: None,
+            admit_best_effort: None,
+            deadline_ms: None,
         }
     }
 }
@@ -190,6 +220,20 @@ impl Options {
                 "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
                 "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
                 "--threads" => opts.threads = Some(parse_num(&value("--threads")?, "--threads")?),
+                "--listen" => opts.listen = Some(value("--listen")?),
+                "--admit-interactive" => {
+                    opts.admit_interactive = Some(parse_bucket(&value("--admit-interactive")?, "--admit-interactive")?)
+                }
+                "--admit-bulk" => {
+                    opts.admit_bulk = Some(parse_bucket(&value("--admit-bulk")?, "--admit-bulk")?)
+                }
+                "--admit-best-effort" => {
+                    opts.admit_best_effort =
+                        Some(parse_bucket(&value("--admit-best-effort")?, "--admit-best-effort")?)
+                }
+                "--deadline-ms" => {
+                    opts.deadline_ms = Some(parse_num(&value("--deadline-ms")?, "--deadline-ms")?)
+                }
                 other => return Err(format!("unknown option {other}\n{}", usage())),
             }
         }
@@ -217,6 +261,17 @@ impl Options {
         if opts.trace_out.is_some() && !opts.serve {
             return Err("--trace-out requires --serve".to_string());
         }
+        if opts.listen.is_some() && !opts.serve {
+            return Err("--listen requires --serve".to_string());
+        }
+        if opts.listen.is_none()
+            && (opts.admit_interactive.is_some()
+                || opts.admit_bulk.is_some()
+                || opts.admit_best_effort.is_some()
+                || opts.deadline_ms.is_some())
+        {
+            return Err("--admit-*/--deadline-ms require --listen".to_string());
+        }
         if opts.threads == Some(0) {
             return Err("--threads must be positive".to_string());
         }
@@ -229,6 +284,11 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
         .map_err(|_| format!("cannot parse {s:?} for {flag}"))
 }
 
+fn parse_bucket(s: &str, flag: &str) -> Result<BucketConfig, String> {
+    BucketConfig::parse(s)
+        .ok_or_else(|| format!("cannot parse {s:?} for {flag} (expected RATE[:BURST])"))
+}
+
 /// The usage string.
 pub fn usage() -> String {
     "usage: gbolt <pagerank|labelprop|coem|cc|sssp|bfs|sswp|triangles> --graph PATH \
@@ -236,7 +296,9 @@ pub fn usage() -> String {
      [--tolerance X] [--cutoff K] [--symmetric] [--output PATH] [--memory-budget B] \
      [--threads N] \
      [--serve [--queue-capacity N] [--checkpoint-dir D] [--checkpoint-every N] \
-     [--checkpoint-keep N] [--resume] [--metrics-addr HOST:PORT] [--trace-out PATH]]\n\
+     [--checkpoint-keep N] [--resume] [--metrics-addr HOST:PORT] [--trace-out PATH] \
+     [--listen HOST:PORT [--admit-interactive R[:B]] [--admit-bulk R[:B]] \
+     [--admit-best-effort R[:B]] [--deadline-ms N]]]\n\
      \x20      gbolt stats [--metrics-addr HOST:PORT]"
         .to_string()
 }
@@ -482,6 +544,22 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
         _ => initial_engine(graph, alg.clone(), engine_opts, report),
     };
 
+    // One controller shared by the front door (admission decisions) and
+    // the session worker (degrade-level feedback tightening the
+    // non-interactive buckets).
+    let admission = opts.listen.as_ref().map(|_| {
+        let mut cfg = AdmissionConfig::default();
+        if let Some(b) = opts.admit_interactive {
+            cfg.interactive = b;
+        }
+        if let Some(b) = opts.admit_bulk {
+            cfg.bulk = b;
+        }
+        if let Some(b) = opts.admit_best_effort {
+            cfg.best_effort = b;
+        }
+        std::sync::Arc::new(AdmissionController::new(cfg))
+    });
     let config = SessionConfig {
         queue_capacity: opts.queue_capacity,
         checkpoint: opts.checkpoint_dir.as_ref().map(|dir| {
@@ -493,6 +571,7 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
                 F64Codec,
             )
         }),
+        admission: admission.clone(),
         ..SessionConfig::default()
     };
     let session = StreamSession::spawn_with(engine, config);
@@ -507,7 +586,12 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
         // Flush per stream batch so batch boundaries survive coalescing.
         session.flush().map_err(fail)?;
     }
-    let outcome = session.finish().map_err(|e| e.to_string())?;
+    let outcome = match (&opts.listen, admission) {
+        (Some(addr), Some(admission)) => {
+            serve_front_door(addr, session, &admission, opts, report)?
+        }
+        _ => session.finish().map_err(|e| e.to_string())?,
+    };
     let s = outcome.stats;
     let _ = writeln!(
         report,
@@ -541,6 +625,57 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
         server.detach();
     }
     Ok(outcome.engine)
+}
+
+/// Binds the network front door after the stream replay, serves until a
+/// client POSTs `/shutdown`, then drains the session and reports the
+/// per-class admission tallies and the observed ingest→visible p99.
+fn serve_front_door<A: Algorithm<Value = f64> + 'static>(
+    addr: &str,
+    session: StreamSession<A>,
+    admission: &std::sync::Arc<AdmissionController>,
+    opts: &Options,
+    report: &mut String,
+) -> Result<graphbolt_core::SessionOutcome<A>, String> {
+    let session = std::sync::Arc::new(session);
+    let door = FrontDoor::bind(
+        addr,
+        std::sync::Arc::clone(&session),
+        std::sync::Arc::clone(admission),
+        FrontDoorConfig {
+            default_deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        },
+    )
+    .map_err(|e| format!("--listen {addr}: {e}"))?;
+    let _ = writeln!(
+        report,
+        "front door: http://{} (POST /update /batch /shutdown, GET /query)",
+        door.local_addr()
+    );
+    door.wait_shutdown();
+    door.shutdown();
+    let snap = admission.snapshot();
+    for class in graphbolt_core::admission::CLASSES {
+        let stats = snap.classes[class.index()];
+        let _ = writeln!(
+            report,
+            "admission[{class}]: {} admitted, {} shed",
+            stats.admitted, stats.shed
+        );
+    }
+    let hist = telemetry::metrics().ingest_visible_latency_ns.snapshot();
+    if hist.count > 0 {
+        let _ = writeln!(
+            report,
+            "ingest->visible latency: p99 {:.3} ms over {} samples",
+            hist.quantile(0.99) as f64 / 1e6,
+            hist.count
+        );
+    }
+    std::sync::Arc::into_inner(session)
+        .ok_or_else(|| "front door still holds the session after shutdown".to_string())?
+        .finish()
+        .map_err(|e| e.to_string())
 }
 
 /// Unsubscribes and flushes the `--trace-out` sink when serve mode
@@ -859,6 +994,76 @@ mod tests {
         assert_eq!(opts.checkpoint_dir.as_deref(), Some("/tmp/ck"));
         assert_eq!(opts.checkpoint_every, 2);
         assert_eq!(opts.memory_budget, Some(1 << 20));
+    }
+
+    #[test]
+    fn parse_front_door_flags() {
+        let opts = Options::parse(
+            [
+                "pagerank",
+                "--graph",
+                "g.txt",
+                "--serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--admit-interactive",
+                "50:100",
+                "--admit-bulk",
+                "5",
+                "--deadline-ms",
+                "250",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.admit_interactive, Some(BucketConfig::new(50.0, 100.0)));
+        // A bare RATE defaults burst to the rate.
+        assert_eq!(opts.admit_bulk, Some(BucketConfig::new(5.0, 5.0)));
+        assert_eq!(opts.admit_best_effort, None);
+        assert_eq!(opts.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parse_rejects_listen_without_serve() {
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--listen", "127.0.0.1:0"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_admission_flags_without_listen() {
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--serve", "--admit-bulk", "5"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--serve", "--deadline-ms", "50"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_bucket() {
+        let err = Options::parse(
+            [
+                "pagerank",
+                "--graph",
+                "g",
+                "--serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--admit-interactive",
+                "fast",
+            ]
+            .map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("RATE[:BURST]"), "{err}");
     }
 
     #[test]

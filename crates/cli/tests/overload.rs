@@ -1,0 +1,215 @@
+//! Overload acceptance: a serve-mode session behind the network front
+//! door must shed excess bulk traffic with typed `429` responses while
+//! admitting every interactive request, and the ingest→visible latency
+//! p99 scraped from `/metrics/json` must stay inside the SLO. Mixed
+//! traffic is driven over real TCP against the `gbolt` CLI entry point.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use graphbolt_cli::{run, Options};
+use graphbolt_graph::{io, Edge};
+
+/// Ingest→visible p99 ceiling for the overload gate. Generous — the
+/// graph is tiny and singletons bypass batch assembly — but a scheduling
+/// pathology (shed work wedging the worker, say) would blow through it.
+const SLO_P99_NS: f64 = 250e6;
+
+fn request(addr: &str, method: &str, path: &str, headers: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to front door");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{headers}\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("headers + body");
+    (head.to_string(), body.to_string())
+}
+
+/// Extracts a flat `"name":value` number from the JSON exposition.
+fn json_number(body: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = body.find(&key)? + key.len();
+    let rest = &body[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `field` from the named histogram's JSON object.
+fn histogram_field(body: &str, histogram: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{histogram}\":{{");
+    let start = body.find(&key)? + key.len();
+    let object = &body[start..start + body[start..].find('}')?];
+    json_number(object, field)
+}
+
+#[test]
+fn overloaded_front_door_sheds_bulk_admits_interactive_and_holds_the_slo() {
+    let dir = std::env::temp_dir().join("gbolt-overload");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("g.txt");
+    io::write_edge_list(
+        &graph_path,
+        &[
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(2, 0, 1.0),
+            Edge::new(2, 3, 1.0),
+        ],
+    )
+    .unwrap();
+
+    // Reserve a port for --listen: port 0 is resolved by the door, but
+    // the bound address only reaches the report after shutdown, too
+    // late to drive traffic at it.
+    let addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+
+    // Bulk gets a bucket far smaller than the traffic we will offer;
+    // interactive gets one far larger. Zero interactive shed is an
+    // isolation assertion, not luck.
+    let server = std::thread::spawn({
+        let addr = addr.clone();
+        let graph = graph_path.to_string_lossy().into_owned();
+        move || {
+            run(&Options {
+                algorithm: "pagerank".into(),
+                graph,
+                serve: true,
+                listen: Some(addr),
+                admit_interactive: Some(graphbolt_core::BucketConfig::new(1e6, 1e6)),
+                admit_bulk: Some(graphbolt_core::BucketConfig::new(1.0, 5.0)),
+                deadline_ms: Some(5_000),
+                ..Options::default()
+            })
+        }
+    });
+
+    // The door is up once /healthz answers (observability routes bypass
+    // admission, so this cannot be shed).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(mut s) = TcpStream::connect(&addr) {
+            let probe =
+                format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+            let mut response = String::new();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            if s.write_all(probe.as_bytes()).is_ok()
+                && s.read_to_string(&mut response).is_ok()
+                && response.starts_with("HTTP/1.1 200")
+            {
+                break;
+            }
+        }
+        assert!(!server.is_finished(), "server exited early: {:?}", server.join());
+        assert!(Instant::now() < deadline, "front door never became healthy");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Mixed traffic: interactive singletons interleaved with bulk
+    // batches of three mutations each (cost 3 against burst 5, refill
+    // 1/s — the first batch fits, later ones must shed).
+    let mut interactive_accepted = 0usize;
+    let mut bulk_accepted = 0usize;
+    let mut bulk_shed = 0usize;
+    for i in 0..20u32 {
+        let (head, body) = request(
+            &addr,
+            "POST",
+            "/update",
+            "X-Client-Class: interactive\r\n",
+            &format!("{{\"src\":3,\"dst\":{},\"weight\":1.0}}", i % 4),
+        );
+        assert!(
+            head.starts_with("HTTP/1.1 202"),
+            "interactive singleton must never shed: {head} {body}"
+        );
+        interactive_accepted += 1;
+
+        let batch = format!(
+            "{{\"mutations\":[{{\"src\":0,\"dst\":{}}},{{\"src\":1,\"dst\":{}}},\
+             {{\"src\":2,\"dst\":{}}}]}}",
+            i % 4,
+            (i + 1) % 4,
+            (i + 2) % 4
+        );
+        let (head, body) = request(&addr, "POST", "/batch", "X-Client-Class: bulk\r\n", &batch);
+        if head.starts_with("HTTP/1.1 202") {
+            bulk_accepted += 1;
+        } else {
+            assert!(head.starts_with("HTTP/1.1 429"), "{head} {body}");
+            assert!(
+                head.to_ascii_lowercase().contains("retry-after-ms:"),
+                "429 must carry Retry-After-Ms: {head}"
+            );
+            assert!(body.contains("\"error\":\"retry_after\""), "{body}");
+            assert!(body.contains("\"class\":\"bulk\""), "{body}");
+            bulk_shed += 1;
+        }
+    }
+    assert!(bulk_accepted >= 1, "burst capacity admits the first batch");
+    assert!(bulk_shed > 0, "offered bulk load must exceed the bucket");
+
+    // Queries keep answering under overload.
+    let (head, body) = request(&addr, "GET", "/query?vertex=0", "", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+
+    // The gate: scrape /metrics/json from the door itself.
+    let (head, metrics) = request(&addr, "GET", "/metrics/json", "", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(
+        json_number(&metrics, "graphbolt_shed_interactive_total"),
+        Some(0.0),
+        "interactive traffic must never shed: {metrics}"
+    );
+    assert_eq!(
+        json_number(&metrics, "graphbolt_admit_interactive_total"),
+        Some(interactive_accepted as f64 + 1.0), // +1: the query above
+    );
+    let scraped_bulk_shed = json_number(&metrics, "graphbolt_shed_bulk_total").unwrap();
+    assert_eq!(scraped_bulk_shed, bulk_shed as f64, "{metrics}");
+    assert!(
+        json_number(&metrics, "graphbolt_retry_after_bulk_total").unwrap() >= 1.0,
+        "{metrics}"
+    );
+    assert!(
+        json_number(&metrics, "graphbolt_singleton_fast_path_total").unwrap()
+            >= interactive_accepted as f64,
+        "{metrics}"
+    );
+    let visible = histogram_field(&metrics, "graphbolt_ingest_visible_latency_ns", "count")
+        .expect("ingest-visible histogram present");
+    assert!(visible >= 1.0, "admitted mutations must become visible");
+    let p99 = histogram_field(&metrics, "graphbolt_ingest_visible_latency_ns", "p99").unwrap();
+    assert!(
+        p99 <= SLO_P99_NS,
+        "ingest->visible p99 {:.3} ms blows the {:.0} ms SLO",
+        p99 / 1e6,
+        SLO_P99_NS / 1e6
+    );
+
+    let (head, _) = request(&addr, "POST", "/shutdown", "", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let report = server.join().unwrap().unwrap();
+    assert!(
+        report.contains("front door: http://"),
+        "report must name the bound endpoint:\n{report}"
+    );
+    assert!(report.contains("admission[bulk]:"), "{report}");
+    assert!(report.contains("ingest->visible latency: p99"), "{report}");
+}

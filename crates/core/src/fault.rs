@@ -14,6 +14,10 @@
 //! |----------------------|------------------------|-------------------|
 //! | `refine::start`      | [`fire_panic`]         | panic mid-refinement |
 //! | `session::ingest`    | [`fire_error`]         | submission rejected |
+//! | `session::deadline`  | [`fire_error`]         | queued command treated as expired |
+//! | `admission::admit`   | [`fire_error`]         | request shed with RetryAfter |
+//! | `frontdoor::accept`  | [`fire_error`]         | accepted connection dropped |
+//! | `frontdoor::parse`   | [`fire_error`]         | request rejected as malformed (400) |
 //! | `checkpoint::write`  | [`fire_truncation`]    | checkpoint file cut short |
 //!
 //! The registry is process-global (tests touching it must not run the

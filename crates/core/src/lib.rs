@@ -21,10 +21,12 @@
 //! * the [`StreamingEngine`] façade combining all of the above.
 
 pub mod adaptive_cutoff;
+pub mod admission;
 pub mod algorithm;
 pub mod bsp;
 pub mod checkpoint;
 pub mod fault;
+pub mod frontdoor;
 pub mod laws;
 pub mod options;
 pub mod refine;
@@ -35,6 +37,9 @@ pub mod store;
 pub mod streaming;
 pub mod telemetry;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, BucketConfig, ClientClass, RetryAfter,
+};
 pub use algorithm::{agg_total_bytes, Algorithm};
 pub use bsp::{run_bsp, run_bsp_from, run_tracking, BspState, TrackingOutcome};
 pub use checkpoint::{
@@ -42,12 +47,13 @@ pub use checkpoint::{
     F64Codec, RecoveredSession, StateCodec, VecF64Codec,
 };
 pub use fault::FaultAction;
+pub use frontdoor::{FrontDoor, FrontDoorConfig};
 pub use laws::{check_laws, Law, LawConfig, LawReport, LawSpec, LawViolation, Monotonic, SplitMix64};
 pub use options::{EngineOptions, ExecutionMode};
 pub use refine::{refine, RefineState};
 pub use session::{
-    retry_with_backoff, CheckpointPolicy, DeadLetter, SessionConfig, SessionError, SessionOutcome,
-    SessionStats, StreamSession,
+    retry_with_backoff, retry_with_backoff_seeded, BackoffSchedule, CheckpointPolicy, DeadLetter,
+    SessionConfig, SessionError, SessionOutcome, SessionStats, StreamSession,
 };
 pub use sharded::ShardedMut;
 pub use stats::{EngineStats, RefineReport, StatsSnapshot};

@@ -34,6 +34,13 @@ pub struct EngineOptions {
     /// Vertical pruning: stop a vertex's history once its aggregation
     /// stabilizes (default on).
     pub vertical_pruning: bool,
+    /// Route the incremental BSP step's delta-push vs pull-recompute
+    /// choice through the measured cost model in
+    /// [`graphbolt_engine::adaptive`] instead of always pushing deltas
+    /// for decomposable aggregations. Results are unaffected — both
+    /// directions compute the same aggregations; only the traversal
+    /// order (and float rounding) differs. Default on.
+    pub adaptive_direction: bool,
     /// Use the fused change-in-contribution ([`Algorithm::delta`](crate::Algorithm::delta)) when available. Disabling forces the
     /// explicit retract+propagate pair — the "GraphBolt-RP" configuration
     /// of Figure 8.
@@ -57,6 +64,7 @@ impl Default for EngineOptions {
             horizontal_cutoff: None,
             adaptive_cutoff: true,
             vertical_pruning: true,
+            adaptive_direction: true,
             fused_delta: true,
             convergence_exit: false,
             memory_budget: None,
@@ -89,6 +97,13 @@ impl EngineOptions {
     /// Enables or disables vertical pruning.
     pub fn vertical(mut self, on: bool) -> Self {
         self.vertical_pruning = on;
+        self
+    }
+
+    /// Enables or disables adaptive direction selection for the
+    /// incremental BSP step (delta-push vs pull-recompute).
+    pub fn adaptive_direction(mut self, on: bool) -> Self {
+        self.adaptive_direction = on;
         self
     }
 
@@ -134,6 +149,13 @@ mod tests {
         let o = EngineOptions::default().vertical(false).fused(false);
         assert!(!o.vertical_pruning);
         assert!(!o.fused_delta);
+    }
+
+    #[test]
+    fn adaptive_direction_defaults_on_and_is_settable() {
+        assert!(EngineOptions::default().adaptive_direction);
+        let o = EngineOptions::default().adaptive_direction(false);
+        assert!(!o.adaptive_direction);
     }
 
     #[test]

@@ -36,23 +36,43 @@ use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use graphbolt_engine::parallel::WorkCounter;
 use graphbolt_graph::{Edge, MutationBatch};
 
+use crate::admission::AdmissionController;
 use crate::algorithm::Algorithm;
 use crate::checkpoint::{self, CheckpointError, StateCodec};
+use crate::laws::SplitMix64;
 use crate::streaming::{DegradeLevel, StreamingEngine};
 use crate::telemetry::{self, trace, TraceEvent};
 
+/// One edge mutation in flight: the edge, its direction, when the
+/// producer submitted it (feeds the ingest→visible histogram), and the
+/// deadline past which the worker sheds it unserved.
+#[derive(Debug, Clone, Copy)]
+struct QueuedMutation {
+    edge: Edge,
+    add: bool,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
 /// Commands accepted by the session worker.
 enum Command<V> {
-    Add(Edge),
-    Delete(Edge),
-    /// Apply everything buffered, then reply with the current values.
-    Query(Sender<Vec<V>>),
+    /// Buffer one mutation into the coalescing batch.
+    Mutate(QueuedMutation),
+    /// Fast path: apply the backlog, then this mutation immediately as a
+    /// batch of one — it never waits in the coalescing buffer.
+    Singleton(QueuedMutation),
+    /// Apply everything buffered, then reply with the current values
+    /// (or shed with `DeadlineExceeded` if the deadline passed first).
+    Query {
+        reply: Sender<Result<Vec<V>, SessionError>>,
+        deadline: Option<Instant>,
+    },
     /// Apply everything buffered, then reply when done.
     Flush(Sender<()>),
     Shutdown,
@@ -67,6 +87,10 @@ pub enum SessionError {
     /// Non-blocking submission found the bounded queue full; the caller
     /// should back off and retry ([`retry_with_backoff`]) or shed load.
     QueueFull,
+    /// The request's deadline expired before it could be served — either
+    /// before enqueue (it never consumed queue capacity) or while it
+    /// waited in the queue (the worker shed it at dequeue).
+    DeadlineExceeded,
     /// An armed fault-injection plan rejected the submission (site
     /// `session::ingest`; only reachable with the `fault-injection`
     /// feature).
@@ -78,6 +102,7 @@ impl std::fmt::Display for SessionError {
         match self {
             Self::WorkerGone => write!(f, "session worker is gone"),
             Self::QueueFull => write!(f, "session queue is full"),
+            Self::DeadlineExceeded => write!(f, "deadline exceeded before service"),
             Self::Injected => write!(f, "injected ingestion fault"),
         }
     }
@@ -108,6 +133,10 @@ pub struct SessionStats {
     /// Checkpoint writes that failed (the session keeps serving;
     /// durability is best-effort, availability is not).
     pub checkpoint_failures: usize,
+    /// Commands shed because their deadline expired before service.
+    pub deadline_shed: usize,
+    /// Singleton updates served by the batch-bypass fast path.
+    pub singletons: usize,
 }
 
 /// A batch that could not be applied, preserved for post-mortem.
@@ -185,6 +214,13 @@ pub struct SessionConfig<A: Algorithm> {
     /// Maximum quarantined batches retained for post-mortem (oldest are
     /// discarded beyond this; stats still count them).
     pub max_dead_letters: usize,
+    /// Admission controller to keep in sync with the engine's degrade
+    /// level: after every applied batch the worker feeds
+    /// [`StreamingEngine::degrade_level`] into
+    /// [`AdmissionController::observe_degrade`], so a degraded session
+    /// tightens front-door admission instead of timing requests out
+    /// mid-refinement.
+    pub admission: Option<Arc<AdmissionController>>,
 }
 
 impl<A: Algorithm> Default for SessionConfig<A> {
@@ -193,22 +229,72 @@ impl<A: Algorithm> Default for SessionConfig<A> {
             queue_capacity: None,
             checkpoint: None,
             max_dead_letters: 64,
+            admission: None,
         }
     }
 }
 
+/// Decorrelated-jitter backoff schedule (seeded, dependency-free).
+///
+/// A plain `base << attempt` schedule retries every client that saw the
+/// same backpressure signal at the same instants — the thundering herd
+/// re-fills the queue it just backed off from. Decorrelated jitter
+/// (AWS architecture-blog variant) draws each delay uniformly from
+/// `[base, prev * 3]` clamped to `[base, cap]`, so concurrent clients
+/// decorrelate after the first sleep while the expected delay still
+/// grows geometrically. The RNG is a [`SplitMix64`] seeded explicitly:
+/// a fixed seed reproduces the exact delay sequence in tests.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    rng: SplitMix64,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl BackoffSchedule {
+    /// Creates a schedule sleeping between `base` and `cap` (both
+    /// clamped to at least 1 ns; `cap` to at least `base`).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_nanos(1));
+        Self {
+            rng: SplitMix64::new(seed),
+            base,
+            cap: cap.max(base),
+            prev: base,
+        }
+    }
+
+    /// Draws the next delay: uniform in `[base, min(cap, prev * 3)]`.
+    pub fn next_delay(&mut self) -> Duration {
+        let lo = telemetry::saturating_nanos(self.base);
+        let cap = telemetry::saturating_nanos(self.cap);
+        let hi = telemetry::saturating_nanos(self.prev)
+            .saturating_mul(3)
+            .clamp(lo, cap);
+        let span = hi - lo;
+        let pick = if span == 0 {
+            lo
+        } else {
+            lo + self.rng.next_u64() % (span + 1)
+        };
+        self.prev = Duration::from_nanos(pick);
+        self.prev
+    }
+}
+
 /// Retries `op` until it stops returning [`SessionError::QueueFull`],
-/// sleeping `base_delay << attempt` between attempts (exponential
-/// backoff). Gives up after `attempts` tries, returning the last error.
-/// Non-backpressure errors abort immediately.
+/// sleeping per the given decorrelated-jitter [`BackoffSchedule`]
+/// between attempts. Gives up after `attempts` tries, returning the
+/// last error. Non-backpressure errors abort immediately.
 ///
 /// # Errors
 ///
 /// Whatever `op` last returned.
-pub fn retry_with_backoff<T>(
+pub fn retry_with_backoff_seeded<T>(
     mut op: impl FnMut() -> Result<T, SessionError>,
     attempts: usize,
-    base_delay: Duration,
+    mut schedule: BackoffSchedule,
 ) -> Result<T, SessionError> {
     let attempts = attempts.max(1);
     let mut last = SessionError::QueueFull;
@@ -219,13 +305,42 @@ pub fn retry_with_backoff<T>(
                 // No sleep on the give-up path: only back off when another
                 // attempt remains.
                 if attempt + 1 < attempts {
-                    std::thread::sleep(base_delay * (1 << attempt.min(16)));
+                    std::thread::sleep(schedule.next_delay());
                 }
             }
             other => return other,
         }
     }
     Err(last)
+}
+
+/// [`retry_with_backoff_seeded`] with a per-call seed drawn from the
+/// calling thread's identity and a process-global counter, and a cap of
+/// `base_delay * 1024`. Clients sharing one backpressure signal get
+/// distinct jitter streams without coordinating seeds; tests that need
+/// reproducible delays use the seeded variant directly.
+///
+/// # Errors
+///
+/// Whatever `op` last returned.
+pub fn retry_with_backoff<T>(
+    op: impl FnMut() -> Result<T, SessionError>,
+    attempts: usize,
+    base_delay: Duration,
+) -> Result<T, SessionError> {
+    use std::hash::{Hash, Hasher};
+    use std::sync::OnceLock;
+    static CALL: OnceLock<WorkCounter> = OnceLock::new();
+    let calls = CALL.get_or_init(WorkCounter::new);
+    calls.add(1);
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    // The thread-id hash already separates concurrent callers; the call
+    // counter only has to separate sequential calls within one thread,
+    // so the add/get pair needs no read-modify-write atomicity.
+    let seed = hasher.finish() ^ calls.get().rotate_left(32);
+    let cap = base_delay.saturating_mul(1024);
+    retry_with_backoff_seeded(op, attempts, BackoffSchedule::new(base_delay, cap, seed))
 }
 
 /// Handle to a live streaming session.
@@ -339,7 +454,12 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// [`SessionError::WorkerGone`] when the session has died.
     pub fn add(&self, e: Edge) -> Result<(), SessionError> {
-        self.submit(Command::Add(e))
+        self.submit(Command::Mutate(QueuedMutation {
+            edge: e,
+            add: true,
+            submitted: Instant::now(),
+            deadline: None,
+        }))
     }
 
     /// Submits an edge deletion, blocking while a bounded queue is full.
@@ -348,7 +468,12 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// [`SessionError::WorkerGone`] when the session has died.
     pub fn delete(&self, e: Edge) -> Result<(), SessionError> {
-        self.submit(Command::Delete(e))
+        self.submit(Command::Mutate(QueuedMutation {
+            edge: e,
+            add: false,
+            submitted: Instant::now(),
+            deadline: None,
+        }))
     }
 
     /// Non-blocking insertion.
@@ -358,7 +483,12 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     /// [`SessionError::QueueFull`] when the bounded queue is full right
     /// now, [`SessionError::WorkerGone`] when the session has died.
     pub fn try_add(&self, e: Edge) -> Result<(), SessionError> {
-        self.try_submit(Command::Add(e))
+        self.try_submit(Command::Mutate(QueuedMutation {
+            edge: e,
+            add: true,
+            submitted: Instant::now(),
+            deadline: None,
+        }))
     }
 
     /// Non-blocking deletion.
@@ -367,7 +497,95 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// See [`StreamSession::try_add`].
     pub fn try_delete(&self, e: Edge) -> Result<(), SessionError> {
-        self.try_submit(Command::Delete(e))
+        self.try_submit(Command::Mutate(QueuedMutation {
+            edge: e,
+            add: false,
+            submitted: Instant::now(),
+            deadline: None,
+        }))
+    }
+
+    /// Records a submit-side deadline shed: the request never consumed
+    /// queue capacity.
+    fn shed_before_enqueue() -> SessionError {
+        telemetry::metrics().deadline_shed.inc();
+        trace::emit(|| TraceEvent::DeadlineShed { stage: "submit" });
+        SessionError::DeadlineExceeded
+    }
+
+    /// Submits a mutation that must be *enqueued* by `deadline`: expired
+    /// submissions are shed before consuming queue capacity, and a full
+    /// bounded queue is retried (short sleeps) only until the deadline.
+    /// The deadline travels with the mutation — if it expires while
+    /// queued, the worker sheds it at dequeue.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::DeadlineExceeded`] when the deadline passes while
+    /// the queue is full, [`SessionError::WorkerGone`] when the session
+    /// has died.
+    pub fn mutate_within(
+        &self,
+        e: Edge,
+        add: bool,
+        deadline: Instant,
+    ) -> Result<(), SessionError> {
+        let m = QueuedMutation {
+            edge: e,
+            add,
+            submitted: Instant::now(),
+            deadline: Some(deadline),
+        };
+        // The vendored channel has no deadline-aware blocking send, so
+        // backpressure inside the budget is a try/sleep loop.
+        loop {
+            if Instant::now() >= deadline {
+                return Err(Self::shed_before_enqueue());
+            }
+            match self.try_submit(Command::Mutate(m)) {
+                Err(SessionError::QueueFull) => {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Submits a singleton update on the fast path: the worker applies
+    /// it immediately after the current backlog, as a batch of one — it
+    /// never sits in the coalescing buffer waiting for the queue to
+    /// drain. Deadline semantics match [`StreamSession::mutate_within`];
+    /// with no deadline a full queue still exerts blocking backpressure.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamSession::mutate_within`].
+    pub fn singleton(
+        &self,
+        e: Edge,
+        add: bool,
+        deadline: Option<Instant>,
+    ) -> Result<(), SessionError> {
+        let m = QueuedMutation {
+            edge: e,
+            add,
+            submitted: Instant::now(),
+            deadline,
+        };
+        let Some(deadline) = deadline else {
+            return self.submit(Command::Singleton(m));
+        };
+        loop {
+            if Instant::now() >= deadline {
+                return Err(Self::shed_before_enqueue());
+            }
+            match self.try_submit(Command::Singleton(m)) {
+                Err(SessionError::QueueFull) => {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Applies everything buffered so far and returns the refined values.
@@ -376,9 +594,30 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// [`SessionError::WorkerGone`] when the session has died.
     pub fn query(&self) -> Result<Vec<A::Value>, SessionError> {
+        self.query_within(None)
+    }
+
+    /// [`StreamSession::query`] with a deadline: an already-expired
+    /// deadline is shed before enqueue, and the worker sheds the query
+    /// at dequeue if the deadline passes while it waits in the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::DeadlineExceeded`] on expiry,
+    /// [`SessionError::WorkerGone`] when the session has died.
+    pub fn query_within(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<A::Value>, SessionError> {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(Self::shed_before_enqueue());
+        }
         let (reply_tx, reply_rx) = channel::bounded(1);
-        self.submit(Command::Query(reply_tx))?;
-        reply_rx.recv().map_err(|_| SessionError::WorkerGone)
+        self.submit(Command::Query {
+            reply: reply_tx,
+            deadline,
+        })?;
+        reply_rx.recv().map_err(|_| SessionError::WorkerGone)?
     }
 
     /// Applies everything buffered so far and waits for completion.
@@ -427,10 +666,22 @@ struct WorkerState<A: Algorithm> {
     stats: SessionStats,
     dead_letters: Vec<DeadLetter>,
     pending: MutationBatch,
+    /// Submission timestamps of the mutations in `pending`, recorded
+    /// into the ingest→visible histogram once a query-consistent state
+    /// reflecting them is reached (dropped on quarantine — those
+    /// mutations never became visible).
+    pending_stamps: Vec<Instant>,
     batches_since_checkpoint: usize,
     checkpoint_seq: u64,
     /// Shared queue-occupancy counter (see [`StreamSession::depth`]).
     depth: Arc<WorkCounter>,
+}
+
+/// True when `deadline` has passed at dequeue time, or the
+/// `session::deadline` fault site is armed (forcing the expiry path).
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    crate::fault::fire_error("session::deadline")
+        || deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 impl<A: Algorithm> WorkerState<A> {
@@ -457,15 +708,76 @@ impl<A: Algorithm> WorkerState<A> {
         }
     }
 
+    /// Worker-side deadline shed: the command is dropped at dequeue
+    /// without touching engine state.
+    fn shed_deadline(&mut self, stage: &'static str) {
+        self.stats.deadline_shed += 1;
+        telemetry::metrics().deadline_shed.inc();
+        trace::emit(|| TraceEvent::DeadlineShed { stage });
+    }
+
+    /// Buffers one dequeued mutation into the coalescing batch, shedding
+    /// it if its deadline already passed while it waited in the queue.
+    fn buffer_mutation(&mut self, m: QueuedMutation) {
+        if deadline_expired(m.deadline) {
+            self.shed_deadline("mutation");
+            return;
+        }
+        if m.add {
+            self.pending.add(m.edge);
+        } else {
+            self.pending.delete(m.edge);
+        }
+        self.pending_stamps.push(m.submitted);
+    }
+
+    /// Fast path for singleton updates: flush the backlog, then apply
+    /// this mutation immediately as a batch of one — it skips the
+    /// coalescing wait entirely.
+    fn apply_singleton(&mut self, m: QueuedMutation, config: &SessionConfig<A>) {
+        if deadline_expired(m.deadline) {
+            self.shed_deadline("singleton");
+            return;
+        }
+        self.apply_pending(config);
+        if m.add {
+            self.pending.add(m.edge);
+        } else {
+            self.pending.delete(m.edge);
+        }
+        self.pending_stamps.push(m.submitted);
+        self.stats.singletons += 1;
+        telemetry::metrics().singleton_fast_path.inc();
+        self.apply_pending(config);
+    }
+
+    /// Records submit→visible latency for mutations whose effect (apply
+    /// or normalize-away) is now reflected in the served state.
+    fn record_visible(stamps: Vec<Instant>) {
+        if stamps.is_empty() {
+            return;
+        }
+        let m = telemetry::metrics();
+        let now = Instant::now();
+        for submitted in stamps {
+            m.ingest_visible_latency_ns
+                .record(telemetry::saturating_nanos(now.saturating_duration_since(submitted)));
+        }
+    }
+
     /// Applies the coalesced pending batch under panic isolation.
     fn apply_pending(&mut self, config: &SessionConfig<A>) {
         if self.pending.is_empty() {
             return;
         }
         let raw = std::mem::take(&mut self.pending);
+        let stamps = std::mem::take(&mut self.pending_stamps);
         let batch = raw.normalize_against(self.engine.graph());
         self.stats.mutations_dropped += raw.len() - batch.len();
         if batch.is_empty() {
+            // Every mutation normalized away: the served state already
+            // reflects their (null) effect.
+            Self::record_visible(stamps);
             return;
         }
         self.stats.batches += 1;
@@ -480,11 +792,13 @@ impl<A: Algorithm> WorkerState<A> {
         match outcome {
             Ok(Ok(_report)) => {
                 self.stats.mutations_applied += batch.len();
+                Self::record_visible(stamps);
                 self.maybe_checkpoint(config);
             }
             Ok(Err(err)) => {
                 // Normalization should prevent this; quarantine rather
-                // than trust a batch the engine rejected.
+                // than trust a batch the engine rejected. The stamps are
+                // dropped — quarantined mutations never become visible.
                 self.quarantine(batch, err.to_string(), config.max_dead_letters);
             }
             Err(payload) => {
@@ -503,6 +817,11 @@ impl<A: Algorithm> WorkerState<A> {
                 self.engine.run_initial();
                 trace::emit(|| TraceEvent::SessionRebuilt);
             }
+        }
+        // Keep the front door's admission tightening in lockstep with the
+        // memory-budget ladder: degraded sessions shed at ingress.
+        if let Some(admission) = &config.admission {
+            admission.observe_degrade(self.engine.degrade_level());
         }
     }
 
@@ -565,9 +884,35 @@ fn worker_loop<A: Algorithm>(
         stats: SessionStats::default(),
         dead_letters: Vec::new(),
         pending: MutationBatch::new(),
+        pending_stamps: Vec::new(),
         batches_since_checkpoint: 0,
         checkpoint_seq,
         depth,
+    };
+
+    // Services one dequeued command; returns true on Shutdown. Shared by
+    // the live loop and the shutdown drain, so deadline and fast-path
+    // semantics are identical in both.
+    let service = |cmd: Command<A::Value>, ws: &mut WorkerState<A>| {
+        match cmd {
+            Command::Mutate(m) => ws.buffer_mutation(m),
+            Command::Singleton(m) => ws.apply_singleton(m, &config),
+            Command::Query { reply, deadline } => {
+                if deadline_expired(deadline) {
+                    ws.shed_deadline("query");
+                    let _ = reply.send(Err(SessionError::DeadlineExceeded));
+                } else {
+                    ws.apply_pending(&config);
+                    let _ = reply.send(Ok(ws.engine.values().to_vec()));
+                }
+            }
+            Command::Flush(reply) => {
+                ws.apply_pending(&config);
+                let _ = reply.send(());
+            }
+            Command::Shutdown => return true,
+        }
+        false
     };
 
     let finish = |mut ws: WorkerState<A>, rx: &Receiver<Command<A::Value>>| {
@@ -578,23 +923,7 @@ fn worker_loop<A: Algorithm>(
         ws.apply_pending(&config);
         while let Ok(cmd) = rx.try_recv() {
             ws.note_dequeue();
-            match cmd {
-                Command::Add(e) => {
-                    ws.pending.add(e);
-                }
-                Command::Delete(e) => {
-                    ws.pending.delete(e);
-                }
-                Command::Query(reply) => {
-                    ws.apply_pending(&config);
-                    let _ = reply.send(ws.engine.values().to_vec());
-                }
-                Command::Flush(reply) => {
-                    ws.apply_pending(&config);
-                    let _ = reply.send(());
-                }
-                Command::Shutdown => {}
-            }
+            let _ = service(cmd, &mut ws);
         }
         ws.apply_pending(&config);
         let batches = ws.stats.batches as u64;
@@ -614,26 +943,6 @@ fn worker_loop<A: Algorithm>(
             return finish(ws, &rx);
         };
         let mut shutdown = false;
-        let service = |cmd: Command<A::Value>, ws: &mut WorkerState<A>| {
-            match cmd {
-                Command::Add(e) => {
-                    ws.pending.add(e);
-                }
-                Command::Delete(e) => {
-                    ws.pending.delete(e);
-                }
-                Command::Query(reply) => {
-                    ws.apply_pending(&config);
-                    let _ = reply.send(ws.engine.values().to_vec());
-                }
-                Command::Flush(reply) => {
-                    ws.apply_pending(&config);
-                    let _ = reply.send(());
-                }
-                Command::Shutdown => return true,
-            }
-            false
-        };
         ws.note_dequeue();
         shutdown |= service(first, &mut ws);
         while let Ok(cmd) = rx.try_recv() {
@@ -897,6 +1206,137 @@ mod tests {
         );
         assert_eq!(second.engine.values(), outcome.engine.values());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_schedule_stays_within_bounds() {
+        let base = Duration::from_micros(50);
+        let cap = Duration::from_millis(5);
+        let mut schedule = BackoffSchedule::new(base, cap, 0xDECAF);
+        let mut prev = base;
+        for _ in 0..200 {
+            let d = schedule.next_delay();
+            assert!(d >= base, "delay {d:?} below base {base:?}");
+            assert!(d <= cap, "delay {d:?} above cap {cap:?}");
+            // Decorrelated jitter: each draw is bounded by 3x the
+            // previous one (before the cap clamp).
+            assert!(d <= (prev * 3).max(base).min(cap));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_under_fixed_seed() {
+        let base = Duration::from_micros(10);
+        let cap = Duration::from_millis(1);
+        let mut a = BackoffSchedule::new(base, cap, 42);
+        let mut b = BackoffSchedule::new(base, cap, 42);
+        let mut c = BackoffSchedule::new(base, cap, 43);
+        let seq_a: Vec<_> = (0..64).map(|_| a.next_delay()).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| b.next_delay()).collect();
+        let seq_c: Vec<_> = (0..64).map(|_| c.next_delay()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must reproduce the sequence");
+        assert_ne!(seq_a, seq_c, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn retry_with_backoff_seeded_gives_up_after_attempts() {
+        let mut calls = 0;
+        let schedule = BackoffSchedule::new(
+            Duration::from_nanos(1),
+            Duration::from_nanos(10),
+            7,
+        );
+        let r: Result<(), _> = retry_with_backoff_seeded(
+            || {
+                calls += 1;
+                Err(SessionError::QueueFull)
+            },
+            4,
+            schedule,
+        );
+        assert_eq!(r, Err(SessionError::QueueFull));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_enqueue() {
+        let session = StreamSession::spawn(engine());
+        let past = Instant::now() - Duration::from_millis(10);
+        assert_eq!(
+            session.mutate_within(Edge::new(0, 3, 1.0), true, past),
+            Err(SessionError::DeadlineExceeded)
+        );
+        assert_eq!(
+            session.query_within(Some(past)),
+            Err(SessionError::DeadlineExceeded)
+        );
+        let outcome = session.finish().unwrap();
+        // The shed mutation never reached the worker.
+        assert!(!outcome.engine.graph().has_edge(0, 3));
+        assert_eq!(outcome.stats.mutations_applied, 0);
+    }
+
+    #[test]
+    fn future_deadline_mutations_apply_normally() {
+        let session = StreamSession::spawn(engine());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        session
+            .mutate_within(Edge::new(0, 3, 1.0), true, deadline)
+            .unwrap();
+        let values = session.query_within(Some(deadline)).unwrap();
+        assert_eq!(values.len(), 5);
+        let outcome = session.finish().unwrap();
+        assert!(outcome.engine.graph().has_edge(0, 3));
+        assert_eq!(outcome.stats.deadline_shed, 0);
+    }
+
+    #[test]
+    fn singleton_fast_path_applies_immediately() {
+        let session = StreamSession::spawn(engine());
+        session.singleton(Edge::new(0, 3, 1.0), true, None).unwrap();
+        session
+            .singleton(
+                Edge::new(4, 0, 1.0),
+                false,
+                Some(Instant::now() + Duration::from_secs(30)),
+            )
+            .unwrap();
+        session.flush().unwrap();
+        let outcome = session.finish().unwrap();
+        assert!(outcome.engine.graph().has_edge(0, 3));
+        assert!(!outcome.engine.graph().has_edge(4, 0));
+        assert_eq!(outcome.stats.singletons, 2);
+        assert_eq!(outcome.stats.mutations_applied, 2);
+
+        let scratch = run_bsp(
+            &TestRank,
+            outcome.engine.graph(),
+            outcome.engine.options(),
+            ExecutionMode::Full,
+            &EngineStats::new(),
+        );
+        for (a, b) in outcome.engine.values().iter().zip(&scratch.vals) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn session_feeds_degrade_level_into_admission() {
+        use crate::admission::{AdmissionConfig, AdmissionController};
+        let admission = Arc::new(AdmissionController::new(AdmissionConfig::default()));
+        let session = StreamSession::spawn_with(
+            engine(),
+            SessionConfig {
+                admission: Some(Arc::clone(&admission)),
+                ..SessionConfig::default()
+            },
+        );
+        session.add(Edge::new(0, 3, 1.0)).unwrap();
+        session.flush().unwrap();
+        session.finish().unwrap();
+        // A healthy session reports level 0 after every batch.
+        assert_eq!(admission.snapshot().degrade, 0);
     }
 
     #[test]

@@ -1,14 +1,17 @@
-//! Tiny std-only HTTP responder for `/metrics`, `/metrics/json`, and
-//! `/healthz`.
+//! Tiny std-only HTTP machinery: request parsing, response writing, and
+//! the `/metrics` + `/metrics/json` + `/healthz` scrape endpoint.
 //!
-//! Serves scrapes from a background thread over `std::net::TcpListener`
-//! — no async runtime, no HTTP library, no TLS. This is a metrics
-//! endpoint, not a web server: requests are answered one at a time, the
-//! request line is the only part parsed, and oversized or slow requests
-//! are dropped via a read timeout. Bind to port 0 to let the OS pick
-//! (tests do); [`MetricsServer::local_addr`] reports the actual socket.
+//! Serves from a background thread over `std::net::TcpListener` — no
+//! async runtime, no HTTP library, no TLS. Requests are answered one at
+//! a time and oversized or slow peers are dropped via read timeouts.
+//! Bind to port 0 to let the OS pick (tests do);
+//! [`MetricsServer::local_addr`] reports the actual socket.
+//!
+//! The [`Request`]/[`respond`]/[`route_observability`] building blocks
+//! are shared with [`crate::frontdoor`], which mounts the same
+//! observability routes next to its mutation/query endpoints.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,6 +19,142 @@ use std::time::Duration;
 use graphbolt_engine::parallel::WorkCounter;
 
 use super::metrics;
+
+/// Maximum accepted request body (1 MiB): the front door serves JSON
+/// mutation batches, not uploads. Larger `Content-Length`s are rejected
+/// at parse time.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Maximum header count parsed before the rest is ignored.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP/1.1 request: enough of the protocol for a JSON service
+/// (request line, headers, `Content-Length`-framed body). Everything
+/// else — chunked encoding, keep-alive, continuations — is out of
+/// scope; responses always close the connection.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Raw request target, query string included (`/query?vertex=3`).
+    pub target: String,
+    /// Headers as (lower-cased name, trimmed value) pairs.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request off `stream`. `None` means the peer is not
+    /// speaking intelligible HTTP (empty read, unparsable request line,
+    /// oversized or missing body) — callers drop the connection or
+    /// answer 400 as their protocol dictates.
+    pub fn read_from(stream: &mut TcpStream) -> Option<Self> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next()?.to_string();
+        let target = parts.next()?.to_string();
+        let mut headers = Vec::new();
+        loop {
+            let mut h = String::new();
+            if reader.read_line(&mut h).is_err() || h.trim_end().is_empty() {
+                break;
+            }
+            if headers.len() < MAX_HEADERS {
+                if let Some((k, v)) = h.split_once(':') {
+                    headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+                }
+            }
+        }
+        let request = Self {
+            method,
+            target,
+            headers,
+            body: Vec::new(),
+        };
+        let len = match request.header("content-length") {
+            Some(v) => v.parse::<usize>().ok()?,
+            None => 0,
+        };
+        if len > MAX_BODY_BYTES {
+            return None;
+        }
+        let mut body = vec![0u8; len];
+        if len > 0 {
+            reader.read_exact(&mut body).ok()?;
+        }
+        Some(Self { body, ..request })
+    }
+
+    /// First value of `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any query string stripped (`/query?vertex=3` →
+    /// `/query`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The value of query parameter `key`, if present (no
+    /// percent-decoding — the front door's parameters are numeric).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Writes one `Connection: close` HTTP/1.1 response. I/O errors are
+/// swallowed — the peer retries; the session must not notice.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len(),
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    let _ = write!(stream, "{head}\r\n{body}");
+    let _ = stream.flush();
+}
+
+/// Routes the observability paths every GraphBolt endpoint exposes.
+/// Returns `(status, content-type, body)`, or `None` for paths the
+/// caller owns.
+pub fn route_observability(path: &str) -> Option<(&'static str, &'static str, String)> {
+    match path {
+        "/metrics" => Some((
+            "200 OK",
+            // The text exposition format content type, version 0.0.4.
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics().render_prometheus(),
+        )),
+        "/metrics/json" | "/json" => {
+            Some(("200 OK", "application/json", metrics().render_json()))
+        }
+        "/healthz" => Some(("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())),
+        _ => None,
+    }
+}
 
 /// Handle to a running metrics endpoint. Dropping it (without
 /// [`MetricsServer::detach`]) shuts the server down.
@@ -99,39 +238,16 @@ fn accept_loop(listener: TcpListener, stop: &WorkCounter) {
 
 /// Answers a single request; all I/O errors are swallowed (the scraper
 /// retries, the session must not notice).
-fn serve_one(stream: TcpStream) {
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
+fn serve_one(mut stream: TcpStream) {
+    let Some(request) = Request::read_from(&mut stream) else {
         return;
-    }
-    let path = request_line.split_whitespace().nth(1).unwrap_or("");
-    let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            // The text exposition format content type, version 0.0.4.
-            "text/plain; version=0.0.4; charset=utf-8",
-            metrics().render_prometheus(),
-        ),
-        "/metrics/json" | "/json" => (
-            "200 OK",
-            "application/json",
-            metrics().render_json(),
-        ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
     };
-    let mut stream = reader.into_inner();
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    let _ = stream.flush();
+    let (status, content_type, body) = route_observability(request.path()).unwrap_or((
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        "not found\n".to_string(),
+    ));
+    respond(&mut stream, status, content_type, &[], &body);
 }
 
 #[cfg(test)]

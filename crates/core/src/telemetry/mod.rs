@@ -180,6 +180,17 @@ pub struct MetricsRegistry {
     /// Adaptive picks that the post-observation cost model scored as
     /// the slower path.
     pub edge_map_mispredicts: Counter,
+    /// Front-door requests admitted, per client class (indexed by
+    /// `admission::ClientClass::index`: interactive, bulk, best-effort).
+    pub admit: [Counter; 3],
+    /// Front-door requests shed by admission control, per client class.
+    pub shed: [Counter; 3],
+    /// Typed RetryAfter responses issued, per client class.
+    pub retry_after: [Counter; 3],
+    /// Commands shed because their deadline expired before service.
+    pub deadline_shed: Counter,
+    /// Singleton updates served by the batch-bypass fast path.
+    pub singleton_fast_path: Counter,
 
     /// Commands currently queued for the session worker.
     pub queue_occupancy: Gauge,
@@ -208,6 +219,9 @@ pub struct MetricsRegistry {
     pub checkpoint_write_ns: Histogram,
     /// Dependency-store bytes sampled after each batch.
     pub store_bytes: Histogram,
+    /// End-to-end submit-accepted → value-visible latency (ns) per
+    /// mutation; the SLO the overload CI gate enforces at p99.
+    pub ingest_visible_latency_ns: Histogram,
 }
 
 impl MetricsRegistry {
@@ -269,6 +283,56 @@ impl MetricsRegistry {
                 "graphbolt_edge_map_mispredicts_total",
                 "Adaptive picks scored as the slower path after observation",
             ),
+            admit: [
+                Counter::new(
+                    "graphbolt_admit_interactive_total",
+                    "Interactive-class requests admitted by the front door",
+                ),
+                Counter::new(
+                    "graphbolt_admit_bulk_total",
+                    "Bulk-class requests admitted by the front door",
+                ),
+                Counter::new(
+                    "graphbolt_admit_best_effort_total",
+                    "Best-effort-class requests admitted by the front door",
+                ),
+            ],
+            shed: [
+                Counter::new(
+                    "graphbolt_shed_interactive_total",
+                    "Interactive-class requests shed by admission control",
+                ),
+                Counter::new(
+                    "graphbolt_shed_bulk_total",
+                    "Bulk-class requests shed by admission control",
+                ),
+                Counter::new(
+                    "graphbolt_shed_best_effort_total",
+                    "Best-effort-class requests shed by admission control",
+                ),
+            ],
+            retry_after: [
+                Counter::new(
+                    "graphbolt_retry_after_interactive_total",
+                    "Typed RetryAfter responses issued to interactive clients",
+                ),
+                Counter::new(
+                    "graphbolt_retry_after_bulk_total",
+                    "Typed RetryAfter responses issued to bulk clients",
+                ),
+                Counter::new(
+                    "graphbolt_retry_after_best_effort_total",
+                    "Typed RetryAfter responses issued to best-effort clients",
+                ),
+            ],
+            deadline_shed: Counter::new(
+                "graphbolt_deadline_shed_total",
+                "Commands shed because their deadline expired before service",
+            ),
+            singleton_fast_path: Counter::new(
+                "graphbolt_singleton_fast_path_total",
+                "Singleton updates served by the batch-bypass fast path",
+            ),
             queue_occupancy: Gauge::new(
                 "graphbolt_queue_occupancy",
                 "Commands currently queued for the session worker",
@@ -321,11 +385,15 @@ impl MetricsRegistry {
                 "graphbolt_store_bytes",
                 "Dependency-store bytes sampled after each batch",
             ),
+            ingest_visible_latency_ns: Histogram::new(
+                "graphbolt_ingest_visible_latency_ns",
+                "Submit-accepted to value-visible latency in nanoseconds",
+            ),
         }
     }
 
     /// All counters, registration order.
-    pub fn counters(&self) -> [&Counter; 14] {
+    pub fn counters(&self) -> [&Counter; 25] {
         [
             &self.batches_applied,
             &self.mutations_applied,
@@ -341,6 +409,17 @@ impl MetricsRegistry {
             &self.edge_map_dense,
             &self.edge_map_probes,
             &self.edge_map_mispredicts,
+            &self.admit[0],
+            &self.admit[1],
+            &self.admit[2],
+            &self.shed[0],
+            &self.shed[1],
+            &self.shed[2],
+            &self.retry_after[0],
+            &self.retry_after[1],
+            &self.retry_after[2],
+            &self.deadline_shed,
+            &self.singleton_fast_path,
         ]
     }
 
@@ -355,7 +434,7 @@ impl MetricsRegistry {
     }
 
     /// All histograms, registration order.
-    pub fn histograms(&self) -> [&Histogram; 9] {
+    pub fn histograms(&self) -> [&Histogram; 10] {
         [
             &self.batch_refine_ns,
             &self.edge_map_ns,
@@ -366,6 +445,7 @@ impl MetricsRegistry {
             &self.queue_depth,
             &self.checkpoint_write_ns,
             &self.store_bytes,
+            &self.ingest_visible_latency_ns,
         ]
     }
 

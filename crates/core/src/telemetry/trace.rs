@@ -123,6 +123,21 @@ pub enum TraceEvent {
     /// The engine finished rebuilding from the last good snapshot after
     /// a quarantine.
     SessionRebuilt,
+    /// A front-door request was shed by admission control with a typed
+    /// RetryAfter.
+    RequestShed {
+        /// Client class name (`interactive`, `bulk`, `best-effort`).
+        class: &'static str,
+        /// Milliseconds the client was told to wait before retrying.
+        retry_millis: u64,
+    },
+    /// A command expired before the session could serve it and was shed
+    /// without touching engine state.
+    DeadlineShed {
+        /// Where the deadline fired: `submit` (shed before enqueue),
+        /// `mutation`, `singleton`, or `query` (shed at dequeue).
+        stage: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -141,6 +156,8 @@ impl TraceEvent {
             TraceEvent::DegradeChanged { .. } => "degrade_changed",
             TraceEvent::SessionQuarantined { .. } => "session_quarantined",
             TraceEvent::SessionRebuilt => "session_rebuilt",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::DeadlineShed { .. } => "deadline_shed",
         }
     }
 
@@ -210,6 +227,16 @@ impl TraceEvent {
                 field("reason", format!("\"{}\"", json_escape(reason)));
             }
             TraceEvent::SessionRebuilt => {}
+            TraceEvent::RequestShed {
+                class,
+                retry_millis,
+            } => {
+                field("class", format!("\"{class}\""));
+                field("retry_millis", retry_millis.to_string());
+            }
+            TraceEvent::DeadlineShed { stage } => {
+                field("stage", format!("\"{stage}\""));
+            }
         }
         s.push('}');
         s

@@ -7,7 +7,19 @@
 //! * `checkpoint::write` — torn checkpoint → recovery skips to the
 //!   previous good file
 //! * `session::ingest`   — injected submission rejection
+//! * `session::deadline` — queued mutation treated as expired → shed
+//! * `admission::admit`  — request shed with a typed RetryAfter
+//! * `frontdoor::accept` — accepted connection dropped on the floor
+//! * `frontdoor::parse`  — well-formed request rejected as malformed
+//!
+//! The front-door and session scenarios all end the same way: the faulted
+//! request leaves no trace in the session — the final graph and values
+//! equal a from-scratch run on exactly the mutations that were *served*.
 #![cfg(feature = "fault-injection")]
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 
 use graphbolt_core::doctest_support::DocRank;
 use graphbolt_core::checkpoint::{
@@ -15,8 +27,9 @@ use graphbolt_core::checkpoint::{
 };
 use graphbolt_core::fault::{arm, FaultAction};
 use graphbolt_core::{
-    run_bsp, CheckpointError, EngineOptions, EngineStats, ExecutionMode, F64Codec, SessionError,
-    StreamSession, StreamingEngine,
+    run_bsp, AdmissionConfig, AdmissionController, CheckpointError, ClientClass, EngineOptions,
+    EngineStats, ExecutionMode, F64Codec, FrontDoor, FrontDoorConfig, SessionError, StreamSession,
+    StreamingEngine,
 };
 use bytes::Bytes;
 use graphbolt_graph::{Edge, GraphBuilder};
@@ -171,6 +184,175 @@ fn injected_ingest_error_rejects_one_submission() {
     let outcome = session.finish().unwrap();
     assert_eq!(outcome.stats.mutations_applied, 1);
     assert!(outcome.engine.graph().has_edge(0, 4));
+}
+
+/// Spawns a front door over a fresh session, returning the controller so
+/// tests can read its accounting directly.
+fn front_door() -> (
+    FrontDoor,
+    Arc<StreamSession<DocRank>>,
+    Arc<AdmissionController>,
+) {
+    let session = Arc::new(StreamSession::spawn(engine()));
+    let controller = Arc::new(AdmissionController::new(AdmissionConfig::default()));
+    let door = FrontDoor::bind(
+        "127.0.0.1:0",
+        Arc::clone(&session),
+        Arc::clone(&controller),
+        FrontDoorConfig::default(),
+    )
+    .expect("bind front door");
+    (door, session, controller)
+}
+
+/// One raw HTTP exchange, tolerant of the server dropping the connection
+/// (the injected-accept scenario): write errors are ignored and whatever
+/// bytes arrive (possibly none) are returned.
+fn exchange(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.write_all(raw.as_bytes());
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        ),
+    )
+}
+
+/// Tears a door + session pair down and asserts the final state equals a
+/// from-scratch run on the final graph — the "no corruption" acceptance
+/// bar shared by every front-door fault scenario.
+fn finish_and_check(
+    door: FrontDoor,
+    session: Arc<StreamSession<DocRank>>,
+) -> graphbolt_core::SessionOutcome<DocRank> {
+    door.shutdown();
+    let outcome = Arc::into_inner(session)
+        .expect("sole owner")
+        .finish()
+        .expect("finish");
+    let expect = scratch_values(&outcome.engine);
+    for (v, (a, b)) in outcome.engine.values().iter().zip(&expect).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-7,
+            "vertex {v}: served {a} vs from-scratch {b}"
+        );
+    }
+    outcome
+}
+
+/// Scenario 4: an injected accept fault drops the connection before any
+/// byte is parsed. The client sees a closed socket; the session neither
+/// sees the mutation nor corrupts later traffic.
+#[test]
+fn injected_accept_fault_drops_the_connection_only() {
+    let (door, session, _ctl) = front_door();
+    let addr = door.local_addr();
+
+    arm("frontdoor::accept", FaultAction::Error, 1);
+    let dropped = post(addr, "/update", "{\"src\":0,\"dst\":2}");
+    assert!(
+        dropped.is_empty(),
+        "dropped connection must carry no response, got: {dropped}"
+    );
+
+    // The plan is exhausted; the same request now lands.
+    let ok = post(addr, "/update", "{\"src\":0,\"dst\":2}");
+    assert!(ok.starts_with("HTTP/1.1 202"), "{ok}");
+
+    let outcome = finish_and_check(door, session);
+    assert!(outcome.engine.graph().has_edge(0, 2));
+    assert_eq!(outcome.stats.singletons, 1, "exactly one mutation served");
+}
+
+/// Scenario 5: an injected parse fault turns a well-formed request into a
+/// 400. The mutation it carried must not reach the session.
+#[test]
+fn injected_parse_fault_rejects_without_mutating() {
+    let (door, session, _ctl) = front_door();
+    let addr = door.local_addr();
+
+    arm("frontdoor::parse", FaultAction::Error, 1);
+    let rejected = post(addr, "/update", "{\"src\":1,\"dst\":3}");
+    assert!(rejected.starts_with("HTTP/1.1 400"), "{rejected}");
+    assert!(rejected.contains("injected parse fault"), "{rejected}");
+
+    let ok = post(addr, "/update", "{\"src\":1,\"dst\":3}");
+    assert!(ok.starts_with("HTTP/1.1 202"), "{ok}");
+
+    let outcome = finish_and_check(door, session);
+    assert!(outcome.engine.graph().has_edge(1, 3));
+    assert_eq!(outcome.stats.singletons, 1, "400'd request never reached the session");
+}
+
+/// Scenario 6: an injected admission fault sheds one request with a typed
+/// 429 before it touches queue capacity; the controller's accounting
+/// records the shed and the session stays pristine.
+#[test]
+fn injected_admission_fault_sheds_with_retry_after() {
+    let (door, session, ctl) = front_door();
+    let addr = door.local_addr();
+
+    arm("admission::admit", FaultAction::Error, 1);
+    let shed = post(addr, "/update", "{\"src\":2,\"dst\":4}");
+    assert!(shed.starts_with("HTTP/1.1 429"), "{shed}");
+    assert!(shed.contains("\"error\":\"retry_after\""), "{shed}");
+    assert!(shed.contains("\"class\":\"interactive\""), "{shed}");
+
+    let ok = post(addr, "/update", "{\"src\":2,\"dst\":4}");
+    assert!(ok.starts_with("HTTP/1.1 202"), "{ok}");
+
+    let snap = ctl.snapshot();
+    let interactive = snap.classes[ClientClass::Interactive.index()];
+    assert_eq!(
+        (interactive.admitted, interactive.shed),
+        (1, 1),
+        "one admit, one injected shed"
+    );
+
+    let outcome = finish_and_check(door, session);
+    assert!(outcome.engine.graph().has_edge(2, 4));
+    assert_eq!(outcome.stats.singletons, 1, "shed request never consumed queue capacity");
+}
+
+/// Scenario 7: an injected deadline expiry sheds one queued mutation at
+/// dequeue. The shed mutation leaves no trace; later traffic applies and
+/// the final state equals from-scratch on the served mutations only.
+#[test]
+fn injected_deadline_expiry_sheds_the_queued_mutation() {
+    let session = StreamSession::spawn(engine());
+
+    arm("session::deadline", FaultAction::Error, 1);
+    session.add(Edge::new(0, 2, 1.0)).unwrap();
+    session.flush().unwrap();
+
+    // The shed mutation is invisible to queries...
+    let served = session.query().unwrap();
+    let expect = scratch_values(&engine());
+    for (a, b) in served.iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-9, "shed mutation must not be visible");
+    }
+
+    // ...and the session keeps serving.
+    session.add(Edge::new(1, 3, 1.0)).unwrap();
+    session.flush().unwrap();
+
+    let outcome = session.finish().unwrap();
+    assert_eq!(outcome.stats.deadline_shed, 1);
+    assert_eq!(outcome.stats.mutations_applied, 1);
+    assert!(!outcome.engine.graph().has_edge(0, 2), "shed mutation never lands");
+    assert!(outcome.engine.graph().has_edge(1, 3));
+    let expect = scratch_values(&outcome.engine);
+    for (a, b) in outcome.engine.values().iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-7);
+    }
 }
 
 /// A truncated checkpoint round-trip sanity check that does not touch the

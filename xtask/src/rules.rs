@@ -147,6 +147,7 @@ const THREAD_OK: &[&str] = &[
     "crates/engine/src/parallel.rs",
     "crates/core/src/session.rs",
     "crates/core/src/telemetry/http.rs",
+    "crates/core/src/frontdoor.rs",
 ];
 
 /// The service layer: modules where a panic kills a long-lived session
@@ -155,6 +156,8 @@ const SERVICE_MODULES: &[&str] = &[
     "crates/core/src/session.rs",
     "crates/core/src/streaming.rs",
     "crates/core/src/checkpoint.rs",
+    "crates/core/src/frontdoor.rs",
+    "crates/core/src/admission.rs",
 ];
 
 /// Function names sanctioned for float accumulation: the Aggregator
@@ -544,7 +547,8 @@ fn unsafe_confined(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
                 ctx,
                 RuleId::UnsafeConfined,
                 tok.line,
-                "`std::thread` outside sanctioned modules (engine::parallel, core::session)"
+                "`std::thread` outside sanctioned modules (engine::parallel, core::session, \
+                 core::telemetry::http, core::frontdoor)"
                     .to_string(),
             );
         }

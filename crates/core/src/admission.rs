@@ -310,6 +310,8 @@ impl AdmissionController {
     }
 
     fn lock_class(&self, class: ClientClass) -> std::sync::MutexGuard<'_, ClassState> {
+        // bounds: ClientClass::index() is 0/1/2 by definition and
+        // `classes` is `[ClassState; 3]`.
         match self.classes[class.index()].lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -357,11 +359,13 @@ impl AdmissionController {
         match outcome {
             Ok(()) => {
                 state.stats.admitted += 1;
+                // bounds: index() is 0/1/2; the metric arrays are [_; 3].
                 m.admit[class.index()].inc();
                 Ok(())
             }
             Err(millis) => {
                 state.stats.shed += 1;
+                // bounds: index() is 0/1/2; the metric arrays are [_; 3].
                 m.shed[class.index()].inc();
                 m.retry_after[class.index()].inc();
                 drop(state);
@@ -401,6 +405,7 @@ impl AdmissionController {
         };
         let mut classes = [ClassStats::default(); 3];
         for class in CLASSES {
+            // bounds: index() is 0/1/2 over the fixed 3-class array.
             classes[class.index()] = self.lock_class(class).stats;
         }
         AdmissionSnapshot { classes, degrade }

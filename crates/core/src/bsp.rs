@@ -330,6 +330,12 @@ impl<'a, A: Algorithm> Driver<'a, A> {
                             let oc = alg.contribution(g, u, v, w, old);
                             let nc = alg.contribution(g, u, v, w, new);
                             sharded.with(v as usize, |agg| {
+                                // lint:allow(panic-reachability) — the
+                                // delta path is only entered for
+                                // decomposable aggregations; retract's
+                                // default unimplemented! body is the
+                                // documented contract for min/max, which
+                                // take the pull path instead.
                                 alg.retract(agg, &oc);
                                 alg.combine(agg, &nc);
                             });

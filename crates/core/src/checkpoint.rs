@@ -158,6 +158,8 @@ impl Checkpoint {
     {
         // lint:allow(service-no-panic) — documented `# Panics` API
         // contract; service paths use `try_capture`.
+        // lint:allow(panic-reachability) — same contract; the session
+        // checkpoint writer takes the fallible twin.
         Self::try_capture(engine, value_codec, agg_codec)
             .expect("run_initial() must complete before capture()")
     }
@@ -398,6 +400,8 @@ where
 {
     // lint:allow(service-no-panic) — documented `# Panics` API contract;
     // the session writer uses `try_session_file_bytes`.
+    // lint:allow(panic-reachability) — same contract; convenience
+    // wrapper, not on the worker loop.
     try_session_file_bytes(engine, seq, value_codec, agg_codec)
         .expect("run_initial() must complete before checkpointing")
 }
@@ -528,6 +532,21 @@ pub fn parse_session_file(
         return Err(CheckpointError::Truncated);
     }
     let ck = Checkpoint::from_bytes(data.split_to(ck_len));
+    // The checksum proves the bytes are the ones written, not that they
+    // are self-consistent: a file whose embedded graph references a
+    // vertex >= its own recorded `n` would panic inside the CSR
+    // constructor on the restore path. Reject it as a format error.
+    if let Some(e) = edges
+        .iter()
+        .find(|e| e.src as usize >= n || e.dst as usize >= n)
+    {
+        return Err(CheckpointError::Format(format!(
+            "edge ({}, {}) out of range for vertex count {n}",
+            e.src, e.dst
+        )));
+    }
+    // lint:allow(panic-reachability) — the endpoint validation above
+    // makes the constructor's range asserts unreachable from restore.
     Ok((seq, GraphSnapshot::from_edges(n, &edges), ck))
 }
 
@@ -850,6 +869,27 @@ mod tests {
             parse_session_file(Bytes::from(data)).unwrap_err(),
             CheckpointError::Corrupted
         );
+    }
+
+    #[test]
+    fn out_of_range_edge_is_a_format_error_not_a_panic() {
+        // A checksum-valid file whose recorded vertex count is smaller
+        // than what the embedded edges reference must be rejected as a
+        // format error; before endpoint validation it panicked inside
+        // the CSR constructor on the restore path.
+        let original = engine();
+        let mut data = session_file_bytes(&original, 3, &F64Codec, &F64Codec).to_vec();
+        // Header: magic(4) + version(2) + seq(8) + checksum(8) = 22
+        // bytes; the payload opens with the big-endian vertex count.
+        data[22..30].copy_from_slice(&1u64.to_be_bytes());
+        let checksum = fnv1a(&data[22..]);
+        data[14..22].copy_from_slice(&checksum.to_be_bytes());
+        match parse_session_file(Bytes::from(data)).unwrap_err() {
+            CheckpointError::Format(msg) => {
+                assert!(msg.contains("out of range"), "{msg}");
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -88,6 +88,11 @@ pub fn disarm_all() {
 #[inline]
 pub(crate) fn fire_panic(site: &str) {
     #[cfg(feature = "fault-injection")]
+    // lint:allow(panic-reachability) — the panic IS the product here: a
+    // deliberately injected fault proving the session quarantine turns
+    // engine panics into typed errors. Gated behind `fault-injection`.
+    // lint:allow(hot-path-blocking) — same gate: the registry lock is
+    // compiled out of production builds.
     if registry::take(site) == Some(FaultAction::Panic) {
         panic!("injected fault at {site}");
     }
@@ -101,6 +106,11 @@ pub(crate) fn fire_panic(site: &str) {
 pub(crate) fn fire_error(site: &str) -> bool {
     #[cfg(feature = "fault-injection")]
     {
+        // lint:allow(panic-reachability) — test-only probe body: the
+        // registry (and its lock-poisoning expects) is compiled out of
+        // production builds without the `fault-injection` feature.
+        // lint:allow(hot-path-blocking) — same gate; without the
+        // feature this fn is a constant `false`.
         registry::take(site) == Some(FaultAction::Error)
     }
     #[cfg(not(feature = "fault-injection"))]
@@ -116,6 +126,10 @@ pub(crate) fn fire_error(site: &str) -> bool {
 #[inline]
 pub(crate) fn fire_truncation(site: &str) -> Option<usize> {
     #[cfg(feature = "fault-injection")]
+    // lint:allow(panic-reachability) — test-only probe body; the
+    // registry is compiled out of production builds without the
+    // `fault-injection` feature.
+    // lint:allow(hot-path-blocking) — same gate.
     if let Some(FaultAction::Truncate(keep)) = registry::take(site) {
         return Some(keep);
     }

@@ -160,22 +160,34 @@ fn accept_loop<A>(
 ) where
     A: Algorithm<Value = f64> + 'static,
 {
-    for conn in listener.incoming() {
-        if stop.get() != 0 {
-            break;
+    // Scoped handler threads: each accepted connection is served on its
+    // own thread, so one slow client (the per-request read timeout is
+    // 2 s) cannot head-of-line-block every other pending connection.
+    // The scope joins all in-flight handlers before accept_loop returns,
+    // so shutdown still drains cleanly. Admission control bounds the
+    // work each handler can enqueue; connection counts stay modest at
+    // this tier (the overload path sheds with 429 before threads pile
+    // up).
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if stop.get() != 0 {
+                break;
+            }
+            let Ok(mut stream) = conn else {
+                continue;
+            };
+            if crate::fault::fire_error("frontdoor::accept") {
+                // Injected accept fault: the client sees a dropped
+                // connection, the session sees nothing.
+                continue;
+            }
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            scope.spawn(move || {
+                serve_one(&mut stream, shutdown_requested, session, admission, config);
+            });
         }
-        let Ok(mut stream) = conn else {
-            continue;
-        };
-        if crate::fault::fire_error("frontdoor::accept") {
-            // Injected accept fault: the client sees a dropped
-            // connection, the session sees nothing.
-            continue;
-        }
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        serve_one(&mut stream, shutdown_requested, session, admission, config);
-    }
+    });
 }
 
 /// One JSON error body.
@@ -347,16 +359,24 @@ fn parse_batch(body: &str) -> Result<Vec<WireMutation>, String> {
     let close = body
         .rfind(']')
         .ok_or_else(|| "unterminated mutations array".to_string())?;
+    // bounds: `open`/`close` come from find/rfind on `body` itself and
+    // `close >= open` is checked, so every slice below is in range.
     if close < open || !body[..open].contains("\"mutations\"") {
         return Err("missing mutations array".to_string());
     }
     let mut mutations = Vec::new();
+    // bounds: open < close <= body.len(), both byte offsets of ASCII
+    // delimiters found above.
     let mut rest = &body[open + 1..close];
     while let Some(start) = rest.find('{') {
+        // bounds: `start` is a find() offset into `rest`; `end` is a
+        // find() offset into `rest[start..]`, so start + end + 1 is at
+        // most rest.len() (both delimiters are 1-byte ASCII).
         let end = rest[start..]
             .find('}')
             .ok_or_else(|| "unterminated mutation object".to_string())?;
         mutations.push(parse_mutation(&rest[start..=start + end])?);
+        // bounds: same find()-derived offsets as above.
         rest = &rest[start + end + 1..];
     }
     Ok(mutations)
@@ -619,6 +639,7 @@ fn serve_query<A>(
     let body = match request.query_param("vertex") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(v) if v < values.len() => {
+                // bounds: the match guard above checks v < values.len().
                 format!("{{\"vertex\":{v},\"value\":{}}}", render_value(values[v]))
             }
             Ok(v) => {

@@ -330,6 +330,10 @@ pub fn refine<A: Algorithm>(
                 };
                 let slots = ShardedMut::new(new_aggs.slots_mut());
                 let combine_into = |v: VertexId, f: &dyn Fn(&mut A::Agg)| {
+                    // lint:allow(hot-path-blocking) — striped spinlock by
+                    // design: ShardedMut shards the aggregation array so
+                    // contention is per-stripe, and the critical section
+                    // is one combine. DESIGN.md §5 covers the trade-off.
                     slots.with(v as usize, |slot| {
                         f(&mut slot.as_mut().expect("impacted slot pre-seeded").0);
                     });
@@ -509,6 +513,9 @@ pub fn refine<A: Algorithm>(
             (trace::RefinePhase::Propagate, propagate_ns),
             (trace::RefinePhase::Apply, apply_ns),
         ] {
+            // lint:allow(hot-path-blocking) — per-phase, not per-edge:
+            // three events per refinement iteration, and emit() skips
+            // closure evaluation entirely when no sink is installed.
             trace::emit(|| trace::TraceEvent::RefinePhaseDone {
                 iteration: i as u64,
                 phase,
@@ -657,7 +664,9 @@ fn run_hybrid<A: Algorithm>(
             (v, alg.compute(v, &agg, g), work)
         });
         stats.add_vertex_computations(targets.len() as u64);
-        moving = Vec::new();
+        // Reuse the frontier buffer across iterations instead of
+        // allocating a fresh Vec per round.
+        moving.clear();
         for (v, new_val, work) in updated {
             edge_work += work;
             if alg.changed(&cur[v as usize], &new_val) {

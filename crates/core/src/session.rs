@@ -397,6 +397,8 @@ impl<A: Algorithm + 'static> StreamSession<A> {
         // lint:allow(service-no-panic) — documented `# Panics` API
         // contract: sessions only wrap initialized engines, so the
         // worker loop never observes missing state.
+        // lint:allow(panic-reachability) — same contract, startup-only:
+        // this runs once before the worker exists.
         assert!(
             engine.is_initialized(),
             "run_initial() must complete before streaming"

@@ -260,6 +260,9 @@ impl<A: Algorithm> StreamingEngine<A> {
             return;
         }
         self.degrade = to;
+        // lint:allow(panic-reachability) — false edge: `.set` here is
+        // the telemetry `Gauge::set` (atomic store), which name-based
+        // resolution confuses with `DependencyStore::set`.
         telemetry::metrics().degrade_level.set(u64::from(to.index()));
         trace::emit(|| TraceEvent::DegradeChanged {
             from: from.index(),
@@ -293,6 +296,8 @@ impl<A: Algorithm> StreamingEngine<A> {
     pub fn values(&self) -> &[A::Value] {
         // lint:allow(service-no-panic) — documented `# Panics` API
         // contract; fallible callers use `try_values`.
+        // lint:allow(panic-reachability) — same contract; the session
+        // worker asserts initialization once at spawn.
         self.try_values()
             .expect("run_initial() must be called before values()")
     }
@@ -410,6 +415,9 @@ impl<A: Algorithm> StreamingEngine<A> {
         m.mutations_applied.add(mutations as u64);
         m.batch_refine_ns.record_duration(report.duration);
         self.publish_work_telemetry(spent);
+        // lint:allow(panic-reachability) — false edge: `.record` here is
+        // the telemetry `Histogram::record`, which name-based resolution
+        // confuses with `DependencyStore::record`.
         m.store_bytes.record(self.dependency_memory_bytes() as u64);
         trace::emit(|| TraceEvent::BatchApplied {
             mutations,
@@ -424,6 +432,9 @@ impl<A: Algorithm> StreamingEngine<A> {
         m.edge_computations.add(spent.edge_computations);
         m.vertex_computations.add(spent.vertex_computations);
         m.iterations.add(spent.iterations);
+        // lint:allow(panic-reachability) — false edges: the `.set` calls
+        // below are telemetry `Gauge::set` (atomic stores), which
+        // name-based resolution confuses with `DependencyStore::set`.
         m.dependency_store_bytes
             .set(self.dependency_memory_bytes() as u64);
         m.stored_aggregations.set(self.stored_aggregations() as u64);
@@ -452,6 +463,8 @@ impl<A: Algorithm> StreamingEngine<A> {
     pub fn store(&self) -> &DependencyStore<A::Agg> {
         // lint:allow(service-no-panic) — documented `# Panics` API
         // contract; fallible callers use `try_store`.
+        // lint:allow(panic-reachability) — same contract; inspection
+        // accessor, not on the worker loop.
         self.try_store()
             .expect("run_initial() must be called before store()")
     }
@@ -475,6 +488,8 @@ impl<A: Algorithm> StreamingEngine<A> {
     pub fn checkpoint_state(&self) -> CheckpointState<'_, A> {
         // lint:allow(service-no-panic) — documented `# Panics` API
         // contract; fallible callers use `try_checkpoint_state`.
+        // lint:allow(panic-reachability) — same contract; the checkpoint
+        // writer takes the fallible twin.
         self.try_checkpoint_state()
             .expect("run_initial() must complete before checkpointing")
     }

@@ -1,0 +1,283 @@
+//! The four call-graph-powered rules: `panic-reachability`,
+//! `hot-path-blocking`, `ordering-protocol`, and `epoch-discipline`.
+//!
+//! Unlike the token-local rules in [`crate::rules`], these are
+//! workspace-level passes: the lint driver scans every file first, then
+//! hands the whole corpus (token streams plus the [`CallGraph`]) to
+//! this module. Findings land at the *site* (the unwrap, the blocking
+//! call, the orphaned store), with the message naming the service entry
+//! point it is reachable from — so the fix location and the reason it
+//! matters are both in the report.
+//!
+//! Policy tables (roots, isolation boundaries, sanctioned modules) live
+//! in [`crate::rules`] next to the older tables; DESIGN.md §9.5
+//! documents the rationale for each entry.
+
+use crate::callgraph::{file_fns, CallGraph};
+use crate::flow::{
+    atomic_accesses, blocking_sites, call_spans, panic_sites, raw_ptr_sites, spans_contain,
+};
+use crate::items::impl_blocks;
+use crate::rules::{
+    emit, path_matches, waived, FileCtx, Finding, RuleId, EPOCH_OK, HOT_PATH_ROOTS,
+    PANIC_ISOLATED, PANIC_ROOT_MODULES,
+};
+use crate::scanner::Scanned;
+
+/// One scanned workspace file, as the driver holds it.
+pub struct WorkspaceFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Token stream + comments.
+    pub scanned: Scanned,
+    /// Under `tests/`, `benches/`, or `examples/`.
+    pub in_test_tree: bool,
+}
+
+/// Builds the workspace call graph from scanned files (order defines
+/// file indices; the rule passes below rely on it matching `files`).
+pub fn build_graph(files: &[WorkspaceFile]) -> CallGraph {
+    let mut graph = CallGraph::default();
+    for f in files {
+        graph.add_file(&f.rel, f.in_test_tree, file_fns(&f.scanned));
+    }
+    graph
+}
+
+/// Runs all four call-graph rules over the scanned workspace.
+pub fn run_graph_rules(
+    files: &[WorkspaceFile],
+    graph: &CallGraph,
+    enabled: impl Fn(RuleId) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if enabled(RuleId::PanicReachability) {
+        panic_reachability(files, graph, out);
+    }
+    if enabled(RuleId::HotPathBlocking) {
+        hot_path_blocking(files, graph, out);
+    }
+    if enabled(RuleId::OrderingProtocol) {
+        ordering_protocol(files, out);
+    }
+    if enabled(RuleId::EpochDiscipline) {
+        epoch_discipline(files, out);
+    }
+}
+
+fn ctx_of(f: &WorkspaceFile) -> FileCtx<'_> {
+    FileCtx {
+        path: &f.rel,
+        in_test_tree: f.in_test_tree,
+    }
+}
+
+/// Rule `panic-reachability`: no function transitively reachable from
+/// the service layer may panic — `.unwrap()`, `.expect()`, the `panic!`
+/// family, or unguarded indexing. Upgrades `service-no-panic` from
+/// direct to transitive. Edges inside `catch_unwind(..)` argument spans
+/// are not traversed (the session worker's quarantine boundary converts
+/// panics below it into typed errors), nor are edges whose call site
+/// carries a `lint:allow(panic-reachability)` waiver (a reviewed
+/// boundary, e.g. a startup-only path). Spawned-thread edges ARE
+/// traversed: a panic on a service thread is still a service defect.
+fn panic_reachability(files: &[WorkspaceFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    let roots: Vec<usize> = graph
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            !d.in_test
+                && !graph.in_test_tree[d.file]
+                && path_matches(&graph.files[d.file], PANIC_ROOT_MODULES)
+                && !PANIC_ISOLATED
+                .iter()
+                .any(|(p, f)| graph.files[d.file].ends_with(p) && d.name == *f)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reached = graph.reach(&roots, false, |file, line| {
+        waived(&files[file].scanned, line, RuleId::PanicReachability)
+    });
+    for (def_idx, path) in &reached {
+        let def = &graph.defs[*def_idx];
+        if PANIC_ISOLATED
+            .iter()
+            .any(|(p, f)| graph.files[def.file].ends_with(p) && def.name == *f)
+        {
+            continue;
+        }
+        let file = &files[def.file];
+        // The indexing class applies where untrusted input enters — defs
+        // in the service-layer files themselves. Interior engine
+        // indexing (CSR offsets, bitset words) is governed by
+        // construction invariants local to the data structure; flagging
+        // all of it transitively would drown the unwrap/expect/panic!
+        // signal (90+ sites) without adding safety.
+        let index_in_scope = path_matches(&graph.files[def.file], PANIC_ROOT_MODULES);
+        for site in panic_sites(&file.scanned, def.body) {
+            if site.what == "unguarded indexing" && !index_in_scope {
+                continue;
+            }
+            emit(
+                out,
+                &file.scanned,
+                &ctx_of(file),
+                RuleId::PanicReachability,
+                site.line,
+                format!(
+                    "{} is reachable from the service layer ({}); return a typed \
+                     error, guard the access, or waive the edge with a justification",
+                    site.what,
+                    graph.path_label(path),
+                ),
+            );
+        }
+    }
+}
+
+/// Rule `hot-path-blocking`: nothing reachable from the refinement /
+/// edge_map inner loops or the front-door accept loop may block
+/// (`Mutex::lock`, `sleep`, `join`, `recv`, file I/O) or allocate
+/// per-iteration (`Vec::new`/`vec!` in a loop body, `format!`). Edges
+/// into `spawn(..)` closures are cut — work handed to another thread
+/// does not stall the loop that spawned it — and so are waived edges.
+fn hot_path_blocking(files: &[WorkspaceFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    let roots: Vec<usize> = graph
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            !d.in_test
+                && HOT_PATH_ROOTS
+                    .iter()
+                    .any(|(p, f)| graph.files[d.file].ends_with(p) && d.name == *f)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reached = graph.reach(&roots, true, |file, line| {
+        waived(&files[file].scanned, line, RuleId::HotPathBlocking)
+    });
+    for (def_idx, path) in &reached {
+        let def = &graph.defs[*def_idx];
+        let file = &files[def.file];
+        // Sinks inside spawn-closure spans belong to the spawned thread,
+        // not this loop — mirror the edge cut at the token level.
+        let spawn_spans = call_spans(&file.scanned.tokens, "spawn");
+        for site in blocking_sites(&file.scanned, def.body) {
+            let tok_idx = file
+                .scanned
+                .tokens
+                .iter()
+                .position(|t| t.line == site.line && !t.text.is_empty());
+            if tok_idx.is_some_and(|i| spans_contain(&spawn_spans, i)) {
+                continue;
+            }
+            emit(
+                out,
+                &file.scanned,
+                &ctx_of(file),
+                RuleId::HotPathBlocking,
+                site.line,
+                format!(
+                    "{} on the hot path ({}); move it off the inner loop, hand it to \
+                     another thread, or waive the edge with a justification",
+                    site.what,
+                    graph.path_label(path),
+                ),
+            );
+        }
+    }
+}
+
+/// Rule `ordering-protocol`: every `Release` (or `AcqRel`) store must
+/// have at least one `Acquire`/`AcqRel`/`SeqCst` load of the same
+/// atomic field somewhere in the workspace. Fields are keyed by
+/// enclosing-impl self type + field name (`AtomicBitSet.words`); a
+/// Release store nobody acquires is an orphaned publication — the
+/// happens-before edge it pays for is never consumed, which usually
+/// means the consumer reads `Relaxed` and the protocol is broken.
+/// Upgrades `ordering-audit` from comment-presence to protocol checking.
+fn ordering_protocol(files: &[WorkspaceFile], out: &mut Vec<Finding>) {
+    // Collect the workspace-wide acquire side first (production code
+    // only: a load that exists only in a test cannot consume a
+    // production publication).
+    let mut acquired: Vec<(String, String)> = Vec::new();
+    let mut stores: Vec<(usize, crate::flow::AtomicAccess)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let impls = impl_blocks(&f.scanned);
+        for access in atomic_accesses(&f.scanned, &impls) {
+            if access.in_test || f.in_test_tree {
+                continue;
+            }
+            if access.acquire_load {
+                acquired.push(access.key.clone());
+            }
+            if access.release_store {
+                stores.push((fi, access));
+            }
+        }
+    }
+    for (fi, store) in stores {
+        if acquired.contains(&store.key) {
+            continue;
+        }
+        let file = &files[fi];
+        let field = if store.key.0.is_empty() {
+            store.key.1.clone()
+        } else {
+            format!("{}.{}", store.key.0, store.key.1)
+        };
+        emit(
+            out,
+            &file.scanned,
+            &ctx_of(file),
+            RuleId::OrderingProtocol,
+            store.line,
+            format!(
+                "orphaned publication: `{}` Release-stores `{field}` but no \
+                 Acquire/AcqRel load of that field exists in the workspace; add the \
+                 consuming load or downgrade the store's ordering",
+                store.method,
+            ),
+        );
+    }
+}
+
+/// Rule `epoch-discipline`: any type whose name matches `*Epoch*` /
+/// `*Snapshot*` must confine raw-pointer manipulation (`as_ptr`,
+/// `Arc::into_raw`, `*const`/`*mut` types, `NonNull`) to the sanctioned
+/// modules in [`EPOCH_OK`]. Forward-looking guard for the ROADMAP-2
+/// MVCC work: epoch flip/reclaim protocols live or die on where their
+/// raw-pointer lifecycle is allowed to leak.
+fn epoch_discipline(files: &[WorkspaceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        if f.in_test_tree || path_matches(&f.rel, EPOCH_OK) {
+            continue;
+        }
+        for block in impl_blocks(&f.scanned) {
+            if block.in_test {
+                continue;
+            }
+            let name = &block.type_name;
+            if !(name.contains("Epoch") || name.contains("Snapshot")) {
+                continue;
+            }
+            for site in raw_ptr_sites(&f.scanned, (block.line, block.end_line)) {
+                emit(
+                    out,
+                    &f.scanned,
+                    &ctx_of(f),
+                    RuleId::EpochDiscipline,
+                    site.line,
+                    format!(
+                        "raw-pointer manipulation (`{}`) in `impl {name}`: \
+                         `*Epoch*`/`*Snapshot*` types must keep raw-pointer lifecycle \
+                         in sanctioned modules (core::epoch, core::sharded)",
+                        site.what,
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -18,17 +18,39 @@
 //!    sits in a sanctioned module and carries a nearby `// ordering:`
 //!    justification comment;
 //! 7. `retract-guard` — direct `.retract(` / `.delta(` aggregation
-//!    calls are confined to the refinement path and the law harness.
+//!    calls are confined to the refinement path and the law harness;
+//! 8. `metrics-naming` — registered metric names match
+//!    `graphbolt_[a-z_]+` and appear in DESIGN.md §10's metric table.
+//!
+//! Four further rules are *call-graph-powered* — they reason about what
+//! a function can transitively reach, not just what its tokens say (see
+//! DESIGN.md §9.5):
+//!
+//! 9.  `panic-reachability` — nothing reachable from the service layer
+//!     may panic (transitive upgrade of `service-no-panic`);
+//! 10. `hot-path-blocking` — nothing reachable from the refinement /
+//!     edge_map inner loops or the frontdoor accept loop may block or
+//!     allocate per-iteration;
+//! 11. `ordering-protocol` — every Release store is paired with an
+//!     Acquire load of the same atomic field somewhere in the workspace;
+//! 12. `epoch-discipline` — `*Epoch*`/`*Snapshot*` types confine
+//!     raw-pointer manipulation to sanctioned modules.
 //!
 //! Library layout: [`scanner`] lexes Rust source into an
 //! analysis-friendly token stream, [`items`] recovers item-level
-//! structure (impl blocks, methods, attributes) from it, [`rules`]
-//! implements the seven invariants, and [`lint`] walks the workspace,
-//! runs the cross-file passes, and renders findings. The binary in
-//! `main.rs` is a thin CLI over [`lint`].
+//! structure (impl blocks, methods, attributes) from it, [`callgraph`]
+//! builds the workspace call graph on top, [`flow`] classifies what
+//! token spans *do* (panic, block, publish, acquire), [`rules`]
+//! implements the token-local invariants, [`graph_rules`] the
+//! call-graph-powered ones, and [`lint`] walks the workspace (in
+//! parallel), runs the cross-file passes, and renders findings as text,
+//! JSON, or SARIF. The binary in `main.rs` is a thin CLI over [`lint`].
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod flow;
+pub mod graph_rules;
 pub mod items;
 pub mod lint;
 pub mod rules;

@@ -1,12 +1,15 @@
-//! Lint driver: workspace file discovery, per-file scanning, and
-//! finding rendering (human text and machine-readable JSON).
+//! Lint driver: workspace file discovery, parallel per-file scanning,
+//! workspace-level call-graph passes, and finding rendering (human
+//! text, machine JSON, and SARIF for CI annotations).
 
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
+use crate::graph_rules::{build_graph, run_graph_rules, WorkspaceFile};
 use crate::items::law_registrations;
-use crate::rules::{law_coverage, metrics_naming, run_rules, FileCtx, Finding, RuleId};
+use crate::rules::{law_coverage, metrics_naming, run_rules, FileCtx, Finding, RuleId, ALL_RULES};
 use crate::scanner::{scan, Scanned};
 
 /// Directory names never descended into.
@@ -108,7 +111,19 @@ pub fn lint_source_with_docs(
         in_test_tree: in_test_tree(path),
     };
     let registered: BTreeSet<String> = law_registrations(&scanned).into_iter().collect();
-    lint_scanned(&ctx, &scanned, enabled, &registered, documented)
+    let mut findings = lint_scanned(&ctx, &scanned, enabled, &registered, documented);
+    // Call-graph rules over the single file: the graph is just this
+    // file's functions, which is exactly what fixture tests need.
+    let files = [WorkspaceFile {
+        rel: path.to_string(),
+        scanned,
+        in_test_tree: ctx.in_test_tree,
+    }];
+    let graph = build_graph(&files);
+    run_graph_rules(&files, &graph, |r| enabled.contains(&r), &mut findings);
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    findings
 }
 
 /// Extracts every `graphbolt_[a-z_]+` name mentioned in DESIGN.md §10's
@@ -134,6 +149,17 @@ pub fn documented_metric_names(root: &Path) -> Option<BTreeSet<String>> {
     Some(names)
 }
 
+/// Scan statistics reported alongside findings in `--format json`.
+#[derive(Debug, Clone, Copy)]
+pub struct LintStats {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Worker threads used for the scan.
+    pub threads: usize,
+    /// Wall-clock time of the whole lint pass, in milliseconds.
+    pub elapsed_ms: u128,
+}
+
 /// Lints the whole workspace rooted at `root` with all rules except
 /// `allow` enabled. Findings are ordered by file, then line.
 pub fn lint_workspace(root: &Path, allow: &BTreeSet<RuleId>) -> io::Result<Vec<Finding>> {
@@ -143,50 +169,125 @@ pub fn lint_workspace(root: &Path, allow: &BTreeSet<RuleId>) -> io::Result<Vec<F
 /// [`lint_workspace`] with an optional `changed` restriction: when
 /// `Some`, findings are reported only for the listed workspace-relative
 /// paths (`cargo xtask lint --changed`). The *whole* workspace is still
-/// scanned regardless — `law-coverage` registrations live in different
-/// files than the impls they cover, so a restricted scan would
-/// false-positive on every changed impl.
+/// scanned regardless — `law-coverage` registrations and call-graph
+/// edges live in different files than the findings they produce, so a
+/// restricted scan would be wrong, not just incomplete.
 pub fn lint_workspace_with(
     root: &Path,
     allow: &BTreeSet<RuleId>,
     changed: Option<&BTreeSet<String>>,
 ) -> io::Result<Vec<Finding>> {
-    let enabled: BTreeSet<RuleId> = crate::rules::ALL_RULES
+    lint_workspace_report(root, allow, changed).map(|(findings, _)| findings)
+}
+
+/// Reads and lexes one workspace file into the driver's per-file record.
+fn scan_one(root: &Path, file: &Path) -> io::Result<WorkspaceFile> {
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let src = std::fs::read_to_string(file)?;
+    let in_test_tree = in_test_tree(&rel);
+    Ok(WorkspaceFile {
+        rel,
+        scanned: scan(&src),
+        in_test_tree,
+    })
+}
+
+/// Full workspace lint returning findings plus scan statistics.
+///
+/// File reading + lexing is the dominant cost and is embarrassingly
+/// parallel, so it fans out over scoped worker threads (stride
+/// assignment; results land back in path order, so output stays
+/// deterministic regardless of thread count). Rule evaluation stays on
+/// the calling thread — it is cheap and the cross-file passes need the
+/// whole corpus anyway.
+pub fn lint_workspace_report(
+    root: &Path,
+    allow: &BTreeSet<RuleId>,
+    changed: Option<&BTreeSet<String>>,
+) -> io::Result<(Vec<Finding>, LintStats)> {
+    let start = Instant::now();
+    let enabled: BTreeSet<RuleId> = ALL_RULES
         .into_iter()
         .filter(|r| !allow.contains(r))
         .collect();
     let documented = documented_metric_names(root);
-    let mut scanned_files = Vec::new();
+    let files = collect_workspace_files(root)?;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+        .min(files.len().max(1));
+    let mut slots: Vec<Option<io::Result<WorkspaceFile>>> = Vec::new();
+    slots.resize_with(files.len(), || None);
+    // lint:allow(hot-path-blocking) — the scan fan-out is the lint's own
+    // startup, not an engine hot path; reads are the work being divided.
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let files = &files;
+            handles.push(s.spawn(move || {
+                let mut out = Vec::new();
+                let mut idx = t;
+                while idx < files.len() {
+                    out.push((idx, scan_one(root, &files[idx])));
+                    idx += threads;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (idx, result) in h.join().expect("scan worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+    let mut scanned_files: Vec<WorkspaceFile> = Vec::with_capacity(files.len());
+    for slot in slots {
+        scanned_files.push(slot.expect("every index assigned to exactly one worker")?);
+    }
+
     let mut registered: BTreeSet<String> = BTreeSet::new();
-    for file in collect_workspace_files(root)? {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = std::fs::read_to_string(&file)?;
-        let scanned = scan(&src);
-        registered.extend(law_registrations(&scanned));
-        scanned_files.push((rel, scanned));
+    for f in &scanned_files {
+        registered.extend(law_registrations(&f.scanned));
     }
     let mut findings = Vec::new();
-    for (rel, scanned) in &scanned_files {
-        if changed.is_some_and(|set| !set.contains(rel)) {
-            continue;
-        }
+    for f in &scanned_files {
         let ctx = FileCtx {
-            path: rel,
-            in_test_tree: in_test_tree(rel),
+            path: &f.rel,
+            in_test_tree: f.in_test_tree,
         };
         findings.extend(lint_scanned(
             &ctx,
-            scanned,
+            &f.scanned,
             &enabled,
             &registered,
             documented.as_ref(),
         ));
     }
-    Ok(findings)
+    let graph = build_graph(&scanned_files);
+    run_graph_rules(
+        &scanned_files,
+        &graph,
+        |r| enabled.contains(&r),
+        &mut findings,
+    );
+    if let Some(set) = changed {
+        findings.retain(|f| set.contains(&f.file));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    let stats = LintStats {
+        files: files.len(),
+        threads,
+        elapsed_ms: start.elapsed().as_millis(),
+    };
+    Ok((findings, stats))
 }
 
 /// Renders findings for humans: one `file:line [rule] message` per line
@@ -234,6 +335,69 @@ pub fn render_json(findings: &[Finding]) -> String {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders the full machine-readable report: the findings array under
+/// `"findings"` plus a `"stats"` object with file count, worker-thread
+/// count, and wall-clock timing. This is what `--format json` emits;
+/// [`render_json`] (the bare array) is kept for embedding.
+pub fn render_json_report(findings: &[Finding], stats: &LintStats) -> String {
+    let array = render_json(findings);
+    format!(
+        "{{\n\"findings\": {},\n\"stats\": {{\"files\":{},\"threads\":{},\"elapsed_ms\":{}}}\n}}\n",
+        array.trim_end(),
+        stats.files,
+        stats.threads,
+        stats.elapsed_ms
+    )
+}
+
+/// Renders findings as SARIF 2.1.0 (the format GitHub code scanning
+/// ingests, turning findings into PR annotations). One run, one rule
+/// table (all twelve, so `ruleIndex` is stable), one result per
+/// finding. Hand-rolled like the JSON renderer to keep xtask
+/// dependency-free.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"xtask-lint\",\n");
+    out.push_str("      \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            rule.name(),
+            json_escape(rule.describe()),
+            if i + 1 < ALL_RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n");
+    out.push_str("    }},\n");
+    out.push_str("    \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let rule_index = ALL_RULES
+            .iter()
+            .position(|r| *r == f.rule)
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "      {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": \
+             {}}}}}}}]}}{}\n",
+            f.rule.name(),
+            rule_index,
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }]\n");
+    out.push_str("}\n");
     out
 }
 

@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::lint::{lint_workspace_with, render_json, render_text};
+use xtask::lint::{lint_workspace_report, render_json_report, render_sarif, render_text};
 use xtask::rules::{RuleId, ALL_RULES};
 
 const USAGE: &str = "\
@@ -16,7 +16,10 @@ usage: cargo xtask lint [options]
 
 options:
   --allow <rule>       disable one rule (repeatable); see --list-rules
-  --format <text|json> output format (default: text)
+  --format <text|json|sarif>
+                       output format (default: text); json includes a
+                       stats object (file count, threads, timing),
+                       sarif renders CI-ingestible annotations
   --root <dir>         workspace root (default: auto-detected)
   --changed            report findings only for files changed per git
                        (diff vs HEAD plus untracked); the whole tree is
@@ -62,9 +65,9 @@ fn lint_cmd(args: &[String]) -> ExitCode {
                 }
             },
             "--format" => match it.next().map(String::as_str) {
-                Some(f @ ("text" | "json")) => format = f.to_string(),
+                Some(f @ ("text" | "json" | "sarif")) => format = f.to_string(),
                 _ => {
-                    eprintln!("--format requires `text` or `json`\n{USAGE}");
+                    eprintln!("--format requires `text`, `json`, or `sarif`\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -113,12 +116,12 @@ fn lint_cmd(args: &[String]) -> ExitCode {
         None
     };
 
-    match lint_workspace_with(&root, &allow, changed.as_ref()) {
-        Ok(findings) => {
-            if format == "json" {
-                print!("{}", render_json(&findings));
-            } else {
-                print!("{}", render_text(&findings));
+    match lint_workspace_report(&root, &allow, changed.as_ref()) {
+        Ok((findings, stats)) => {
+            match format.as_str() {
+                "json" => print!("{}", render_json_report(&findings, &stats)),
+                "sarif" => print!("{}", render_sarif(&findings)),
+                _ => print!("{}", render_text(&findings)),
             }
             if findings.is_empty() {
                 ExitCode::SUCCESS

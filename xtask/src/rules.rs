@@ -1,4 +1,4 @@
-//! The eight workspace invariants enforced by `cargo xtask lint`.
+//! The twelve workspace invariants enforced by `cargo xtask lint`.
 //!
 //! Policy lives here as code: the sanctioned-module tables below are the
 //! single source of truth for where `unsafe`, raw atomics, and thread
@@ -41,10 +41,22 @@ pub enum RuleId {
     /// Registered metric names match `graphbolt_[a-z_]+` and appear in
     /// DESIGN.md §10's metric table.
     MetricsNaming,
+    /// No function transitively reachable from the service layer may
+    /// panic (call-graph upgrade of `service-no-panic`).
+    PanicReachability,
+    /// Nothing reachable from the refinement / edge_map inner loops or
+    /// the frontdoor accept loop may block or allocate per-iteration.
+    HotPathBlocking,
+    /// Every Release store has a matching Acquire load of the same
+    /// atomic field somewhere in the workspace.
+    OrderingProtocol,
+    /// `*Epoch*`/`*Snapshot*` types confine raw-pointer manipulation to
+    /// sanctioned modules.
+    EpochDiscipline,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 8] = [
+pub const ALL_RULES: [RuleId; 12] = [
     RuleId::SafetyComment,
     RuleId::UnsafeConfined,
     RuleId::ServiceNoPanic,
@@ -53,6 +65,10 @@ pub const ALL_RULES: [RuleId; 8] = [
     RuleId::OrderingAudit,
     RuleId::RetractGuard,
     RuleId::MetricsNaming,
+    RuleId::PanicReachability,
+    RuleId::HotPathBlocking,
+    RuleId::OrderingProtocol,
+    RuleId::EpochDiscipline,
 ];
 
 impl RuleId {
@@ -67,6 +83,10 @@ impl RuleId {
             RuleId::OrderingAudit => "ordering-audit",
             RuleId::RetractGuard => "retract-guard",
             RuleId::MetricsNaming => "metrics-naming",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::HotPathBlocking => "hot-path-blocking",
+            RuleId::OrderingProtocol => "ordering-protocol",
+            RuleId::EpochDiscipline => "epoch-discipline",
         }
     }
 
@@ -101,7 +121,34 @@ impl RuleId {
             RuleId::MetricsNaming => {
                 "metric names match `graphbolt_[a-z_]+` and are documented in DESIGN.md §10"
             }
+            RuleId::PanicReachability => {
+                "no panic/unwrap/expect/unguarded-indexing transitively reachable from the \
+                 service layer"
+            }
+            RuleId::HotPathBlocking => {
+                "no blocking or per-iteration allocation reachable from edge_map/refine inner \
+                 loops or the accept loop"
+            }
+            RuleId::OrderingProtocol => {
+                "every Release store paired with an Acquire/AcqRel load of the same atomic field"
+            }
+            RuleId::EpochDiscipline => {
+                "*Epoch*/*Snapshot* types keep raw-pointer lifecycle in sanctioned modules"
+            }
         }
+    }
+
+    /// True for the call-graph-powered rules, which the driver runs as
+    /// workspace-level passes (see [`crate::graph_rules`]) rather than
+    /// per-file.
+    pub fn is_graph_rule(self) -> bool {
+        matches!(
+            self,
+            RuleId::PanicReachability
+                | RuleId::HotPathBlocking
+                | RuleId::OrderingProtocol
+                | RuleId::EpochDiscipline
+        )
     }
 }
 
@@ -148,6 +195,8 @@ const THREAD_OK: &[&str] = &[
     "crates/core/src/session.rs",
     "crates/core/src/telemetry/http.rs",
     "crates/core/src/frontdoor.rs",
+    // The lint's own parallel file scan (scoped worker threads).
+    "xtask/src/lint.rs",
 ];
 
 /// The service layer: modules where a panic kills a long-lived session
@@ -215,18 +264,70 @@ const PANIC_MACROS: &[&str] = &[
     "assert_ne",
 ];
 
-fn path_matches(path: &str, table: &[&str]) -> bool {
+/// Entry points of the `panic-reachability` traversal: the service
+/// layer plus the telemetry HTTP endpoint (a panic there kills the
+/// scrape thread and blinds the operator).
+pub(crate) const PANIC_ROOT_MODULES: &[&str] = &[
+    "crates/core/src/session.rs",
+    "crates/core/src/streaming.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/frontdoor.rs",
+    "crates/core/src/admission.rs",
+    "crates/core/src/telemetry/http.rs",
+];
+
+/// `(file suffix, fn name)` pairs excluded from `panic-reachability`
+/// roots *and* findings: functions whose every production invocation
+/// runs under the session worker's `catch_unwind` quarantine (DESIGN.md
+/// §8), so a panic below them surfaces as `SessionError::EngineFault`,
+/// not a crash. Adding an entry is a reviewable policy claim that no
+/// un-quarantined call path to the function exists.
+pub(crate) const PANIC_ISOLATED: &[(&str, &str)] = &[
+    // The engine's batch application: the session worker invokes it
+    // exclusively under `catch_unwind` (session.rs worker loop), so
+    // engine-internal invariant panics surface as
+    // `SessionError::EngineFault`, not crashes. Bench/CLI call it too,
+    // but those are operator tools, not the service layer.
+    ("crates/core/src/streaming.rs", "apply_batch"),
+    // Private helper with a single caller: `apply_batch` above, so it
+    // inherits the same quarantine.
+    ("crates/core/src/streaming.rs", "apply_batch_recompute"),
+];
+
+/// Entry points of the `hot-path-blocking` traversal: the refinement /
+/// edge_map inner loops the paper's §4 performance claims rest on, and
+/// the frontdoor accept loop (one slow iteration stalls every pending
+/// connection).
+pub(crate) const HOT_PATH_ROOTS: &[(&str, &str)] = &[
+    ("crates/engine/src/edge_map.rs", "edge_map_sparse"),
+    ("crates/engine/src/edge_map.rs", "edge_map_dense"),
+    ("crates/engine/src/edge_map.rs", "edge_map"),
+    ("crates/core/src/refine.rs", "refine"),
+    ("crates/core/src/refine.rs", "run_hybrid"),
+    ("crates/core/src/frontdoor.rs", "accept_loop"),
+];
+
+/// Modules sanctioned to manipulate raw pointers inside
+/// `*Epoch*`/`*Snapshot*` types (the ROADMAP-2 MVCC surface).
+/// `core::sharded` already owns the workspace's only `unsafe` block;
+/// `core::epoch` is reserved for the epoch flip/reclaim implementation.
+pub(crate) const EPOCH_OK: &[&str] = &[
+    "crates/core/src/epoch.rs",
+    "crates/core/src/sharded.rs",
+];
+
+pub(crate) fn path_matches(path: &str, table: &[&str]) -> bool {
     table.iter().any(|ok| path == *ok || path.ends_with(ok))
 }
 
 /// True if a `lint:allow(<rule>)` waiver comment covers `line` (same
 /// line or up to six lines above, so multi-line reasons fit).
-fn waived(scanned: &Scanned, line: usize, rule: RuleId) -> bool {
+pub(crate) fn waived(scanned: &Scanned, line: usize, rule: RuleId) -> bool {
     let marker = format!("lint:allow({})", rule.name());
     scanned.comment_window_contains(line.saturating_sub(6), line, &marker)
 }
 
-fn emit(
+pub(crate) fn emit(
     out: &mut Vec<Finding>,
     scanned: &Scanned,
     ctx: &FileCtx,

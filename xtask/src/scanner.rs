@@ -342,7 +342,15 @@ fn literal_body(chars: &[char], start: usize, end: usize, trailer: usize) -> Str
 fn consume_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // A line-continuation escape (`\` at end of line) still
+                // advances the line counter; skipping it blind would
+                // shift every subsequent token's reported line.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -384,7 +392,13 @@ fn consume_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut us
 fn consume_char(chars: &[char], mut i: usize, line: &mut usize) -> usize {
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // See consume_string: count escaped newlines.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '\'' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -647,6 +661,17 @@ mod tests {
                 TokKind::Int
             ]
         );
+    }
+
+    #[test]
+    fn escaped_newline_in_string_advances_line() {
+        // `\` line continuations embed a real newline in the escape
+        // pair; the scanner must count it or every token after the
+        // string reports a line one short per continuation.
+        let src = "let s = \"a \\\n b\";\nlet t = marker;\n";
+        let s = scan(src);
+        let m = s.tokens.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 3);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Call-graph builder coverage: the resolution and traversal behaviors
+//! the four graph rules lean on. Exercised through the same public API
+//! the lint driver uses ([`build_graph`] over scanned files plus
+//! [`CallGraph::reach`]), so these tests pin the semantics — trait
+//! dispatch via the import-witness rule, `impl Trait` arguments,
+//! spawn/scope closure edges, and cycle termination — independently of
+//! any one rule's policy tables.
+
+use xtask::callgraph::CallGraph;
+use xtask::graph_rules::{build_graph, WorkspaceFile};
+use xtask::scanner::scan;
+
+fn workspace(files: &[(&str, &str)]) -> (Vec<WorkspaceFile>, CallGraph) {
+    let files: Vec<WorkspaceFile> = files
+        .iter()
+        .map(|(rel, src)| WorkspaceFile {
+            rel: rel.to_string(),
+            scanned: scan(src),
+            in_test_tree: rel.split('/').any(|s| s == "tests"),
+        })
+        .collect();
+    let graph = build_graph(&files);
+    (files, graph)
+}
+
+fn def_idx(g: &CallGraph, name: &str) -> usize {
+    g.defs
+        .iter()
+        .position(|d| d.name == name)
+        .unwrap_or_else(|| panic!("no def named {name}"))
+}
+
+fn reach_names(g: &CallGraph, roots: &[usize], cut_spawned: bool) -> Vec<String> {
+    g.reach(roots, cut_spawned, |_, _| false)
+        .keys()
+        .map(|&i| g.defs[i].name.clone())
+        .collect()
+}
+
+#[test]
+fn trait_method_dispatch_uses_import_witness() {
+    // `driver.rs` names `Ranker` (a use + a bound), so `alg.score()`
+    // resolves to `Ranker::score`. `other.rs` never mentions the type,
+    // so the same call shape resolves to nothing there.
+    let (_, g) = workspace(&[
+        (
+            "crates/a/src/driver.rs",
+            "use crate::rank::Ranker;\n\
+             fn drive(alg: &Ranker) { alg.score(); }\n",
+        ),
+        (
+            "crates/a/src/rank.rs",
+            "pub struct Ranker;\nimpl Ranker { pub fn score(&self) { hot(); } }\nfn hot() {}\n",
+        ),
+        ("crates/a/src/other.rs", "fn blind(x: &X) { x.score(); }\n"),
+    ]);
+    let drive = def_idx(&g, "drive");
+    let reached = reach_names(&g, &[drive], false);
+    assert!(reached.contains(&"score".to_string()), "{reached:?}");
+    assert!(reached.contains(&"hot".to_string()), "{reached:?}");
+
+    let blind = def_idx(&g, "blind");
+    let site = &g.defs[blind].calls[0];
+    assert!(
+        g.resolve(blind, site).is_empty(),
+        "method call without a type witness must not resolve"
+    );
+}
+
+#[test]
+fn impl_trait_argument_calls_resolve_to_witnessed_impls() {
+    // The GraphBolt idiom: a driver generic over `impl Algorithm`
+    // calling trait methods. The file witnesses `PageRank` (it
+    // constructs one), so the method edge lands on its impl.
+    let (_, g) = workspace(&[
+        (
+            "crates/a/src/driver.rs",
+            "fn run(alg: impl Algorithm) { alg.step(); }\n\
+             fn main_like() { run(PageRank::new()); }\n",
+        ),
+        (
+            "crates/a/src/pagerank.rs",
+            "pub struct PageRank;\n\
+             impl PageRank { pub fn new() -> Self { PageRank } }\n\
+             impl Algorithm for PageRank { fn step(&self) { inner(); } }\n\
+             fn inner() {}\n",
+        ),
+    ]);
+    let run = def_idx(&g, "run");
+    let reached = reach_names(&g, &[run], false);
+    assert!(reached.contains(&"step".to_string()), "{reached:?}");
+    assert!(reached.contains(&"inner".to_string()), "{reached:?}");
+}
+
+#[test]
+fn spawn_and_scope_closures_mark_edges_spawned() {
+    let src = "\
+fn root() {
+    std::thread::spawn(|| background());
+    scope.spawn(move || scoped_work());
+    inline();
+}
+fn background() {}
+fn scoped_work() {}
+fn inline() {}
+";
+    let (_, g) = workspace(&[("crates/a/src/lib.rs", src)]);
+    let root = def_idx(&g, "root");
+    let spawned: Vec<(&str, bool)> = g.defs[root]
+        .calls
+        .iter()
+        .filter(|c| c.callee != "spawn")
+        .map(|c| (c.callee.as_str(), c.spawned))
+        .collect();
+    assert_eq!(
+        spawned,
+        [("background", true), ("scoped_work", true), ("inline", false)],
+        "{spawned:?}"
+    );
+
+    // Hot-path traversal (cut_spawned) sees only the inline edge;
+    // panic traversal (no cut) follows all three.
+    let hot = reach_names(&g, &[root], true);
+    assert!(hot.contains(&"inline".to_string()), "{hot:?}");
+    assert!(!hot.contains(&"background".to_string()), "{hot:?}");
+    assert!(!hot.contains(&"scoped_work".to_string()), "{hot:?}");
+    let panicky = reach_names(&g, &[root], false);
+    assert!(panicky.contains(&"background".to_string()), "{panicky:?}");
+    assert!(panicky.contains(&"scoped_work".to_string()), "{panicky:?}");
+}
+
+#[test]
+fn mutual_recursion_terminates_with_both_reached() {
+    let src = "\
+fn even(n: u64) -> bool { if n == 0 { true } else { odd(n - 1) } }
+fn odd(n: u64) -> bool { if n == 0 { false } else { even(n - 1) } }
+fn self_loop() { self_loop(); }
+";
+    let (_, g) = workspace(&[("crates/a/src/lib.rs", src)]);
+    let even = def_idx(&g, "even");
+    let reached = reach_names(&g, &[even], false);
+    assert!(reached.contains(&"even".to_string()), "{reached:?}");
+    assert!(reached.contains(&"odd".to_string()), "{reached:?}");
+
+    let self_loop = def_idx(&g, "self_loop");
+    let reached = reach_names(&g, &[self_loop], false);
+    assert_eq!(reached, ["self_loop"], "{reached:?}");
+}
+
+#[test]
+fn waived_edges_prune_the_subtree() {
+    // The waiver window is six lines, so the un-waived call sits well
+    // below the comment.
+    let src = "\
+fn root() {
+    // lint:allow(panic-reachability) — reviewed boundary.
+    risky();
+    let a = 1;
+    let b = a + 1;
+    let c = b + 1;
+    let d = c + 1;
+    let e = d + 1;
+    let _ = e;
+    safe();
+}
+fn risky() { deeper(); }
+fn deeper() {}
+fn safe() {}
+";
+    let (files, g) = workspace(&[("crates/a/src/lib.rs", src)]);
+    let root = def_idx(&g, "root");
+    let reached: Vec<String> = g
+        .reach(&[root], false, |file, line| {
+            files[file]
+                .scanned
+                .comment_window_contains(line.saturating_sub(6), line, "lint:allow(panic-reachability)")
+        })
+        .keys()
+        .map(|&i| g.defs[i].name.clone())
+        .collect();
+    assert!(reached.contains(&"safe".to_string()), "{reached:?}");
+    assert!(!reached.contains(&"risky".to_string()), "{reached:?}");
+    assert!(!reached.contains(&"deeper".to_string()), "{reached:?}");
+}
+
+#[test]
+fn std_paths_and_crate_boundaries_do_not_resolve() {
+    // `std::mem::take` must not land on a same-named workspace fn, and
+    // engine code must never resolve into the xtask dev tool.
+    let (_, g) = workspace(&[
+        (
+            "crates/a/src/lib.rs",
+            "fn caller(v: &mut Vec<u8>) { let _ = std::mem::take(v); emit(); }\n\
+             fn take() {}\n",
+        ),
+        ("xtask/src/lint.rs", "pub fn emit() {}\n"),
+    ]);
+    let caller = def_idx(&g, "caller");
+    let reached = reach_names(&g, &[caller], false);
+    assert!(
+        !reached.contains(&"take".to_string()),
+        "std::mem::take resolved to a local fn: {reached:?}"
+    );
+    assert!(
+        !reached.contains(&"emit".to_string()),
+        "engine code resolved into xtask: {reached:?}"
+    );
+}
+
+#[test]
+fn test_tree_files_contribute_no_call_targets() {
+    let (_, g) = workspace(&[
+        ("crates/a/src/lib.rs", "fn caller() { helper(); }\n"),
+        ("crates/a/tests/util.rs", "pub fn helper() { panic!(\"test-only\"); }\n"),
+    ]);
+    let caller = def_idx(&g, "caller");
+    let reached = reach_names(&g, &[caller], false);
+    assert_eq!(reached, ["caller"], "{reached:?}");
+}

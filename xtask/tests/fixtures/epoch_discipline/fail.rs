@@ -1,0 +1,12 @@
+//! Fail fixture: a `*Snapshot*` type manipulating raw pointers outside
+//! the sanctioned epoch/sharded modules.
+
+pub struct SnapshotLease {
+    inner: Vec<u64>,
+}
+
+impl SnapshotLease {
+    pub fn raw(&self) -> *const u64 {
+        self.inner.as_ptr()
+    }
+}

@@ -1,0 +1,12 @@
+//! Pass fixture: raw-pointer lifecycle is fine outside sanctioned
+//! modules when the type is not an `*Epoch*`/`*Snapshot*` type.
+
+pub struct ByteCursor {
+    inner: Vec<u8>,
+}
+
+impl ByteCursor {
+    pub fn raw(&self) -> *const u8 {
+        self.inner.as_ptr()
+    }
+}

@@ -1,0 +1,29 @@
+//! Fail fixture: blocking and allocating work reachable from the
+//! edge_map inner loop. Linted as `crates/engine/src/edge_map.rs`, so
+//! `edge_map_sparse` matches the hot-path root table.
+
+pub fn edge_map_sparse(frontier: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in frontier {
+        out.push(process(*v));
+    }
+    out
+}
+
+fn process(v: u32) -> u32 {
+    throttle(v);
+    let mut acc = 0u32;
+    for i in 0..v {
+        let scratch: Vec<u32> = Vec::new();
+        acc += scratch.len() as u32 + label(i).len() as u32;
+    }
+    acc
+}
+
+fn throttle(v: u32) {
+    std::thread::sleep(std::time::Duration::from_millis(u64::from(v)));
+}
+
+fn label(i: u32) -> String {
+    format!("v{i}")
+}

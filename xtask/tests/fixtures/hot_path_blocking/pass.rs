@@ -1,0 +1,27 @@
+//! Pass fixture: the inner loop stays allocation- and lock-free; slow
+//! work is handed to a spawned thread (edge cut) or carries a reviewed
+//! waiver.
+
+pub fn edge_map_sparse(frontier: &[u32], epoch: &std::sync::Mutex<u64>) -> Vec<u32> {
+    let mut out = Vec::with_capacity(frontier.len());
+    for v in frontier {
+        out.push(v.wrapping_mul(2));
+    }
+    flush(&out);
+    let _ = checkpoint_rarely(epoch);
+    out
+}
+
+fn flush(vals: &[u32]) {
+    let total: u32 = vals.iter().sum();
+    std::thread::spawn(move || {
+        let log = std::sync::Mutex::new(Vec::new());
+        log.lock().expect("fixture").push(total);
+    });
+}
+
+fn checkpoint_rarely(guarded: &std::sync::Mutex<u64>) -> u64 {
+    // lint:allow(hot-path-blocking) — taken once per epoch flip, not
+    // per edge; the critical section is a single load.
+    *guarded.lock().expect("fixture")
+}

@@ -1,0 +1,20 @@
+//! Fail fixture: a Release store whose field is never Acquire-loaded —
+//! the happens-before edge it publishes is never consumed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct PublishedCell {
+    seq: AtomicU64,
+    data: AtomicU64,
+}
+
+impl PublishedCell {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.seq.store(1, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}

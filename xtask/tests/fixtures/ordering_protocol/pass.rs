@@ -1,0 +1,23 @@
+//! Pass fixture: the Release store is paired with an Acquire load of
+//! the same field, completing the publication protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct PublishedCell {
+    seq: AtomicU64,
+    data: AtomicU64,
+}
+
+impl PublishedCell {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.seq.store(1, Ordering::Release);
+    }
+
+    pub fn read(&self) -> Option<u64> {
+        if self.seq.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        Some(self.data.load(Ordering::Relaxed))
+    }
+}

@@ -1,0 +1,28 @@
+//! Fail fixture: a service entry point reaching panic sites through
+//! helpers. Linted as `crates/core/src/frontdoor.rs`, so every def here
+//! is a traversal root and indexing is in scope.
+
+pub fn handle_request(raw: &str) -> u32 {
+    let parsed = parse_vertex(raw);
+    lookup(parsed)
+}
+
+fn parse_vertex(raw: &str) -> u32 {
+    raw.trim().parse().unwrap()
+}
+
+fn lookup(v: u32) -> u32 {
+    let table = [10u32, 20, 30];
+    table[v as usize]
+}
+
+fn reject(reason: &str) -> u32 {
+    panic!("rejected: {reason}")
+}
+
+pub fn handle_strict(raw: &str) -> u32 {
+    if raw.is_empty() {
+        return reject("empty");
+    }
+    handle_request(raw)
+}

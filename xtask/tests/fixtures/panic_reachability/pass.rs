@@ -1,0 +1,23 @@
+//! Pass fixture: typed errors, a bounds-guarded access, and a reviewed
+//! site waiver — the three sanctioned ways to satisfy the rule.
+
+pub fn handle_request(raw: &str) -> Result<u32, String> {
+    let parsed = parse_vertex(raw)?;
+    Ok(lookup(parsed))
+}
+
+fn parse_vertex(raw: &str) -> Result<u32, String> {
+    raw.trim().parse().map_err(|_| "not a vertex id".to_string())
+}
+
+fn lookup(v: u32) -> u32 {
+    let table = [10u32, 20, 30];
+    // bounds: clamped to the last slot of the fixed table.
+    table[(v as usize).min(2)]
+}
+
+pub fn startup_config(raw: &str) -> u32 {
+    // lint:allow(panic-reachability) — startup-only: runs once before
+    // the listener accepts, so a bad config aborts boot, not a request.
+    raw.parse().expect("config vertex id")
+}

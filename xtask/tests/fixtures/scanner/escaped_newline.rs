@@ -1,0 +1,14 @@
+//! Regression fixture: the `\` line continuation inside the format
+//! string carries a real newline; the finding on the last line must
+//! still be reported at its true line number.
+
+pub fn banner() -> String {
+    format!(
+        "first segment \
+         second segment"
+    )
+}
+
+pub fn risky(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

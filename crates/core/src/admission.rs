@@ -310,9 +310,11 @@ impl AdmissionController {
     }
 
     fn lock_class(&self, class: ClientClass) -> std::sync::MutexGuard<'_, ClassState> {
-        // bounds: ClientClass::index() is 0/1/2 by definition and
-        // `classes` is `[ClassState; 3]`.
-        match self.classes[class.index()].lock() {
+        // `index()` is 0/1/2 by construction; the `unwrap_or` arm is
+        // unreachable and exists only to keep the lookup total.
+        // bounds: literal 0 into `[_; 3]`.
+        let slot = self.classes.get(class.index()).unwrap_or(&self.classes[0]);
+        match slot.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -359,15 +361,19 @@ impl AdmissionController {
         match outcome {
             Ok(()) => {
                 state.stats.admitted += 1;
-                // bounds: index() is 0/1/2; the metric arrays are [_; 3].
-                m.admit[class.index()].inc();
+                if let Some(counter) = m.admit.get(class.index()) {
+                    counter.inc();
+                }
                 Ok(())
             }
             Err(millis) => {
                 state.stats.shed += 1;
-                // bounds: index() is 0/1/2; the metric arrays are [_; 3].
-                m.shed[class.index()].inc();
-                m.retry_after[class.index()].inc();
+                if let Some(counter) = m.shed.get(class.index()) {
+                    counter.inc();
+                }
+                if let Some(counter) = m.retry_after.get(class.index()) {
+                    counter.inc();
+                }
                 drop(state);
                 telemetry::trace::emit(|| telemetry::TraceEvent::RequestShed {
                     class: class.name(),
@@ -404,9 +410,8 @@ impl AdmissionController {
             Err(poisoned) => poisoned.into_inner().index(),
         };
         let mut classes = [ClassStats::default(); 3];
-        for class in CLASSES {
-            // bounds: index() is 0/1/2 over the fixed 3-class array.
-            classes[class.index()] = self.lock_class(class).stats;
+        for (slot, class) in classes.iter_mut().zip(CLASSES) {
+            *slot = self.lock_class(class).stats;
         }
         AdmissionSnapshot { classes, degrade }
     }

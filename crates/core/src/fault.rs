@@ -129,7 +129,6 @@ pub(crate) fn fire_truncation(site: &str) -> Option<usize> {
     // lint:allow(panic-reachability) — test-only probe body; the
     // registry is compiled out of production builds without the
     // `fault-injection` feature.
-    // lint:allow(hot-path-blocking) — same gate.
     if let Some(FaultAction::Truncate(keep)) = registry::take(site) {
         return Some(keep);
     }

@@ -619,7 +619,18 @@ impl<A: Algorithm + 'static> StreamSession<A> {
             reply: reply_tx,
             deadline,
         })?;
-        reply_rx.recv().map_err(|_| SessionError::WorkerGone)?
+        match deadline {
+            Some(d) => reply_rx.recv_deadline(d).map_err(|e| match e {
+                channel::RecvTimeoutError::Timeout => SessionError::DeadlineExceeded,
+                channel::RecvTimeoutError::Disconnected => SessionError::WorkerGone,
+            })?,
+            // lint:allow(deadline-propagation) — this arm only runs when
+            // the caller supplied no deadline, an explicit opt-out (the
+            // frontdoor forwards `None` when neither the request nor the
+            // config names one); blocking until the worker replies is
+            // the documented contract.
+            None => reply_rx.recv().map_err(|_| SessionError::WorkerGone)?,
+        }
     }
 
     /// Applies everything buffered so far and waits for completion.
@@ -965,8 +976,9 @@ mod tests {
     use crate::bsp::run_bsp;
     use crate::checkpoint::F64Codec;
     use crate::options::{EngineOptions, ExecutionMode};
+    use crate::laws::{check_laws, LawSpec};
     use crate::stats::EngineStats;
-    use graphbolt_graph::GraphBuilder;
+    use graphbolt_graph::{GraphBuilder, GraphSnapshot, VertexId, Weight};
 
     fn engine() -> StreamingEngine<TestRank> {
         let g = GraphBuilder::new(5)
@@ -1277,6 +1289,103 @@ mod tests {
         // The shed mutation never reached the worker.
         assert!(!outcome.engine.graph().has_edge(0, 3));
         assert_eq!(outcome.stats.mutations_applied, 0);
+    }
+
+    /// [`TestRank`] with a configurable sleep in every contribution, so
+    /// refinement takes long enough that a short query deadline expires
+    /// while the reply is still being computed.
+    struct SlowRank(Duration);
+
+    impl Algorithm for SlowRank {
+        type Value = f64;
+        type Agg = f64;
+
+        fn initial_value(&self, _v: VertexId) -> f64 {
+            1.0
+        }
+
+        fn identity(&self) -> f64 {
+            0.0
+        }
+
+        fn contribution(
+            &self,
+            g: &GraphSnapshot,
+            u: VertexId,
+            v: VertexId,
+            w: Weight,
+            cu: &f64,
+        ) -> f64 {
+            std::thread::sleep(self.0);
+            TestRank.contribution(g, u, v, w, cu)
+        }
+
+        fn combine(&self, agg: &mut f64, contrib: &f64) {
+            *agg += contrib;
+        }
+
+        fn retract(&self, agg: &mut f64, contrib: &f64) {
+            *agg -= contrib;
+        }
+
+        fn delta(
+            &self,
+            g: &GraphSnapshot,
+            u: VertexId,
+            v: VertexId,
+            w: Weight,
+            old: &f64,
+            new: &f64,
+        ) -> Option<f64> {
+            TestRank.delta(g, u, v, w, old, new)
+        }
+
+        fn compute(&self, _v: VertexId, agg: &f64, _g: &GraphSnapshot) -> f64 {
+            0.15 + 0.85 * agg
+        }
+
+        fn changed(&self, old: &f64, new: &f64) -> bool {
+            (old - new).abs() > 1e-9
+        }
+
+        fn source_structure_dependent(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn slow_rank_satisfies_laws() {
+        let spec = LawSpec::new(|rng| rng.range_f64(0.1, 3.0), |agg: &f64| vec![*agg])
+            .tolerance(1e-9);
+        check_laws::<SlowRank>(&SlowRank(Duration::ZERO), spec).expect("SlowRank is lawful");
+    }
+
+    #[test]
+    fn query_reply_wait_observes_deadline() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 0, 1.0)
+            .build();
+        let slow = SlowRank(Duration::from_millis(50));
+        let mut e = StreamingEngine::new(g, slow, EngineOptions::with_iterations(3));
+        e.run_initial();
+        let session = StreamSession::spawn(e);
+        // The buffered mutation forces a slow refinement before the
+        // query can be answered; the deadline expires long before the
+        // reply, so the wait itself must give up — before the fix the
+        // bare `recv()` here blocked until refinement finished.
+        session.add(Edge::new(0, 2, 1.0)).unwrap();
+        let waited = Instant::now();
+        let result = session.query_within(Some(waited + Duration::from_millis(30)));
+        assert_eq!(result, Err(SessionError::DeadlineExceeded));
+        assert!(
+            waited.elapsed() < Duration::from_millis(400),
+            "query_within blocked past its deadline: {:?}",
+            waited.elapsed()
+        );
+        let outcome = session.finish().unwrap();
+        assert!(outcome.engine.graph().has_edge(0, 2));
     }
 
     #[test]

@@ -116,16 +116,15 @@ impl<A: Clone + PartialEq> DependencyStore<A> {
             return;
         }
         while h.prefix.len() + 1 < iter {
-            // lint:allow(panic-reachability) — driver invariant:
-            // iteration 1 touches every vertex by construction (bsp.rs
-            // tracking loop), so the prefix is non-empty whenever a
-            // later iteration records; an empty prefix here is engine
-            // corruption, not an input condition.
             let fill = h
                 .prefix
                 .last()
                 .cloned()
-                // lint:allow(panic-reachability) — see invariant above.
+                // lint:allow(panic-reachability) — driver invariant:
+                // iteration 1 touches every vertex by construction
+                // (bsp.rs tracking loop), so the prefix is non-empty
+                // whenever a later iteration records; an empty prefix
+                // here is engine corruption, not an input condition.
                 .expect("record() skipped iteration 1");
             h.prefix.push(fill);
         }

@@ -299,6 +299,9 @@ impl RingBufferSink {
     /// Removes and returns the buffered events, oldest first.
     pub fn drain(&self) -> Vec<TraceEvent> {
         match self.events.lock() {
+            // lint:allow(lock-order) — `drain` here is VecDeque::drain on
+            // the guard, not a recursive call into this method; the
+            // name-based call resolver cannot tell them apart.
             Ok(mut g) => g.drain(..).collect(),
             Err(poisoned) => poisoned.into_inner().drain(..).collect(),
         }
@@ -361,6 +364,9 @@ impl JsonlSink {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
+        // lint:allow(lock-order) — `flush` here is Write::flush on the
+        // guard, not a recursive call into this method; the name-based
+        // call resolver cannot tell them apart.
         if g.flush().is_err() {
             self.errors.add(1);
         }

@@ -80,9 +80,9 @@ impl AtomicBitSet {
 
     /// Number of set bits.
     ///
-    /// ordering: counting is only meaningful once concurrent setters
-    /// have quiesced (between supersteps); Relaxed loads read the final
-    /// values without pointless fences.
+    /// Memory ordering: counting is only meaningful once concurrent
+    /// setters have quiesced (between supersteps); Relaxed loads read
+    /// the final values without pointless fences.
     pub fn count(&self) -> usize {
         if self.words.len() >= PAR_BLOCK_WORDS * 2 {
             return parallel::par_sum(0..self.words.len(), |wi| {

@@ -82,6 +82,22 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error for the timed receives (`recv_timeout`/`recv_deadline`).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait expired with the channel still empty.
+        Timeout,
+        /// The sending side disconnected.
+        Disconnected,
+    }
+
+    impl RecvTimeoutError {
+        /// Whether the failure was the wait expiring (vs disconnection).
+        pub fn is_timeout(&self) -> bool {
+            matches!(self, Self::Timeout)
+        }
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             match &self.0 {
@@ -119,6 +135,27 @@ pub mod channel {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
+        }
+
+        /// Blocks for at most `timeout` waiting for a value.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocks until `deadline` waiting for a value (an already-past
+        /// deadline degrades to a `try_recv`-like poll, matching the
+        /// real crate).
+        pub fn recv_deadline(
+            &self,
+            deadline: std::time::Instant,
+        ) -> Result<T, RecvTimeoutError> {
+            self.recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
         }
 
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
@@ -167,5 +204,26 @@ mod tests {
         let (tx, rx) = channel::bounded(1);
         std::thread::spawn(move || tx.send(42).unwrap());
         assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = channel::unbounded();
+        // Past deadline on an empty channel: immediate timeout.
+        let err = rx
+            .recv_deadline(Instant::now() - Duration::from_millis(1))
+            .unwrap_err();
+        assert!(err.is_timeout());
+        tx.send(7).unwrap();
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_secs(5)),
+            Ok(7)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -1,0 +1,817 @@
+//! Intraprocedural dataflow analyses: guard dominance for `// bounds:`
+//! proofs, lock-acquisition extraction for the lock-order rule, and
+//! deadline-observation checks for the deadline-propagation rule.
+//!
+//! The guard-dominance analysis is the trust-but-verify half of the
+//! `bounds:` escape hatch: `flow::panic_sites` *discharges* an indexing
+//! site when a `// bounds:` comment covers it, and this module *proves*
+//! the comment — a dominating guard, clamp, or provenance argument must
+//! actually reach the indexing site, or the annotation is a finding
+//! (`bounds-proof`). The proof lattice, smallest obligation first:
+//!
+//! 1. **Clamp** — the index expression is self-limiting (`%`, `&` mask,
+//!    `.min(..)`): in range by construction.
+//! 2. **Literal** — a literal index into an array whose declared length
+//!    (`field: [T; N]` in the same file) exceeds it.
+//! 3. **Guard dominance** — every identifier feeding the index is
+//!    covered by a dominating comparison: an enclosing `if`/`while`
+//!    condition, a match-arm guard (`pat if cond =>`), or an early-exit
+//!    `if cond { return/break/continue }` before the site.
+//! 4. **Provenance** — the identifier is bound from a position-producing
+//!    call (`find`/`rfind`/`position`) or a length-bounded loop
+//!    (`for i in 0..xs.len()`, `.enumerate()`), so it is an in-range
+//!    offset by origin.
+//!
+//! Everything is token-level and intraprocedural, same as the rest of
+//! `xtask`: no type inference, no alias analysis. The lattice is
+//! deliberately small — an annotation the analysis cannot prove is a
+//! prompt to restructure the code (`.get()`, a clamp, a visible guard),
+//! not to grow the prover.
+
+use crate::flow::{enclosing_impl_type, paren_close, receiver_key};
+use crate::items::impl_blocks;
+use crate::rules::{emit, statement_window, FileCtx, Finding, RuleId};
+use crate::scanner::{Scanned, TokKind, Token};
+
+/// Tokens that, immediately before `[`, make it an index expression
+/// (mirror of the table in [`crate::flow`]).
+const INDEX_PREV_KEYWORD_BLOCK: &[&str] = &[
+    "return", "break", "in", "mut", "ref", "as", "move", "else", "match", "if", "while", "let",
+    "dyn", "impl", "where",
+];
+
+/// Comparison operators accepted as bounding evidence in a guard.
+const COMPARISONS: &[&str] = &["<", "<=", ">", ">="];
+
+/// Position-producing methods whose result is an in-range offset of the
+/// receiver (`find`/`rfind` return byte offsets, `position` an element
+/// index).
+const POSITION_FNS: &[&str] = &["find", "rfind", "position"];
+
+/// Token indices of every `[` that opens an index expression.
+pub fn index_open_brackets(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.text != "[" || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let is_index = (prev.kind == TokKind::Ident
+            && !INDEX_PREV_KEYWORD_BLOCK.contains(&prev.text.as_str()))
+            || prev.text == ")"
+            || prev.text == "]";
+        if is_index {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Matching `]` for the `[` at `open` (or the last token on imbalance).
+pub fn bracket_close(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Rule `bounds-proof`: every indexing site discharged by a `// bounds:`
+/// annotation must be provable by the guard-dominance lattice above.
+/// A stale or wrong annotation becomes a finding instead of a free pass.
+pub fn bounds_proof(ctx: &FileCtx, scanned: &Scanned, out: &mut Vec<Finding>) {
+    if ctx.in_test_tree {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for open in index_open_brackets(toks) {
+        let tok = &toks[open];
+        if tok.in_test {
+            continue;
+        }
+        let lo = tok.line.saturating_sub(6);
+        if !scanned.comment_window_contains(lo, tok.line, "bounds:") {
+            continue;
+        }
+        if let Err(why) = prove_index(toks, open) {
+            emit(
+                out,
+                scanned,
+                ctx,
+                RuleId::BoundsProof,
+                tok.line,
+                format!(
+                    "`// bounds:` annotation is not machine-provable: {why}; restructure \
+                     with a dominating guard, a clamp, or `.get()` — or fix the comment"
+                ),
+            );
+        }
+    }
+}
+
+/// Attempts to prove the index expression opening at `open` in range.
+fn prove_index(toks: &[Token], open: usize) -> Result<(), String> {
+    let close = bracket_close(toks, open);
+    let expr = &toks[open + 1..close];
+    // Full-range slices (`xs[..]`) need no proof.
+    if expr.iter().all(|t| t.text == ".." || t.text == "..=") {
+        return Ok(());
+    }
+    // Clamp: self-limiting expression.
+    let clamped = expr.iter().enumerate().any(|(j, t)| {
+        t.text == "%"
+            || t.text == "&"
+            || (t.kind == TokKind::Ident
+                && t.text == "min"
+                && j > 0
+                && expr[j - 1].text == "."
+                && expr.get(j + 1).is_some_and(|n| n.text == "("))
+    });
+    if clamped {
+        return Ok(());
+    }
+    // Literal index into a same-file declared `[T; N]`.
+    if expr.len() == 1 && expr[0].kind == TokKind::Int {
+        return prove_literal(toks, open, &expr[0].text);
+    }
+    // Guard dominance / provenance for every identifier feeding the
+    // index. Method names (`.len`) and `self` are not index inputs.
+    let mut idents: Vec<(usize, &str)> = Vec::new();
+    for (j, t) in expr.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text == "self" {
+            continue;
+        }
+        let is_call = expr.get(j + 1).is_some_and(|n| n.text == "(");
+        if !is_call {
+            idents.push((open + 1 + j, t.text.as_str()));
+        }
+    }
+    if idents.is_empty() {
+        return Err("the index expression has no clamp, guard, or provable input".to_string());
+    }
+    for (_, name) in &idents {
+        let proven = guard_dominates(toks, open, name)
+            || match_guard_dominates(toks, open, name)
+            || early_exit_guard(toks, open, name)
+            || provenance(toks, open, name);
+        if !proven {
+            return Err(format!(
+                "no dominating guard, early exit, or in-range provenance for `{name}`"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Literal `N` indexing `base[N]`: proven when the same file declares
+/// `base : [T; LEN]` with `N < LEN`.
+fn prove_literal(toks: &[Token], open: usize, literal: &str) -> Result<(), String> {
+    let value: usize = literal
+        .parse()
+        .map_err(|_| format!("unparsable literal index `{literal}`"))?;
+    let base = toks
+        .get(open.wrapping_sub(1))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .ok_or_else(|| "literal index on a computed receiver".to_string())?;
+    // `base : [ ... ; LEN ]` anywhere in the file.
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != base {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.text == ":")
+            || !toks.get(i + 2).is_some_and(|t| t.text == "[")
+        {
+            continue;
+        }
+        let close = bracket_close(toks, i + 2);
+        // The declared length: the integer after the last `;` at depth 1.
+        let mut len: Option<usize> = None;
+        let mut depth = 0usize;
+        for k in i + 2..close {
+            match toks[k].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                ";" if depth == 1 => {
+                    len = toks
+                        .get(k + 1)
+                        .filter(|t| t.kind == TokKind::Int)
+                        .and_then(|t| t.text.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        if let Some(len) = len {
+            if value < len {
+                return Ok(());
+            }
+            return Err(format!(
+                "literal index {value} is not below the declared length {len} of `{base}`"
+            ));
+        }
+    }
+    Err(format!(
+        "no same-file `[T; N]` declaration found for `{base}` to bound the literal index"
+    ))
+}
+
+/// True when an enclosing `if`/`while` body contains the site and its
+/// condition compares `name` (same enclosing fn).
+fn guard_dominates(toks: &[Token], site: usize, name: &str) -> bool {
+    let site_fn = toks[site].fn_name.as_deref();
+    for (i, tok) in toks.iter().enumerate().take(site) {
+        if tok.kind != TokKind::Ident || (tok.text != "if" && tok.text != "while") {
+            continue;
+        }
+        if tok.fn_name.as_deref() != site_fn {
+            continue;
+        }
+        let Some((cond, body)) = keyword_cond_and_body(toks, i) else {
+            continue;
+        };
+        if body.0 <= site && site <= body.1 && condition_compares(&toks[cond.0..cond.1], name) {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when the site sits in a match arm whose guard (`pat if cond =>`)
+/// compares `name`.
+fn match_guard_dominates(toks: &[Token], site: usize, name: &str) -> bool {
+    for (j, tok) in toks.iter().enumerate() {
+        if tok.text != "=>" || j >= site {
+            continue;
+        }
+        // Walk back over the pattern to an `if` at depth 0; stop at arm
+        // or block boundaries.
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut guard_if: Option<usize> = None;
+        while k > 0 {
+            k -= 1;
+            match toks[k].text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "," | ";" | "{" | "}" | "=>" if depth == 0 => break,
+                "if" if depth == 0 => {
+                    guard_if = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(g) = guard_if else { continue };
+        if !condition_compares(&toks[g + 1..j], name) {
+            continue;
+        }
+        // Arm span: a brace block, or up to the next `,` at depth 0.
+        let arm_end = match toks.get(j + 1) {
+            Some(t) if t.text == "{" => brace_close(toks, j + 1),
+            _ => {
+                let mut depth = 0usize;
+                let mut m = j + 1;
+                while m < toks.len() {
+                    match toks[m].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                m
+            }
+        };
+        if j < site && site <= arm_end {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when an earlier `if cond { return/break/continue ... }` in the
+/// same fn compares `name` and completes before the site.
+fn early_exit_guard(toks: &[Token], site: usize, name: &str) -> bool {
+    let site_fn = toks[site].fn_name.as_deref();
+    for (i, tok) in toks.iter().enumerate().take(site) {
+        if tok.kind != TokKind::Ident || tok.text != "if" {
+            continue;
+        }
+        if tok.fn_name.as_deref() != site_fn {
+            continue;
+        }
+        let Some((cond, body)) = keyword_cond_and_body(toks, i) else {
+            continue;
+        };
+        if body.1 >= site || !condition_compares(&toks[cond.0..cond.1], name) {
+            continue;
+        }
+        let exits = toks[body.0..=body.1].iter().any(|t| {
+            t.kind == TokKind::Ident
+                && (t.text == "return" || t.text == "break" || t.text == "continue")
+        });
+        if exits {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when `name` is bound from a position-producing call or a
+/// length-bounded loop before the site (same fn).
+fn provenance(toks: &[Token], site: usize, name: &str) -> bool {
+    let site_fn = toks[site].fn_name.as_deref();
+    for (i, tok) in toks.iter().enumerate().take(site) {
+        if tok.fn_name.as_deref() != site_fn {
+            continue;
+        }
+        // Binding statement mentioning `name` and `.find(`-style calls:
+        // `let open = body.find('[')?;`, `while let Some(start) = ...`.
+        if tok.kind == TokKind::Ident && tok.text == name {
+            let (_, hi) = statement_window(toks, i);
+            let positional = toks[i..hi].iter().enumerate().any(|(off, t)| {
+                t.kind == TokKind::Ident
+                    && POSITION_FNS.contains(&t.text.as_str())
+                    && i + off > 0
+                    && toks[i + off - 1].text == "."
+            });
+            if positional {
+                return true;
+            }
+        }
+        // Loop binding: `for name in 0..xs.len()` / `.enumerate()`.
+        if tok.kind == TokKind::Ident && tok.text == "for" {
+            let mut saw_name = false;
+            let mut j = i + 1;
+            while j < toks.len() && j < i + 8 && toks[j].text != "in" {
+                if toks[j].kind == TokKind::Ident && toks[j].text == name {
+                    saw_name = true;
+                }
+                j += 1;
+            }
+            if !saw_name || toks.get(j).map(|t| t.text.as_str()) != Some("in") {
+                continue;
+            }
+            let bounded = toks[j..]
+                .iter()
+                .take(40)
+                .take_while(|t| t.text != "{")
+                .any(|t| t.kind == TokKind::Ident && (t.text == "len" || t.text == "enumerate"));
+            if bounded {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Condition span + body span for the `if`/`while` keyword at `i`:
+/// condition runs to the body `{` at zero paren/bracket depth.
+fn keyword_cond_and_body(toks: &[Token], i: usize) -> Option<((usize, usize), (usize, usize))> {
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren = paren.saturating_sub(1),
+            "[" => bracket += 1,
+            "]" => bracket = bracket.saturating_sub(1),
+            "{" if paren + bracket == 0 => break,
+            ";" if paren + bracket == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    Some(((i + 1, j), (j, brace_close(toks, j))))
+}
+
+/// Matching `}` for the `{` at `open`.
+fn brace_close(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn condition_compares(cond: &[Token], name: &str) -> bool {
+    let names_ident = cond
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == name);
+    let compares = cond.iter().any(|t| COMPARISONS.contains(&t.text.as_str()));
+    names_ident && compares
+}
+
+// ---------------------------------------------------------------------
+// Lock-acquisition extraction (feeds the `lock-order` graph rule).
+// ---------------------------------------------------------------------
+
+/// One `.lock()` acquisition inside a fn body.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Receiver key: `(self type or "", field/variable name)` — same
+    /// keying as [`crate::flow::AtomicAccess`].
+    pub key: (String, String),
+    /// Token index of the `lock` identifier.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// Token index of the `}` closing the enclosing block: the
+    /// over-approximated extent the guard is held for (drops and
+    /// end-of-statement releases shorten it in reality; extending to the
+    /// block end only ever *adds* edges, so cycles are never missed).
+    pub extent: usize,
+    /// The receiver was indexed (`self.locks[i].lock()`): two
+    /// acquisitions of the same key may target different elements, so
+    /// same-key self-edges are exempt.
+    pub indexed: bool,
+}
+
+/// Extracts every `.lock()` acquisition in `body` (inclusive token
+/// range), with extents clamped to the body.
+pub fn lock_sites(scanned: &Scanned, body: (usize, usize)) -> Vec<LockSite> {
+    let toks = &scanned.tokens;
+    let impls = impl_blocks(scanned);
+    let mut out = Vec::new();
+    for i in body.0..=body.1.min(toks.len().saturating_sub(1)) {
+        let tok = &toks[i];
+        if tok.in_test
+            || tok.kind != TokKind::Ident
+            || tok.text != "lock"
+            || i == 0
+            || toks[i - 1].text != "."
+            || !toks.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            continue;
+        }
+        let Some(key) = receiver_key(toks, i - 1, &impls, tok.line) else {
+            continue;
+        };
+        let indexed = i >= 2 && toks[i - 2].text == "]";
+        out.push(LockSite {
+            key,
+            tok: i,
+            line: tok.line,
+            extent: enclosing_block_end(toks, i).min(body.1),
+            indexed,
+        });
+    }
+    out
+}
+
+/// Token index of the `}` closing the innermost block containing `i`.
+pub(crate) fn enclosing_block_end(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut k = i;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// True when the fn signature starting at token `fn_tok` returns a lock
+/// guard (`MutexGuard`, `RwLockReadGuard`, ...): callers of such a fn
+/// hold the lock after the call returns.
+pub fn returns_guard(toks: &[Token], fn_tok_line: usize, body_open: usize) -> bool {
+    toks[..body_open]
+        .iter()
+        .rev()
+        .take_while(|t| t.line >= fn_tok_line)
+        .any(|t| t.kind == TokKind::Ident && t.text.contains("Guard"))
+}
+
+// ---------------------------------------------------------------------
+// Deadline observation (feeds the `deadline-propagation` graph rule).
+// ---------------------------------------------------------------------
+
+/// One blocking site that must observe the request deadline.
+#[derive(Debug, Clone)]
+pub struct DeadlineSink {
+    /// Token index of the site.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// What blocks there.
+    pub what: String,
+}
+
+/// Blocking sites in `body` that do NOT observe a deadline. A sink is
+/// observed when an identifier containing `deadline` appears in its
+/// statement or in an enclosing loop body (the retry-loop idiom checks
+/// the deadline once per iteration, not per blocking call), or when the
+/// call itself is deadline-carrying (`recv_timeout`/`recv_deadline`).
+/// `.lock()` and `.send(` are deliberately out of scope: bounded
+/// critical sections and bounded channels are capacity questions, not
+/// deadline questions.
+pub fn deadline_blind_sites(scanned: &Scanned, body: (usize, usize)) -> Vec<DeadlineSink> {
+    let toks = &scanned.tokens;
+    let loops = crate::flow::loop_spans(toks);
+    let observed = |i: usize| -> bool {
+        let (lo, hi) = statement_window(toks, i);
+        let in_stmt = toks[lo..hi]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.to_lowercase().contains("deadline"));
+        if in_stmt {
+            return true;
+        }
+        loops.iter().any(|(s, e)| {
+            *s <= i
+                && i <= *e
+                && toks[*s..=*e]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text.to_lowercase().contains("deadline"))
+        })
+    };
+    let mut out = Vec::new();
+    let mut push = |tok: usize, line: usize, what: &str| {
+        out.push(DeadlineSink {
+            tok,
+            line,
+            what: what.to_string(),
+        })
+    };
+    for i in body.0..=body.1.min(toks.len().saturating_sub(1)) {
+        let tok = &toks[i];
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|t| t.text == s);
+        let prev_is = |s: &str| i > 0 && toks[i - 1].text == s;
+        match tok.text.as_str() {
+            // `recv_timeout`/`recv_deadline` observe time by themselves.
+            "recv" if prev_is(".") && next_is("(") && !observed(i) => {
+                push(i, tok.line, "blocking `recv()` without a deadline")
+            }
+            "sleep" if next_is("(") && !observed(i) => {
+                push(i, tok.line, "`sleep` without a deadline check")
+            }
+            "join" if prev_is(".") && next_is("(") && !observed(i) => {
+                push(i, tok.line, "blocking `join()` without a deadline")
+            }
+            "fs" if (next_is("::") || prev_is("::")) && !observed(i) => {
+                push(i, tok.line, "file I/O (std::fs) without a deadline")
+            }
+            "read_dir" | "read_to_string" if next_is("(") && !observed(i) => {
+                push(i, tok.line, "file I/O without a deadline")
+            }
+            "loop" => {
+                // An unbounded `loop` must either exit (`break`/`return`/
+                // `?`) or observe the deadline in its body.
+                let Some((_, lbody)) = keyword_cond_and_body_loop(toks, i) else {
+                    continue;
+                };
+                let exits = toks[lbody.0..=lbody.1].iter().any(|t| {
+                    t.text == "?"
+                        || (t.kind == TokKind::Ident
+                            && (t.text == "break" || t.text == "return"))
+                });
+                let deadline = toks[lbody.0..=lbody.1]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text.to_lowercase().contains("deadline"));
+                if !exits && !deadline {
+                    push(i, tok.line, "unbounded `loop` with no exit or deadline check");
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Body span of the `loop` keyword at `i` (no condition to skip).
+fn keyword_cond_and_body_loop(toks: &[Token], i: usize) -> Option<((usize, usize), (usize, usize))> {
+    let open = i + 1;
+    if toks.get(open).map(|t| t.text.as_str()) != Some("{") {
+        return None;
+    }
+    Some(((i, open), (open, brace_close(toks, open))))
+}
+
+/// Innermost impl type for a line, re-exported for the lock-order rule's
+/// labels.
+pub fn impl_type_at(scanned: &Scanned, line: usize) -> Option<String> {
+    enclosing_impl_type(&impl_blocks(scanned), line)
+}
+
+/// Paren-close re-export so graph_rules can share one definition.
+pub fn arg_close(toks: &[Token], open: usize) -> usize {
+    paren_close(toks, open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn prove_first(src: &str) -> Result<(), String> {
+        let s = scan(src);
+        let opens = index_open_brackets(&s.tokens);
+        assert!(!opens.is_empty(), "no indexing site in fixture");
+        prove_index(&s.tokens, opens[0])
+    }
+
+    #[test]
+    fn clamp_masks_and_min_are_proven() {
+        assert!(prove_first("fn f(xs: &[u32], i: usize) -> u32 { xs[i % xs.len()] }").is_ok());
+        assert!(prove_first("fn f(xs: &[u32], i: usize) -> u32 { xs[i & 7] }").is_ok());
+        assert!(
+            prove_first("fn f(xs: &[u32], i: usize) -> u32 { xs[i.min(xs.len() - 1)] }").is_ok()
+        );
+    }
+
+    #[test]
+    fn enclosing_if_guard_is_proven_and_absent_guard_is_not() {
+        assert!(prove_first(
+            "fn f(xs: &[u32], i: usize) -> u32 { if i < xs.len() { return xs[i]; } 0 }"
+        )
+        .is_ok());
+        assert!(prove_first("fn f(xs: &[u32], i: usize) -> u32 { xs[i] }").is_err());
+    }
+
+    #[test]
+    fn guard_in_another_fn_does_not_dominate() {
+        let src = "\
+fn g(xs: &[u32], i: usize) -> bool { i < xs.len() }
+fn f(xs: &[u32], i: usize) -> u32 { xs[i] }
+";
+        assert!(prove_first(src).is_err());
+    }
+
+    #[test]
+    fn match_arm_guard_dominates() {
+        let src = "\
+fn f(xs: &[f64], raw: &str) -> f64 {
+    match raw.parse::<usize>() {
+        Ok(v) if v < xs.len() => xs[v],
+        _ => 0.0,
+    }
+}
+";
+        assert!(prove_first(src).is_ok());
+    }
+
+    #[test]
+    fn early_exit_guard_dominates() {
+        let src = "\
+fn f(xs: &[u32], i: usize) -> u32 {
+    if i >= xs.len() {
+        return 0;
+    }
+    xs[i]
+}
+";
+        assert!(prove_first(src).is_ok());
+    }
+
+    #[test]
+    fn find_provenance_covers_slicing() {
+        let src = "\
+fn f(body: &str) -> &str {
+    let open = body.find('[').unwrap_or(0);
+    &body[..open]
+}
+";
+        assert!(prove_first(src).is_ok());
+    }
+
+    #[test]
+    fn loop_len_provenance_covers_indexing() {
+        let src = "fn f(xs: &[u32]) -> u32 { let mut s = 0; for i in 0..xs.len() { s += xs[i]; } s }";
+        let scanned = scan(src);
+        let opens = index_open_brackets(&scanned.tokens);
+        let idx = *opens.last().unwrap();
+        assert!(prove_index(&scanned.tokens, idx).is_ok());
+    }
+
+    #[test]
+    fn literal_index_bound_by_declared_array_length() {
+        let src = "\
+struct S { classes: [u32; 3] }
+impl S { fn f(&self) -> u32 { self.classes[0] } }
+";
+        let s = scan(src);
+        let opens = index_open_brackets(&s.tokens);
+        // The declaration bracket is not an index; the site is the last.
+        let idx = *opens.last().unwrap();
+        assert!(prove_index(&s.tokens, idx).is_ok());
+        let bad = "\
+struct S { classes: [u32; 3] }
+impl S { fn f(&self) -> u32 { self.classes[3] } }
+";
+        let s = scan(bad);
+        let opens = index_open_brackets(&s.tokens);
+        let idx = *opens.last().unwrap();
+        assert!(prove_index(&s.tokens, idx).is_err());
+    }
+
+    #[test]
+    fn lock_sites_key_and_extent() {
+        let src = "\
+impl A {
+    fn f(&self) {
+        let g = self.first.lock();
+        self.second.lock();
+    }
+}
+";
+        let s = scan(src);
+        let sites = lock_sites(&s, (0, s.tokens.len() - 1));
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].key, ("A".to_string(), "first".to_string()));
+        assert_eq!(sites[1].key, ("A".to_string(), "second".to_string()));
+        assert!(sites[0].extent >= sites[1].tok, "first extent spans second");
+        assert!(!sites[0].indexed);
+    }
+
+    #[test]
+    fn indexed_receivers_are_marked() {
+        let s = scan("impl A { fn f(&self, i: usize) { self.locks[i].lock(); } }");
+        let sites = lock_sites(&s, (0, s.tokens.len() - 1));
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].indexed);
+    }
+
+    #[test]
+    fn deadline_blind_recv_is_flagged_and_observed_recv_is_not() {
+        let blind = scan("fn f(rx: &Receiver<u32>) { let _ = rx.recv(); }");
+        let sinks = deadline_blind_sites(&blind, (0, blind.tokens.len() - 1));
+        assert_eq!(sinks.len(), 1, "{sinks:?}");
+        assert!(sinks[0].what.contains("recv"));
+
+        let ok = scan(
+            "fn f(rx: &Receiver<u32>, deadline: Instant) { let _ = rx.recv_deadline(deadline); }",
+        );
+        assert!(deadline_blind_sites(&ok, (0, ok.tokens.len() - 1)).is_empty());
+    }
+
+    #[test]
+    fn sleep_in_deadline_checked_loop_passes() {
+        let src = "\
+fn f(deadline: Instant) {
+    loop {
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(STEP);
+    }
+}
+";
+        let s = scan(src);
+        assert!(deadline_blind_sites(&s, (0, s.tokens.len() - 1)).is_empty());
+    }
+
+    #[test]
+    fn unbounded_loop_without_exit_is_flagged() {
+        let s = scan("fn f() { loop { spin(); } }");
+        let sinks = deadline_blind_sites(&s, (0, s.tokens.len() - 1));
+        assert_eq!(sinks.len(), 1, "{sinks:?}");
+        assert!(sinks[0].what.contains("unbounded"));
+    }
+}

@@ -381,7 +381,7 @@ pub fn atomic_accesses(scanned: &Scanned, impls: &[ImplBlock]) -> Vec<AtomicAcce
 /// field/variable name: skips one balanced `[..]` index, then reads the
 /// identifier; a `self.` prefix keys it under the innermost enclosing
 /// impl's type.
-fn receiver_key(
+pub(crate) fn receiver_key(
     toks: &[Token],
     dot: usize,
     impls: &[ImplBlock],
@@ -434,7 +434,7 @@ fn receiver_key(
 }
 
 /// Innermost impl block containing `line`.
-fn enclosing_impl_type(impls: &[ImplBlock], line: usize) -> Option<String> {
+pub(crate) fn enclosing_impl_type(impls: &[ImplBlock], line: usize) -> Option<String> {
     impls
         .iter()
         .filter(|b| b.line <= line && line <= b.end_line)

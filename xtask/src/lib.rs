@@ -36,11 +36,31 @@
 //! 12. `epoch-discipline` — `*Epoch*`/`*Snapshot*` types confine
 //!     raw-pointer manipulation to sanctioned modules.
 //!
+//! And four are *dataflow-verified* — they check the checkers, so the
+//! clean-tree guarantee no longer rests on trusted annotations (see
+//! DESIGN.md §9.6):
+//!
+//! 13. `bounds-proof` — every `// bounds:` annotation discharging an
+//!     indexing site must be machine-provable by the guard-dominance
+//!     lattice in [`dataflow`] (clamp, literal-vs-declared-length,
+//!     dominating comparison guard, or in-range provenance);
+//! 14. `lock-order` — `.lock()` acquisitions are lifted onto the call
+//!     graph; any cycle in the inter-procedural lock-acquisition order
+//!     is reported with the full witness chain;
+//! 15. `deadline-propagation` — every blocking or unbounded-loop op
+//!     reachable from a frontdoor request handler must observe the
+//!     request deadline;
+//! 16. `dead-annotation` — a `lint:allow` waiver, `// bounds:` comment,
+//!     `// ordering:` justification, or `PANIC_ISOLATED` entry that no
+//!     longer suppresses a live finding is itself an error
+//!     (`cargo xtask lint --fix` removes dead waiver comments).
+//!
 //! Library layout: [`scanner`] lexes Rust source into an
 //! analysis-friendly token stream, [`items`] recovers item-level
 //! structure (impl blocks, methods, attributes) from it, [`callgraph`]
 //! builds the workspace call graph on top, [`flow`] classifies what
-//! token spans *do* (panic, block, publish, acquire), [`rules`]
+//! token spans *do* (panic, block, publish, acquire), [`dataflow`]
+//! proves guard dominance and extracts lock/deadline facts, [`rules`]
 //! implements the token-local invariants, [`graph_rules`] the
 //! call-graph-powered ones, and [`lint`] walks the workspace (in
 //! parallel), runs the cross-file passes, and renders findings as text,
@@ -49,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod flow;
 pub mod graph_rules;
 pub mod items;

@@ -2,14 +2,17 @@
 //! workspace-level call-graph passes, and finding rendering (human
 //! text, machine JSON, and SARIF for CI annotations).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use crate::graph_rules::{build_graph, run_graph_rules, WorkspaceFile};
 use crate::items::law_registrations;
-use crate::rules::{law_coverage, metrics_naming, run_rules, FileCtx, Finding, RuleId, ALL_RULES};
+use crate::rules::{
+    law_coverage, metrics_naming, reset_waiver_log, run_rules, FileCtx, Finding, RuleId,
+    ALL_RULES, PANIC_ISOLATED,
+};
 use crate::scanner::{scan, Scanned};
 
 /// Directory names never descended into.
@@ -105,6 +108,9 @@ pub fn lint_source_with_docs(
     enabled: &BTreeSet<RuleId>,
     documented: Option<&BTreeSet<String>>,
 ) -> Vec<Finding> {
+    // Rule evaluation populates the thread-local waiver-usage log the
+    // dead-annotation pass audits; start each run from a clean log.
+    reset_waiver_log();
     let scanned = scan(src);
     let ctx = FileCtx {
         path,
@@ -210,6 +216,10 @@ pub fn lint_workspace_report(
     changed: Option<&BTreeSet<String>>,
 ) -> io::Result<(Vec<Finding>, LintStats)> {
     let start = Instant::now();
+    // Rule evaluation runs on this thread (only file scanning fans out),
+    // so the thread-local waiver-usage log sees every suppression; the
+    // dead-annotation pass audits it at the end of the run.
+    reset_waiver_log();
     let enabled: BTreeSet<RuleId> = ALL_RULES
         .into_iter()
         .filter(|r| !allow.contains(r))
@@ -223,8 +233,6 @@ pub fn lint_workspace_report(
         .min(files.len().max(1));
     let mut slots: Vec<Option<io::Result<WorkspaceFile>>> = Vec::new();
     slots.resize_with(files.len(), || None);
-    // lint:allow(hot-path-blocking) — the scan fan-out is the lint's own
-    // startup, not an engine hot path; reads are the work being divided.
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -355,8 +363,11 @@ pub fn render_json_report(findings: &[Finding], stats: &LintStats) -> String {
 
 /// Renders findings as SARIF 2.1.0 (the format GitHub code scanning
 /// ingests, turning findings into PR annotations). One run, one rule
-/// table (all twelve, so `ruleIndex` is stable), one result per
-/// finding. Hand-rolled like the JSON renderer to keep xtask
+/// table (all sixteen, appended in declaration order so the `ruleIndex`
+/// of pre-existing rules stays stable), one result per finding.
+/// Graph-rule findings carry their witness chain as `codeFlows`, so
+/// code scanning shows the panic/lock/deadline path, not just the sink
+/// line. Hand-rolled like the JSON renderer to keep xtask
 /// dependency-free.
 pub fn render_sarif(findings: &[Finding]) -> String {
     let mut out = String::new();
@@ -382,16 +393,39 @@ pub fn render_sarif(findings: &[Finding]) -> String {
             .iter()
             .position(|r| *r == f.rule)
             .unwrap_or_default();
+        let code_flows = if f.flow.is_empty() {
+            String::new()
+        } else {
+            let steps: Vec<String> = f
+                .flow
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"location\": {{\"physicalLocation\": {{\"artifactLocation\": \
+                         {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}, \
+                         \"message\": {{\"text\": \"{}\"}}}}}}",
+                        json_escape(&s.file),
+                        s.line,
+                        json_escape(&s.label)
+                    )
+                })
+                .collect();
+            format!(
+                ", \"codeFlows\": [{{\"threadFlows\": [{{\"locations\": [{}]}}]}}]",
+                steps.join(", ")
+            )
+        };
         out.push_str(&format!(
             "      {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
              \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": \
-             {}}}}}}}]}}{}\n",
+             {}}}}}}}]{}}}{}\n",
             f.rule.name(),
             rule_index,
             json_escape(&f.message),
             json_escape(&f.file),
             f.line,
+            code_flows,
             if i + 1 < findings.len() { "," } else { "" }
         ));
     }
@@ -399,6 +433,109 @@ pub fn render_sarif(findings: &[Finding]) -> String {
     out.push_str("  }]\n");
     out.push_str("}\n");
     out
+}
+
+/// Applies the mechanical fixes `--fix` offers: a dead-annotation
+/// finding whose reported line is a whole-line comment is removed from
+/// the file. Everything else (dead `PANIC_ISOLATED` entries, trailing
+/// comments sharing a line with code, findings of other rules) is left
+/// for a human and returned as not auto-fixable. Returns the number of
+/// lines removed plus the unfixed findings.
+pub fn apply_fixes(root: &Path, findings: &[Finding]) -> io::Result<(usize, Vec<Finding>)> {
+    let mut deletions: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut unfixed: Vec<Finding> = Vec::new();
+    for f in findings {
+        if f.rule != RuleId::DeadAnnotation {
+            unfixed.push(f.clone());
+            continue;
+        }
+        let text = std::fs::read_to_string(root.join(&f.file))?;
+        let is_comment_line = text
+            .lines()
+            .nth(f.line.saturating_sub(1))
+            .is_some_and(|l| l.trim_start().starts_with("//"));
+        if is_comment_line {
+            deletions.entry(f.file.clone()).or_default().push(f.line);
+        } else {
+            unfixed.push(f.clone());
+        }
+    }
+    let mut removed = 0usize;
+    for (file, mut lines) in deletions {
+        lines.sort_unstable();
+        lines.dedup();
+        let path = root.join(&file);
+        let text = std::fs::read_to_string(&path)?;
+        let kept: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| !lines.contains(&(i + 1)))
+            .map(|(_, l)| l)
+            .collect();
+        removed += lines.len();
+        let mut fixed = kept.join("\n");
+        if text.ends_with('\n') {
+            fixed.push('\n');
+        }
+        std::fs::write(&path, fixed)?;
+    }
+    Ok((removed, unfixed))
+}
+
+/// Counts the workspace's trust surface — the annotations the dataflow
+/// rules verify — per top-level area (`crates/<name>`, `xtask`), using
+/// the same start-of-comment discipline as the dead-annotation rule:
+/// `lint:allow(` waivers, `bounds:` proofs, `ordering:` justifications
+/// in production (non-`#[cfg(test)]`, non-test-tree) code, plus the
+/// `PANIC_ISOLATED` table size. The snapshot test in
+/// `xtask/tests/annotation_budget.rs` pins this output so trust-surface
+/// creep is explicit in review.
+pub fn annotation_census(root: &Path) -> io::Result<String> {
+    let files = collect_workspace_files(root)?;
+    let mut counts: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for file in &files {
+        let f = scan_one(root, file)?;
+        if f.in_test_tree {
+            continue;
+        }
+        let area = if let Some(rest) = f.rel.strip_prefix("crates/") {
+            format!("crates/{}", rest.split('/').next().unwrap_or(""))
+        } else {
+            f.rel.split('/').next().unwrap_or("").to_string()
+        };
+        for (&line, text) in &f.scanned.comments {
+            let in_test = f
+                .scanned
+                .tokens
+                .iter()
+                .find(|t| t.line >= line)
+                .or(f.scanned.tokens.last())
+                .is_some_and(|t| t.in_test);
+            if in_test {
+                continue;
+            }
+            let t = text.trim();
+            let entry = counts.entry(area.clone()).or_default();
+            if t.starts_with("lint:allow(") {
+                entry.0 += 1;
+            } else if t.starts_with("bounds:") {
+                entry.1 += 1;
+            } else if t.starts_with("ordering:") {
+                entry.2 += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (area, (waivers, bounds, ordering)) in &counts {
+        if *waivers + *bounds + *ordering == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{area} waivers={waivers} bounds={bounds} ordering={ordering}\n"
+        ));
+    }
+    out.push_str(&format!("PANIC_ISOLATED entries={}\n", PANIC_ISOLATED.len()));
+    Ok(out)
 }
 
 fn json_escape(s: &str) -> String {
@@ -448,6 +585,7 @@ mod tests {
             file: "a.rs".into(),
             line: 3,
             message: "say \"no\"".into(),
+            flow: Vec::new(),
         };
         let json = render_json(&[f]);
         assert!(json.contains("say \\\"no\\\""), "{json}");

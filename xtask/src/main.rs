@@ -8,7 +8,9 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::lint::{lint_workspace_report, render_json_report, render_sarif, render_text};
+use xtask::lint::{
+    apply_fixes, lint_workspace_report, render_json_report, render_sarif, render_text,
+};
 use xtask::rules::{RuleId, ALL_RULES};
 
 const USAGE: &str = "\
@@ -24,6 +26,10 @@ options:
   --changed            report findings only for files changed per git
                        (diff vs HEAD plus untracked); the whole tree is
                        still scanned so cross-file rules stay accurate
+  --fix                remove dead-annotation comment lines (dead
+                       waivers, stale bounds/ordering comments), then
+                       re-lint; anything not mechanically fixable is
+                       reported as usual
   --list-rules         print rule names and descriptions, then exit
   -h, --help           print this help
 ";
@@ -48,6 +54,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
     let mut changed_only = false;
+    let mut fix = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,6 +86,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
                 }
             },
             "--changed" => changed_only = true,
+            "--fix" => fix = true,
             "--list-rules" => {
                 for rule in ALL_RULES {
                     println!("{:<18} {}", rule.name(), rule.describe());
@@ -117,7 +125,31 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     };
 
     match lint_workspace_report(&root, &allow, changed.as_ref()) {
-        Ok((findings, stats)) => {
+        Ok((mut findings, mut stats)) => {
+            if fix && !findings.is_empty() {
+                match apply_fixes(&root, &findings) {
+                    Ok((removed, _)) => {
+                        eprintln!("xtask lint --fix: removed {removed} dead annotation line(s)");
+                        // Re-lint: the fix may have shifted lines or
+                        // revived nothing; the re-run is the source of
+                        // truth for what remains.
+                        match lint_workspace_report(&root, &allow, changed.as_ref()) {
+                            Ok((f2, s2)) => {
+                                findings = f2;
+                                stats = s2;
+                            }
+                            Err(err) => {
+                                eprintln!("xtask lint: io error: {err}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        eprintln!("xtask lint: --fix io error: {err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             match format.as_str() {
                 "json" => print!("{}", render_json_report(&findings, &stats)),
                 "sarif" => print!("{}", render_sarif(&findings)),

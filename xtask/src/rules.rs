@@ -1,4 +1,4 @@
-//! The twelve workspace invariants enforced by `cargo xtask lint`.
+//! The sixteen workspace invariants enforced by `cargo xtask lint`.
 //!
 //! Policy lives here as code: the sanctioned-module tables below are the
 //! single source of truth for where `unsafe`, raw atomics, and thread
@@ -53,10 +53,23 @@ pub enum RuleId {
     /// `*Epoch*`/`*Snapshot*` types confine raw-pointer manipulation to
     /// sanctioned modules.
     EpochDiscipline,
+    /// Every `// bounds:` annotation is machine-proven: a dominating
+    /// guard, clamp, or provenance argument must actually cover the
+    /// indexing site it discharges.
+    BoundsProof,
+    /// No cycle in the inter-procedural lock-acquisition order.
+    LockOrder,
+    /// Every blocking / unbounded-loop op reachable from a frontdoor
+    /// request handler observes the request deadline.
+    DeadlinePropagation,
+    /// Every waiver / `bounds:` / `ordering:` comment / `PANIC_ISOLATED`
+    /// entry still suppresses a live finding; dead ones are errors.
+    DeadAnnotation,
 }
 
-/// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 12] = [
+/// All rules, in reporting order. The four dataflow rules are appended
+/// so the SARIF `ruleIndex` of the first twelve stays stable.
+pub const ALL_RULES: [RuleId; 16] = [
     RuleId::SafetyComment,
     RuleId::UnsafeConfined,
     RuleId::ServiceNoPanic,
@@ -69,6 +82,10 @@ pub const ALL_RULES: [RuleId; 12] = [
     RuleId::HotPathBlocking,
     RuleId::OrderingProtocol,
     RuleId::EpochDiscipline,
+    RuleId::BoundsProof,
+    RuleId::LockOrder,
+    RuleId::DeadlinePropagation,
+    RuleId::DeadAnnotation,
 ];
 
 impl RuleId {
@@ -87,6 +104,10 @@ impl RuleId {
             RuleId::HotPathBlocking => "hot-path-blocking",
             RuleId::OrderingProtocol => "ordering-protocol",
             RuleId::EpochDiscipline => "epoch-discipline",
+            RuleId::BoundsProof => "bounds-proof",
+            RuleId::LockOrder => "lock-order",
+            RuleId::DeadlinePropagation => "deadline-propagation",
+            RuleId::DeadAnnotation => "dead-annotation",
         }
     }
 
@@ -135,6 +156,21 @@ impl RuleId {
             RuleId::EpochDiscipline => {
                 "*Epoch*/*Snapshot* types keep raw-pointer lifecycle in sanctioned modules"
             }
+            RuleId::BoundsProof => {
+                "every `// bounds:` annotation is backed by a dominating guard, clamp, or \
+                 provenance argument the dataflow analysis can verify"
+            }
+            RuleId::LockOrder => {
+                "no cycle in the inter-procedural lock-acquisition order"
+            }
+            RuleId::DeadlinePropagation => {
+                "every blocking op reachable from a frontdoor handler observes the request \
+                 deadline"
+            }
+            RuleId::DeadAnnotation => {
+                "no waiver, bounds/ordering comment, or PANIC_ISOLATED entry that suppresses \
+                 nothing"
+            }
         }
     }
 
@@ -148,8 +184,24 @@ impl RuleId {
                 | RuleId::HotPathBlocking
                 | RuleId::OrderingProtocol
                 | RuleId::EpochDiscipline
+                | RuleId::LockOrder
+                | RuleId::DeadlinePropagation
+                | RuleId::DeadAnnotation
         )
     }
+}
+
+/// One step of a witness chain (a call path, a lock-acquisition chain)
+/// attached to a graph-rule finding; rendered as SARIF `codeFlows`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlowStep {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What happens at this step (`enter serve_query`, `acquire
+    /// Admission.classes`, ...).
+    pub label: String,
 }
 
 /// One lint violation.
@@ -163,6 +215,9 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Witness chain for graph-rule findings (empty for token-local
+    /// rules); shown as SARIF `codeFlows`.
+    pub flow: Vec<FlowStep>,
 }
 
 /// Per-file context handed to the rules.
@@ -316,15 +371,59 @@ pub(crate) const EPOCH_OK: &[&str] = &[
     "crates/core/src/sharded.rs",
 ];
 
+/// Entry points of the `deadline-propagation` traversal: the frontdoor
+/// request handlers, which receive an optional `X-Deadline-Ms` budget
+/// (DESIGN.md §7). Everything they can reach that blocks must observe
+/// that deadline.
+pub(crate) const DEADLINE_ROOTS: &[(&str, &str)] = &[
+    ("crates/core/src/frontdoor.rs", "serve_update"),
+    ("crates/core/src/frontdoor.rs", "serve_batch"),
+    ("crates/core/src/frontdoor.rs", "serve_query"),
+];
+
 pub(crate) fn path_matches(path: &str, table: &[&str]) -> bool {
     table.iter().any(|ok| path == *ok || path.ends_with(ok))
 }
 
+use std::cell::RefCell;
+
+thread_local! {
+    /// Waivers that suppressed a finding or cut an edge during the
+    /// current lint run, keyed `(file, marker line, rule name)`. The
+    /// dead-annotation pass (which runs last, on the same thread rule
+    /// evaluation runs on) compares every waiver in the corpus against
+    /// this log: unused ones are findings themselves.
+    static USED_WAIVERS: RefCell<BTreeSet<(String, usize, String)>> =
+        const { RefCell::new(BTreeSet::new()) };
+}
+
+/// Clears the waiver-usage log; the lint drivers call this before a run.
+pub(crate) fn reset_waiver_log() {
+    USED_WAIVERS.with(|log| log.borrow_mut().clear());
+}
+
+/// Takes the waiver-usage log accumulated since the last reset.
+pub(crate) fn take_waiver_log() -> BTreeSet<(String, usize, String)> {
+    USED_WAIVERS.with(|log| std::mem::take(&mut *log.borrow_mut()))
+}
+
 /// True if a `lint:allow(<rule>)` waiver comment covers `line` (same
-/// line or up to six lines above, so multi-line reasons fit).
-pub(crate) fn waived(scanned: &Scanned, line: usize, rule: RuleId) -> bool {
+/// line or up to six lines above, so multi-line reasons fit). Every
+/// marker line that could have discharged the finding is recorded as
+/// *used* for the dead-annotation pass.
+pub(crate) fn waived(scanned: &Scanned, path: &str, line: usize, rule: RuleId) -> bool {
     let marker = format!("lint:allow({})", rule.name());
-    scanned.comment_window_contains(line.saturating_sub(6), line, &marker)
+    let lines = scanned.comment_lines_with(line.saturating_sub(6), line, &marker);
+    if lines.is_empty() {
+        return false;
+    }
+    USED_WAIVERS.with(|log| {
+        let mut log = log.borrow_mut();
+        for l in lines {
+            log.insert((path.to_string(), l, rule.name().to_string()));
+        }
+    });
+    true
 }
 
 pub(crate) fn emit(
@@ -335,12 +434,27 @@ pub(crate) fn emit(
     line: usize,
     message: String,
 ) {
-    if !waived(scanned, line, rule) {
+    emit_flow(out, scanned, ctx, rule, line, message, Vec::new());
+}
+
+/// [`emit`] with a witness chain attached (graph-rule findings).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_flow(
+    out: &mut Vec<Finding>,
+    scanned: &Scanned,
+    ctx: &FileCtx,
+    rule: RuleId,
+    line: usize,
+    message: String,
+    flow: Vec<FlowStep>,
+) {
+    if !waived(scanned, ctx.path, line, rule) {
         out.push(Finding {
             rule,
             file: ctx.path.to_string(),
             line,
             message,
+            flow,
         });
     }
 }
@@ -369,6 +483,9 @@ pub fn run_rules(
     }
     if enabled.contains(&RuleId::RetractGuard) {
         retract_guard(ctx, scanned, out);
+    }
+    if enabled.contains(&RuleId::BoundsProof) {
+        crate::dataflow::bounds_proof(ctx, scanned, out);
     }
     // `law-coverage` and `metrics-naming` are cross-file (registrations
     // are checked against sets collected elsewhere — `check_laws` calls
@@ -828,7 +945,7 @@ fn collect_float_idents(toks: &[Token]) -> BTreeSet<(Option<String>, String)> {
 
 /// Token range of the statement containing index `i`: from the token
 /// after the previous `;`/`{`/`}` through the next `;` (or brace).
-fn statement_window(toks: &[Token], i: usize) -> (usize, usize) {
+pub(crate) fn statement_window(toks: &[Token], i: usize) -> (usize, usize) {
     let mut lo = i;
     while lo > 0 {
         let t = &toks[lo - 1].text;

@@ -73,6 +73,17 @@ impl Scanned {
             .range(lo..=hi)
             .any(|(_, text)| text.contains(needle))
     }
+
+    /// Lines in `lo..=hi` whose comment contains `needle` (used by the
+    /// dead-annotation rule to record which marker line discharged a
+    /// finding).
+    pub fn comment_lines_with(&self, lo: usize, hi: usize, needle: &str) -> Vec<usize> {
+        self.comments
+            .range(lo..=hi)
+            .filter(|(_, text)| text.contains(needle))
+            .map(|(line, _)| *line)
+            .collect()
+    }
 }
 
 fn is_ident_start(c: char) -> bool {

@@ -1,0 +1,35 @@
+//! Annotation-budget snapshot: the workspace's trust surface — every
+//! `lint:allow` waiver, `// bounds:` proof obligation, `// ordering:`
+//! justification, and `PANIC_ISOLATED` entry — counted per area and
+//! pinned to a checked-in snapshot. Adding an annotation anywhere makes
+//! this test fail until the snapshot is updated in the same change, so
+//! trust-surface creep is explicit in review.
+//!
+//! To update after an intentional change:
+//! `BLESS=1 cargo test -p xtask --test annotation_budget`
+
+use std::path::{Path, PathBuf};
+
+use xtask::lint::annotation_census;
+
+#[test]
+fn annotation_budget_matches_snapshot() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives in the workspace root")
+        .to_path_buf();
+    let census = annotation_census(&root).expect("walk workspace");
+    let snapshot = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/annotation_budget.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(snapshot.parent().unwrap()).expect("create snapshots dir");
+        std::fs::write(&snapshot, &census).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&snapshot)
+        .expect("snapshot missing — run `BLESS=1 cargo test -p xtask --test annotation_budget`");
+    assert_eq!(
+        census, expected,
+        "the annotation budget moved; if intentional, re-bless the \
+         snapshot (BLESS=1) in the same change"
+    );
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: `// bounds:` annotations the dataflow analysis
+//! cannot prove — a bare assertion, and a guard on the wrong variable.
+
+pub fn unproven(xs: &[u64], i: usize) -> u64 {
+    // bounds: trust me, the caller checked.
+    xs[i]
+}
+
+pub fn wrong_guard(xs: &[u64], i: usize, j: usize) -> u64 {
+    if j < xs.len() {
+        // bounds: guarded above (but the guard covers `j`, not `i`).
+        return xs[i];
+    }
+    0
+}

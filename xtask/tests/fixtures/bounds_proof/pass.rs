@@ -1,0 +1,64 @@
+//! Every `// bounds:` annotation here is machine-provable — one per
+//! technique in the guard-dominance lattice.
+
+pub struct Table {
+    slots: [u64; 4],
+}
+
+impl Table {
+    pub fn first(&self) -> u64 {
+        // bounds: literal 0 into `[_; 4]`.
+        self.slots[0]
+    }
+}
+
+pub fn clamp_mod(xs: &[u64], i: usize) -> u64 {
+    // bounds: masked to the slice length.
+    xs[i % xs.len()]
+}
+
+pub fn clamp_min(xs: &[u64], i: usize) -> u64 {
+    // bounds: clamped below the last element.
+    xs[i.min(xs.len() - 1)]
+}
+
+pub fn guarded(xs: &[u64], i: usize) -> u64 {
+    if i < xs.len() {
+        // bounds: dominated by the length guard above.
+        return xs[i];
+    }
+    0
+}
+
+pub fn match_guarded(xs: &[u64], i: usize) -> u64 {
+    match i {
+        n if n < xs.len() => {
+            // bounds: the arm guard bounds `n`.
+            xs[n]
+        }
+        _ => 0,
+    }
+}
+
+pub fn early_exit(xs: &[u64], i: usize) -> u64 {
+    if i >= xs.len() {
+        return 0;
+    }
+    // bounds: the early return above rejects out-of-range `i`.
+    xs[i]
+}
+
+pub fn positional(s: &str) -> u8 {
+    let Some(dot) = s.find('.') else { return 0 };
+    // bounds: `dot` is a byte offset produced by `find` on `s`.
+    s.as_bytes()[dot]
+}
+
+pub fn enumerated(xs: &[u64]) -> u64 {
+    let mut best = 0;
+    for i in 0..xs.len() {
+        // bounds: `i` ranges over the slice length.
+        best = best.max(xs[i]);
+    }
+    best
+}

@@ -1,0 +1,22 @@
+//! Every annotation here is live: the waiver suppresses a real
+//! finding, the bounds comment sits on an indexing site, the ordering
+//! justification sits on a memory-ordering site.
+
+pub fn risky(x: Option<u64>) -> u64 {
+    // lint:allow(service-no-panic) — fixture waiver kept live by the
+    // unwrap below.
+    x.unwrap()
+}
+
+pub fn checked(xs: &[u64], i: usize) -> u64 {
+    if i < xs.len() {
+        // bounds: dominated by the guard above.
+        return xs[i];
+    }
+    0
+}
+
+pub fn read_flag(f: &AtomicU64) -> u64 {
+    // ordering: quiescent-phase read.
+    f.load(Ordering::Relaxed)
+}

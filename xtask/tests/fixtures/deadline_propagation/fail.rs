@@ -1,0 +1,10 @@
+//! Negative fixture: a blocking `recv()` with no deadline in sight,
+//! two calls below a request handler.
+
+pub fn serve_query(rx: &Receiver<u64>) -> u64 {
+    wait_reply(rx)
+}
+
+fn wait_reply(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,23 @@
+//! Every blocking site reachable from the request handlers observes
+//! the deadline: a deadline-carrying receive, and a poll loop whose
+//! body checks the deadline each iteration.
+
+pub fn serve_query(rx: &Receiver<u64>, deadline: Instant) -> u64 {
+    wait_reply(rx, deadline) + poll(rx, deadline)
+}
+
+fn wait_reply(rx: &Receiver<u64>, deadline: Instant) -> u64 {
+    rx.recv_deadline(deadline).unwrap_or(0)
+}
+
+fn poll(rx: &Receiver<u64>, deadline: Instant) -> u64 {
+    loop {
+        if Instant::now() >= deadline {
+            return 0;
+        }
+        if let Ok(v) = rx.try_recv() {
+            return v;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

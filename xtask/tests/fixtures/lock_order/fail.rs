@@ -1,0 +1,35 @@
+//! Negative fixture: the classic two-lock deadlock — one path takes
+//! `a` then `b`, the other takes `b` then `a`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *ga + *gb
+    }
+}

@@ -1,0 +1,40 @@
+//! Both paths take the two locks in the same order (`a` before `b`),
+//! including one path that picks up `b` through a callee.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *ga + *gb
+    }
+
+    pub fn diff(&self) -> u64 {
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let d = self.read_b();
+        *ga - d
+    }
+
+    fn read_b(&self) -> u64 {
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *gb
+    }
+}

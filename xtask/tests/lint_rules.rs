@@ -1,9 +1,9 @@
-//! Fixture-backed tests for the twelve lint rules: each rule has one
+//! Fixture-backed tests for the sixteen lint rules: each rule has one
 //! passing and one violating fixture with an exact expected finding
 //! count, plus `--allow` behavior, the `--changed` restriction, and a
-//! whole-tree cleanliness check. The four call-graph rules run through
-//! the same single-file harness — the simulated path picks which root
-//! and sanctioned-module tables apply.
+//! whole-tree cleanliness check. The call-graph rules run through the
+//! same single-file harness — the simulated path picks which root and
+//! sanctioned-module tables apply.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -592,10 +592,243 @@ fn epoch_discipline_sanctioned_modules_are_exempt() {
 }
 
 #[test]
+fn bounds_proof_pass_fixture_proves_every_annotation() {
+    let f = lint_fixture(
+        RuleId::BoundsProof,
+        "bounds_proof",
+        "pass.rs",
+        "crates/engine/src/edge_map.rs",
+    );
+    assert!(f.is_empty(), "{}", render_text(&f));
+}
+
+#[test]
+fn bounds_proof_fail_fixture_flags_each_unproven_annotation() {
+    let f = lint_fixture(
+        RuleId::BoundsProof,
+        "bounds_proof",
+        "fail.rs",
+        "crates/engine/src/edge_map.rs",
+    );
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, [6, 12], "{}", render_text(&f));
+    assert!(f
+        .iter()
+        .all(|x| x.message.contains("not machine-provable")));
+}
+
+#[test]
+fn bounds_proof_exempts_test_trees() {
+    let f = lint_fixture(
+        RuleId::BoundsProof,
+        "bounds_proof",
+        "fail.rs",
+        "crates/engine/tests/stress.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lock_order_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::LockOrder,
+        "lock_order",
+        "pass.rs",
+        "crates/core/src/sharded.rs",
+    );
+    assert!(f.is_empty(), "{}", render_text(&f));
+}
+
+#[test]
+fn lock_order_fail_fixture_reports_the_cycle_once() {
+    let f = lint_fixture(
+        RuleId::LockOrder,
+        "lock_order",
+        "fail.rs",
+        "crates/core/src/sharded.rs",
+    );
+    assert_eq!(f.len(), 1, "{}", render_text(&f));
+    assert_eq!(f[0].line, 17, "second acquisition of the a→b path");
+    assert!(f[0].message.contains("lock-order cycle"), "{f:?}");
+    // The witness chain walks both conflicting acquisition orders.
+    assert!(f[0].flow.len() >= 2, "{:?}", f[0].flow);
+}
+
+#[test]
+fn deadline_propagation_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::DeadlinePropagation,
+        "deadline_propagation",
+        "pass.rs",
+        "crates/core/src/frontdoor.rs",
+    );
+    assert!(f.is_empty(), "{}", render_text(&f));
+}
+
+#[test]
+fn deadline_propagation_fail_fixture_flags_the_blind_recv() {
+    let f = lint_fixture(
+        RuleId::DeadlinePropagation,
+        "deadline_propagation",
+        "fail.rs",
+        "crates/core/src/frontdoor.rs",
+    );
+    assert_eq!(f.len(), 1, "{}", render_text(&f));
+    assert_eq!(f[0].line, 9, "the recv() inside the callee");
+    assert!(f[0].message.contains("recv"), "{f:?}");
+    assert!(f[0].message.contains("serve_query"), "{f:?}");
+    // enter serve_query → enter wait_reply → the blocking site.
+    assert_eq!(f[0].flow.len(), 3, "{:?}", f[0].flow);
+    assert_eq!(f[0].flow[2].line, 9);
+}
+
+#[test]
+fn deadline_propagation_scoped_to_frontdoor_roots() {
+    // The same blind recv under a path with no request-handler roots
+    // is not this rule's business.
+    let f = lint_fixture(
+        RuleId::DeadlinePropagation,
+        "deadline_propagation",
+        "fail.rs",
+        "crates/engine/src/edge_map.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+fn lint_dead_annotation(name: &str) -> Vec<Finding> {
+    // The dead-annotation rule needs the waived rule enabled to judge
+    // waiver liveness: service-no-panic rides along.
+    let enabled: BTreeSet<RuleId> = [RuleId::DeadAnnotation, RuleId::ServiceNoPanic]
+        .into_iter()
+        .collect();
+    lint_source(
+        "crates/core/src/checkpoint.rs",
+        &fixture("dead_annotation", name),
+        &enabled,
+    )
+}
+
+#[test]
+fn dead_annotation_pass_fixture_is_clean() {
+    let f = lint_dead_annotation("pass.rs");
+    assert!(f.is_empty(), "{}", render_text(&f));
+}
+
+#[test]
+fn dead_annotation_fail_fixture_flags_each_stale_annotation() {
+    let f = lint_dead_annotation("fail.rs");
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert_eq!(lines, [6, 11, 15, 21], "{}", render_text(&f));
+    assert!(f[0].message.contains("dead waiver"), "{f:?}");
+    assert!(f[1].message.contains("no-such-rule"), "{f:?}");
+    assert!(f[2].message.contains("bounds:"), "{f:?}");
+    assert!(f[3].message.contains("ordering:"), "{f:?}");
+}
+
+/// `--fix` round trip in a temp workspace: the dead waiver line is
+/// removed mechanically and the re-lint comes back clean (exit 0).
+#[test]
+fn fix_removes_dead_waiver_and_tree_is_clean() {
+    let dir = std::env::temp_dir().join(format!("xtask-fix-{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    let file = src_dir.join("checkpoint.rs");
+    std::fs::write(
+        &file,
+        "pub fn twice(x: u64) -> u64 {\n    \
+         // lint:allow(float-accum) — stale waiver left by a refactor.\n    \
+         x * 2\n}\n",
+    )
+    .expect("write checkpoint.rs");
+
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--fix", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(
+        stderr.contains("removed 1 dead annotation line"),
+        "stderr: {stderr}"
+    );
+    let fixed = std::fs::read_to_string(&file).expect("re-read");
+    assert!(!fixed.contains("lint:allow"), "{fixed}");
+    assert!(fixed.contains("x * 2"), "the code itself survives: {fixed}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graph-rule findings carry their witness chain into SARIF as
+/// `codeFlows`, and every result's `ruleIndex` matches the rule's
+/// stable position in the `ALL_RULES` table.
+#[test]
+fn sarif_code_flows_for_graph_findings() {
+    use xtask::lint::render_sarif;
+
+    let f = lint_fixture(
+        RuleId::DeadlinePropagation,
+        "deadline_propagation",
+        "fail.rs",
+        "crates/core/src/frontdoor.rs",
+    );
+    assert_eq!(f.len(), 1, "{}", render_text(&f));
+    let sarif = render_sarif(&f);
+    assert!(sarif.contains("\"codeFlows\""), "{sarif}");
+    assert!(sarif.contains("\"threadFlows\""), "{sarif}");
+    assert!(
+        sarif.contains("\"ruleIndex\": 14"),
+        "deadline-propagation sits at index 14: {sarif}"
+    );
+    // The chain's entry frame names the handler file and line 5.
+    assert!(sarif.contains("serve_query"), "{sarif}");
+
+    // Per-file findings carry no chain and emit no codeFlows.
+    let f = lint_fixture(
+        RuleId::BoundsProof,
+        "bounds_proof",
+        "fail.rs",
+        "crates/engine/src/edge_map.rs",
+    );
+    let sarif = render_sarif(&f);
+    assert!(!sarif.contains("\"codeFlows\""), "{sarif}");
+    assert!(sarif.contains("\"ruleIndex\": 12"), "{sarif}");
+}
+
+/// The first twelve rules keep their SARIF `ruleIndex` positions — CI
+/// dashboards key on them — and the four dataflow rules extend the
+/// table rather than reshuffling it.
+#[test]
+fn rule_index_table_is_stable() {
+    let expected = [
+        (RuleId::SafetyComment, 0),
+        (RuleId::UnsafeConfined, 1),
+        (RuleId::ServiceNoPanic, 2),
+        (RuleId::FloatAccum, 3),
+        (RuleId::LawCoverage, 4),
+        (RuleId::OrderingAudit, 5),
+        (RuleId::RetractGuard, 6),
+        (RuleId::MetricsNaming, 7),
+        (RuleId::PanicReachability, 8),
+        (RuleId::HotPathBlocking, 9),
+        (RuleId::OrderingProtocol, 10),
+        (RuleId::EpochDiscipline, 11),
+        (RuleId::BoundsProof, 12),
+        (RuleId::LockOrder, 13),
+        (RuleId::DeadlinePropagation, 14),
+        (RuleId::DeadAnnotation, 15),
+    ];
+    assert_eq!(ALL_RULES.len(), expected.len());
+    for (rule, idx) in expected {
+        assert_eq!(ALL_RULES[idx], rule, "{} moved", rule.name());
+    }
+}
+
+#[test]
 fn allow_disables_each_rule() {
     // `--allow <rule>` maps to removing the rule from the enabled set;
     // with its rule disabled, every fail fixture lints clean.
-    let cases: [(RuleId, &str, &str); 12] = [
+    let cases: [(RuleId, &str, &str); 16] = [
         (
             RuleId::SafetyComment,
             "safety_comment",
@@ -655,6 +888,26 @@ fn allow_disables_each_rule() {
             RuleId::EpochDiscipline,
             "epoch_discipline",
             "crates/core/src/cache.rs",
+        ),
+        (
+            RuleId::BoundsProof,
+            "bounds_proof",
+            "crates/engine/src/edge_map.rs",
+        ),
+        (
+            RuleId::LockOrder,
+            "lock_order",
+            "crates/core/src/sharded.rs",
+        ),
+        (
+            RuleId::DeadlinePropagation,
+            "deadline_propagation",
+            "crates/core/src/frontdoor.rs",
+        ),
+        (
+            RuleId::DeadAnnotation,
+            "dead_annotation",
+            "crates/core/src/checkpoint.rs",
         ),
     ];
     for (rule, dir, path) in cases {

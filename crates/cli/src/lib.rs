@@ -36,6 +36,9 @@
 //!                       printed in the report
 //!   --trace-out PATH    append structured trace events (JSON lines) to
 //!                       PATH while the session runs
+//!   --flight-out PATH   enable causal span tracing and append automatic
+//!                       flight-recorder dumps (quarantine, SLO breach,
+//!                       shed spike) to PATH as JSON lines
 //!
 //! front door (serve mode):
 //!   --listen HOST:PORT  after replaying --stream, serve HTTP ingestion
@@ -54,6 +57,11 @@
 //!                       without an address: print this process's metric
 //!                       registry; with one: scrape a running serve-mode
 //!                       session's /metrics/json and pretty-print it
+//!   gbolt trace [--metrics-addr A]
+//!                       without an address: print this process's flight
+//!                       recorder (recent span trees) and latest critical-
+//!                       path report; with one: scrape a running session's
+//!                       /debug/flight and /debug/critical
 //! ```
 //!
 //! The binary is a thin wrapper over [`run`], which is exercised directly
@@ -116,6 +124,9 @@ pub struct Options {
     pub metrics_addr: Option<String>,
     /// Write structured trace events (JSONL) here (serve mode).
     pub trace_out: Option<String>,
+    /// Enable span tracing and write flight-recorder dumps (JSONL)
+    /// here (serve mode).
+    pub flight_out: Option<String>,
     /// Worker threads for the global pool (`None` = machine default).
     pub threads: Option<usize>,
     /// Bind the HTTP front door here after the stream replay (serve
@@ -155,6 +166,7 @@ impl Default for Options {
             resume: false,
             metrics_addr: None,
             trace_out: None,
+            flight_out: None,
             threads: None,
             listen: None,
             admit_interactive: None,
@@ -219,6 +231,7 @@ impl Options {
                 "--resume" => opts.resume = true,
                 "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
                 "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+                "--flight-out" => opts.flight_out = Some(value("--flight-out")?),
                 "--threads" => opts.threads = Some(parse_num(&value("--threads")?, "--threads")?),
                 "--listen" => opts.listen = Some(value("--listen")?),
                 "--admit-interactive" => {
@@ -237,10 +250,11 @@ impl Options {
                 other => return Err(format!("unknown option {other}\n{}", usage())),
             }
         }
-        // The `stats` subcommand inspects a metrics endpoint (or this
-        // process's registry) — it takes no graph and no serve session.
-        let is_stats = opts.algorithm == "stats";
-        if opts.graph.is_empty() && !is_stats {
+        // The `stats` and `trace` subcommands inspect a running endpoint
+        // (or this process's registry / span ring) — they take no graph
+        // and no serve session.
+        let is_observer = matches!(opts.algorithm.as_str(), "stats" | "trace");
+        if opts.graph.is_empty() && !is_observer {
             return Err(format!("--graph is required\n{}", usage()));
         }
         if opts.iterations == 0 {
@@ -255,11 +269,16 @@ impl Options {
         if opts.resume && opts.checkpoint_dir.is_none() {
             return Err("--resume requires --checkpoint-dir".to_string());
         }
-        if opts.metrics_addr.is_some() && !(opts.serve || is_stats) {
-            return Err("--metrics-addr requires --serve (or the stats subcommand)".to_string());
+        if opts.metrics_addr.is_some() && !(opts.serve || is_observer) {
+            return Err(
+                "--metrics-addr requires --serve (or the stats/trace subcommands)".to_string()
+            );
         }
         if opts.trace_out.is_some() && !opts.serve {
             return Err("--trace-out requires --serve".to_string());
+        }
+        if opts.flight_out.is_some() && !opts.serve {
+            return Err("--flight-out requires --serve".to_string());
         }
         if opts.listen.is_some() && !opts.serve {
             return Err("--listen requires --serve".to_string());
@@ -297,9 +316,11 @@ pub fn usage() -> String {
      [--threads N] \
      [--serve [--queue-capacity N] [--checkpoint-dir D] [--checkpoint-every N] \
      [--checkpoint-keep N] [--resume] [--metrics-addr HOST:PORT] [--trace-out PATH] \
+     [--flight-out PATH] \
      [--listen HOST:PORT [--admit-interactive R[:B]] [--admit-bulk R[:B]] \
      [--admit-best-effort R[:B]] [--deadline-ms N]]]\n\
-     \x20      gbolt stats [--metrics-addr HOST:PORT]"
+     \x20      gbolt stats [--metrics-addr HOST:PORT]\n\
+     \x20      gbolt trace [--metrics-addr HOST:PORT]"
         .to_string()
 }
 
@@ -337,6 +358,9 @@ fn load_stream(opts: &Options) -> Result<Vec<MutationBatch>, String> {
 pub fn run(opts: &Options) -> Result<String, String> {
     if opts.algorithm == "stats" {
         return run_stats(opts);
+    }
+    if opts.algorithm == "trace" {
+        return run_trace(opts);
     }
     if let Some(threads) = opts.threads {
         // Best effort: the global pool freezes at its first use, so a
@@ -505,6 +529,17 @@ fn drive_serve<A: Algorithm<Value = f64, Agg = f64> + Clone + 'static>(
         }
         None => None,
     };
+    if let Some(path) = &opts.flight_out {
+        // Span tracing is otherwise armed lazily by the front door;
+        // --flight-out opts the whole serve run in so stream-replay
+        // batches are attributed too, and installs the dump sink.
+        telemetry::span::enable();
+        telemetry::span::configure(telemetry::span::FlightConfig {
+            dump_path: Some(std::path::PathBuf::from(path)),
+            ..telemetry::span::FlightConfig::default()
+        });
+        let _ = writeln!(report, "flight dumps: {path}");
+    }
     let _trace = match &opts.trace_out {
         Some(path) => {
             let sink = std::sync::Arc::new(
@@ -702,6 +737,27 @@ fn run_stats(opts: &Options) -> Result<String, String> {
         }
         None => Ok(render_local_stats()),
     }
+}
+
+/// `gbolt trace`: dump the flight recorder (recent span trees) and the
+/// latest per-batch critical-path report, either scraped from a running
+/// serve-mode session (`--metrics-addr`) or from this process's ring.
+fn run_trace(opts: &Options) -> Result<String, String> {
+    let (flight, critical) = match &opts.metrics_addr {
+        Some(addr) => (
+            http_get(addr, "/debug/flight")?,
+            http_get(addr, "/debug/critical")?,
+        ),
+        None => (
+            telemetry::span::flight_json(),
+            telemetry::span::critical_json(),
+        ),
+    };
+    Ok(format!(
+        "flight:\n{}critical:\n{}",
+        pretty_json(&flight),
+        pretty_json(&critical)
+    ))
 }
 
 /// Minimal HTTP/1.1 GET against `addr`, returning the response body.
@@ -1114,6 +1170,48 @@ mod tests {
         assert!(report.contains("graphbolt_batches_applied_total"), "{report}");
         assert!(report.contains("histograms"), "{report}");
         assert!(report.contains("graphbolt_batch_refine_ns"), "{report}");
+    }
+
+    #[test]
+    fn parse_trace_subcommand_needs_no_graph() {
+        let opts = Options::parse(["trace".to_string()]).unwrap();
+        assert_eq!(opts.algorithm, "trace");
+        let opts =
+            Options::parse(["trace", "--metrics-addr", "127.0.0.1:9090"].map(String::from))
+                .unwrap();
+        assert_eq!(opts.metrics_addr.as_deref(), Some("127.0.0.1:9090"));
+    }
+
+    #[test]
+    fn parse_rejects_flight_out_without_serve() {
+        let err = Options::parse(
+            ["pagerank", "--graph", "g", "--flight-out", "f.jsonl"].map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+    }
+
+    #[test]
+    fn trace_without_address_dumps_the_local_ring() {
+        let report = run(&Options {
+            algorithm: "trace".into(),
+            ..Options::default()
+        })
+        .unwrap();
+        assert!(report.contains("flight:"), "{report}");
+        assert!(report.contains("\"traces\""), "{report}");
+        assert!(report.contains("critical:"), "{report}");
+        assert!(report.contains("\"batches\""), "{report}");
+    }
+
+    #[test]
+    fn stats_surfaces_trace_drop_accounting() {
+        let report = run(&Options {
+            algorithm: "stats".into(),
+            ..Options::default()
+        })
+        .unwrap();
+        assert!(report.contains("graphbolt_trace_dropped_total"), "{report}");
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! admitting every interactive request, and the ingest→visible latency
 //! p99 scraped from `/metrics/json` must stay inside the SLO. Mixed
 //! traffic is driven over real TCP against the `gbolt` CLI entry point.
+//! Afterwards the flight recorder (`/debug/flight`) must hold complete
+//! span trees with zero orphans and `/debug/critical` a live per-batch
+//! critical-path report — the dump is preserved for the CI artifact via
+//! `GBOLT_FLIGHT_DUMP`.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -202,6 +206,40 @@ fn overloaded_front_door_sheds_bulk_admits_interactive_and_holds_the_slo() {
         p99 / 1e6,
         SLO_P99_NS / 1e6
     );
+
+    // The causal-tracing gate: after the mixed-traffic run the flight
+    // recorder must hold complete span trees with no orphaned spans,
+    // and refinement must have produced a critical-path report.
+    let (head, flight) = request(&addr, "GET", "/debug/flight", "", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(
+        json_number(&flight, "orphans"),
+        Some(0.0),
+        "orphaned spans mean a hop lost its trace context: {flight}"
+    );
+    assert!(
+        flight.contains("\"kind\":\"request\""),
+        "the ring must hold completed request trees: {flight}"
+    );
+    assert!(
+        flight.contains("\"name\":\"queue\"") && flight.contains("\"name\":\"service\""),
+        "queue and service time must be separately attributed: {flight}"
+    );
+    let (head, critical) = request(&addr, "GET", "/debug/critical", "", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        json_number(&critical, "batches").unwrap() >= 1.0,
+        "a zero critical-path report means batch attribution is dead: {critical}"
+    );
+    assert!(
+        json_number(&critical, "total_ns").unwrap() > 0.0,
+        "the attributed batch must have a wall clock: {critical}"
+    );
+
+    // Preserve the flight dump for the CI artifact when the job asks.
+    if let Ok(path) = std::env::var("GBOLT_FLIGHT_DUMP") {
+        std::fs::write(&path, format!("{flight}\n{critical}\n")).expect("write flight dump");
+    }
 
     let (head, _) = request(&addr, "POST", "/shutdown", "", "");
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");

@@ -339,6 +339,8 @@ impl AdmissionController {
     }
 
     /// Admission decision at an explicit clock (deterministic; tests).
+    /// A shed decision completes `trace`'s span tree with `shed`
+    /// status, so refused requests still leave a flight-recorder entry.
     ///
     /// # Errors
     ///
@@ -348,6 +350,7 @@ impl AdmissionController {
         class: ClientClass,
         cost: f64,
         now_nanos: u64,
+        trace: telemetry::TraceCtx,
     ) -> Result<(), RetryAfter> {
         let injected = crate::fault::fire_error("admission::admit");
         let scale = self.rate_scale(class);
@@ -379,19 +382,32 @@ impl AdmissionController {
                     class: class.name(),
                     retry_millis: millis,
                 });
+                telemetry::span::shed(trace, "admission_shed");
                 Err(RetryAfter { class, millis })
             }
         }
     }
 
-    /// Admission decision on the wall clock.
+    /// Admission decision on the wall clock. On success the decision is
+    /// recorded as an `admit` span under `trace`; a shed completes the
+    /// tree with `shed` status.
     ///
     /// # Errors
     ///
     /// [`RetryAfter`] when the class's bucket cannot cover `cost`.
-    pub fn admit(&self, class: ClientClass, cost: f64) -> Result<(), RetryAfter> {
+    pub fn admit(
+        &self,
+        class: ClientClass,
+        cost: f64,
+        trace: telemetry::TraceCtx,
+    ) -> Result<(), RetryAfter> {
+        let start = Instant::now();
         let now = telemetry::saturating_nanos(self.epoch.elapsed());
-        self.admit_at(class, cost, now)
+        let outcome = self.admit_at(class, cost, now, trace);
+        if outcome.is_ok() {
+            telemetry::span::child(trace, "admit", start, Instant::now());
+        }
+        outcome
     }
 
     /// Feeds the session's degrade level into the rate tightening (the
@@ -483,9 +499,9 @@ mod tests {
     #[test]
     fn controller_accounts_admit_and_shed() {
         let ctl = AdmissionController::new(config(10.0, 2.0));
-        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 0).is_ok());
-        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 0).is_ok());
-        let err = ctl.admit_at(ClientClass::Bulk, 1.0, 0).unwrap_err();
+        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 0, telemetry::TraceCtx::disabled()).is_ok());
+        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 0, telemetry::TraceCtx::disabled()).is_ok());
+        let err = ctl.admit_at(ClientClass::Bulk, 1.0, 0, telemetry::TraceCtx::disabled()).unwrap_err();
         assert_eq!(err.class, ClientClass::Bulk);
         assert!(err.millis >= 1);
         let snap = ctl.snapshot();
@@ -499,18 +515,18 @@ mod tests {
     fn degradation_tightens_noninteractive_only() {
         let ctl = AdmissionController::new(config(10.0, 1.0));
         // Drain both buckets at t=0.
-        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 0).is_ok());
-        assert!(ctl.admit_at(ClientClass::Interactive, 1.0, 0).is_ok());
+        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 0, telemetry::TraceCtx::disabled()).is_ok());
+        assert!(ctl.admit_at(ClientClass::Interactive, 1.0, 0, telemetry::TraceCtx::disabled()).is_ok());
         ctl.observe_degrade(DegradeLevel::DroppedStore);
         // 100 ms refills a full token at rate 10, but bulk now runs at
         // quarter rate — only interactive is whole again.
-        assert!(ctl.admit_at(ClientClass::Interactive, 1.0, 100_000_000).is_ok());
-        let err = ctl.admit_at(ClientClass::Bulk, 1.0, 100_000_000).unwrap_err();
+        assert!(ctl.admit_at(ClientClass::Interactive, 1.0, 100_000_000, telemetry::TraceCtx::disabled()).is_ok());
+        let err = ctl.admit_at(ClientClass::Bulk, 1.0, 100_000_000, telemetry::TraceCtx::disabled()).unwrap_err();
         // 0.25 tokens banked; 0.75 deficit at 2.5/s = 300 ms.
         assert_eq!(err.millis, 300);
         // Recovery restores the full rate.
         ctl.observe_degrade(DegradeLevel::None);
-        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 200_000_000).is_ok());
+        assert!(ctl.admit_at(ClientClass::Bulk, 1.0, 200_000_000, telemetry::TraceCtx::disabled()).is_ok());
         assert_eq!(ctl.snapshot().degrade, 0);
     }
 

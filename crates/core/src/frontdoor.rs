@@ -42,6 +42,7 @@ use graphbolt_graph::Edge;
 use crate::admission::{AdmissionController, ClientClass, RetryAfter};
 use crate::algorithm::Algorithm;
 use crate::session::{SessionError, StreamSession};
+use crate::telemetry;
 use crate::telemetry::http::{respond, route_observability, Request};
 
 /// Front-door tuning knobs.
@@ -85,6 +86,10 @@ impl FrontDoor {
     {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // A live front door turns causal tracing on: every admitted
+        // request gets a span tree in the flight recorder. Engine-only
+        // and bench paths never bind a door and pay one load per site.
+        telemetry::span::enable();
         let stop = Arc::new(WorkCounter::new());
         let shutdown_requested = Arc::new(WorkCounter::new());
         let stop_thread = Arc::clone(&stop);
@@ -242,20 +247,25 @@ fn respond_session_error(stream: &mut TcpStream, err: &SessionError) {
     }
 }
 
-/// Per-request context parsed from headers: class + deadline.
+/// Per-request context: class + deadline parsed from headers, plus the
+/// causal trace minted for this request at the front door.
 struct RequestContext {
     class: ClientClass,
     deadline: Option<Instant>,
+    trace: telemetry::TraceCtx,
 }
 
 /// Resolves class and deadline headers; `default_class` is the
 /// endpoint's class when the client names none. A malformed header is a
 /// parse error (the caller answers 400) rather than a silent default —
-/// misclassified traffic would dodge its bucket.
+/// misclassified traffic would dodge its bucket. `trace` is the span
+/// context the handler minted before parsing (so parse failures can
+/// still conclude the trace).
 fn request_context(
     request: &Request,
     default_class: ClientClass,
     config: FrontDoorConfig,
+    trace: telemetry::TraceCtx,
 ) -> Result<RequestContext, String> {
     let class = match request.header("x-client-class") {
         Some(raw) => {
@@ -272,7 +282,7 @@ fn request_context(
         }
         None => config.default_deadline.map(|d| Instant::now() + d),
     };
-    Ok(RequestContext { class, deadline })
+    Ok(RequestContext { class, deadline, trace })
 }
 
 /// One parsed mutation from a request body.
@@ -457,9 +467,11 @@ fn serve_update<A>(
 ) where
     A: Algorithm<Value = f64> + 'static,
 {
-    let ctx = match request_context(request, ClientClass::Interactive, config) {
+    let trace = telemetry::span::mint(request.header("x-request-id"));
+    let ctx = match request_context(request, ClientClass::Interactive, config, trace) {
         Ok(ctx) => ctx,
         Err(detail) => {
+            telemetry::span::complete(trace, "bad_request");
             respond(
                 stream,
                 "400 Bad Request",
@@ -476,6 +488,7 @@ fn serve_update<A>(
     {
         Ok(m) => m,
         Err(detail) => {
+            telemetry::span::complete(trace, "bad_request");
             respond(
                 stream,
                 "400 Bad Request",
@@ -486,11 +499,11 @@ fn serve_update<A>(
             return;
         }
     };
-    if let Err(err) = admission.admit(ctx.class, 1.0) {
+    if let Err(err) = admission.admit(ctx.class, 1.0, ctx.trace) {
         respond_retry_after(stream, &err);
         return;
     }
-    match session.singleton(mutation.edge(), mutation.add, ctx.deadline) {
+    match session.singleton(mutation.edge(), mutation.add, ctx.deadline, ctx.trace) {
         Ok(()) => respond(
             stream,
             "202 Accepted",
@@ -498,7 +511,12 @@ fn serve_update<A>(
             &[],
             "{\"accepted\":1,\"fast_path\":true}",
         ),
-        Err(err) => respond_session_error(stream, &err),
+        Err(err) => {
+            // Deadline sheds already concluded the trace; any other
+            // session failure ends it here so it cannot leak as active.
+            telemetry::span::complete(ctx.trace, "session_error");
+            respond_session_error(stream, &err);
+        }
     }
 }
 
@@ -513,9 +531,11 @@ fn serve_batch<A>(
 ) where
     A: Algorithm<Value = f64> + 'static,
 {
-    let ctx = match request_context(request, ClientClass::Bulk, config) {
+    let trace = telemetry::span::mint(request.header("x-request-id"));
+    let ctx = match request_context(request, ClientClass::Bulk, config, trace) {
         Ok(ctx) => ctx,
         Err(detail) => {
+            telemetry::span::complete(trace, "bad_request");
             respond(
                 stream,
                 "400 Bad Request",
@@ -531,6 +551,7 @@ fn serve_batch<A>(
         .and_then(parse_batch)
     {
         Ok(m) if m.is_empty() => {
+            telemetry::span::complete(trace, "bad_request");
             respond(
                 stream,
                 "400 Bad Request",
@@ -542,6 +563,7 @@ fn serve_batch<A>(
         }
         Ok(m) => m,
         Err(detail) => {
+            telemetry::span::complete(trace, "bad_request");
             respond(
                 stream,
                 "400 Bad Request",
@@ -554,24 +576,22 @@ fn serve_batch<A>(
     };
     // A batch pays for every mutation it carries: one bulk request
     // cannot starve the interactive class by hiding volume in a body.
-    if let Err(err) = admission.admit(ctx.class, mutations.len() as f64) {
+    if let Err(err) = admission.admit(ctx.class, mutations.len() as f64, ctx.trace) {
         respond_retry_after(stream, &err);
         return;
     }
     let mut accepted = 0usize;
     for m in &mutations {
-        let result = match ctx.deadline {
-            Some(deadline) => session.mutate_within(m.edge(), m.add, deadline),
-            None if m.add => session.add(m.edge()),
-            None => session.delete(m.edge()),
-        };
-        match result {
+        // Every mutation of the batch rides the same trace: N queue /
+        // service span pairs under one request root.
+        match session.mutate_within(m.edge(), m.add, ctx.deadline, ctx.trace) {
             // lint:allow(float-accum) — integer request tally; the
             // statement merely sits near the f64 admission cost.
             Ok(()) => accepted += 1,
             Err(err) => {
                 // Partial acceptance is reported honestly: the client
                 // learns how many mutations made it in before the error.
+                telemetry::span::complete(ctx.trace, "session_error");
                 let body = format!(
                     "{{\"error\":\"{}\",\"accepted\":{accepted},\"submitted\":{}}}",
                     match err {
@@ -612,9 +632,11 @@ fn serve_query<A>(
 ) where
     A: Algorithm<Value = f64> + 'static,
 {
-    let ctx = match request_context(request, ClientClass::Interactive, config) {
+    let trace = telemetry::span::mint(request.header("x-request-id"));
+    let ctx = match request_context(request, ClientClass::Interactive, config, trace) {
         Ok(ctx) => ctx,
         Err(detail) => {
+            telemetry::span::complete(trace, "bad_request");
             respond(
                 stream,
                 "400 Bad Request",
@@ -625,17 +647,23 @@ fn serve_query<A>(
             return;
         }
     };
-    if let Err(err) = admission.admit(ctx.class, 1.0) {
+    if let Err(err) = admission.admit(ctx.class, 1.0, ctx.trace) {
         respond_retry_after(stream, &err);
         return;
     }
-    let values = match session.query_within(ctx.deadline) {
+    let service_start = Instant::now();
+    let values = match session.query_within(ctx.deadline, ctx.trace) {
         Ok(values) => values,
         Err(err) => {
+            telemetry::span::complete(ctx.trace, "session_error");
             respond_session_error(stream, &err);
             return;
         }
     };
+    // Queries have no visibility event: the service span covers the
+    // round-trip through the worker, and the tree completes here.
+    telemetry::span::child(ctx.trace, "service", service_start, Instant::now());
+    telemetry::span::complete(ctx.trace, "ok");
     let body = match request.query_param("vertex") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(v) if v < values.len() => {

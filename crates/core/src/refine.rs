@@ -508,10 +508,10 @@ pub fn refine<A: Algorithm>(
         m.refine_tag_ns.record_duration(tag_ns);
         m.refine_propagate_ns.record_duration(propagate_ns);
         m.refine_apply_ns.record_duration(apply_ns);
-        for (phase, elapsed) in [
-            (trace::RefinePhase::Tag, tag_ns),
-            (trace::RefinePhase::Propagate, propagate_ns),
-            (trace::RefinePhase::Apply, apply_ns),
+        for (phase, span_name, elapsed) in [
+            (trace::RefinePhase::Tag, "tag", tag_ns),
+            (trace::RefinePhase::Propagate, "propagate", propagate_ns),
+            (trace::RefinePhase::Apply, "apply", apply_ns),
         ] {
             // lint:allow(hot-path-blocking) — per-phase, not per-edge:
             // three events per refinement iteration, and emit() skips
@@ -521,6 +521,16 @@ pub fn refine<A: Algorithm>(
                 phase,
                 nanos: crate::telemetry::saturating_nanos(elapsed),
             });
+            // Same cadence for the span layer: a phase span under the
+            // thread's current batch trace, feeding the critical-path
+            // report; one load-and-branch when tracing is off.
+            if crate::telemetry::span::enabled() {
+                crate::telemetry::span::batch_phase(
+                    i as u64,
+                    span_name,
+                    crate::telemetry::saturating_nanos(elapsed),
+                );
+            }
         }
     }
 

@@ -50,14 +50,17 @@ use crate::streaming::{DegradeLevel, StreamingEngine};
 use crate::telemetry::{self, trace, TraceEvent};
 
 /// One edge mutation in flight: the edge, its direction, when the
-/// producer submitted it (feeds the ingest→visible histogram), and the
-/// deadline past which the worker sheds it unserved.
+/// producer submitted it (feeds the ingest→visible histogram), the
+/// deadline past which the worker sheds it unserved, and the causal
+/// trace it belongs to (queue/service spans are recorded against it
+/// when the mutation becomes visible).
 #[derive(Debug, Clone, Copy)]
 struct QueuedMutation {
     edge: Edge,
     add: bool,
     submitted: Instant,
     deadline: Option<Instant>,
+    trace: telemetry::TraceCtx,
 }
 
 /// Commands accepted by the session worker.
@@ -72,6 +75,7 @@ enum Command<V> {
     Query {
         reply: Sender<Result<Vec<V>, SessionError>>,
         deadline: Option<Instant>,
+        trace: telemetry::TraceCtx,
     },
     /// Apply everything buffered, then reply when done.
     Flush(Sender<()>),
@@ -430,7 +434,11 @@ impl<A: Algorithm + 'static> StreamSession<A> {
         })
     }
 
-    fn try_submit(&self, cmd: Command<A::Value>) -> Result<(), SessionError> {
+    fn try_submit(
+        &self,
+        cmd: Command<A::Value>,
+        trace: telemetry::TraceCtx,
+    ) -> Result<(), SessionError> {
         if crate::fault::fire_error("session::ingest") {
             return Err(SessionError::Injected);
         }
@@ -442,6 +450,11 @@ impl<A: Algorithm + 'static> StreamSession<A> {
                     telemetry::metrics().backpressure_rejections.inc();
                     let queue_capacity = self.queue_capacity;
                     trace::emit(|| TraceEvent::Backpressure { queue_capacity });
+                    // A zero-length marker span: the request hit a full
+                    // queue here (one per rejection, so a blocked
+                    // deadline loop shows its whole fight in the tree).
+                    let now = Instant::now();
+                    telemetry::span::child(trace, "backpressure", now, now);
                     SessionError::QueueFull
                 }
                 TrySendError::Disconnected(_) => SessionError::WorkerGone,
@@ -461,6 +474,7 @@ impl<A: Algorithm + 'static> StreamSession<A> {
             add: true,
             submitted: Instant::now(),
             deadline: None,
+            trace: telemetry::TraceCtx::disabled(),
         }))
     }
 
@@ -475,6 +489,7 @@ impl<A: Algorithm + 'static> StreamSession<A> {
             add: false,
             submitted: Instant::now(),
             deadline: None,
+            trace: telemetry::TraceCtx::disabled(),
         }))
     }
 
@@ -485,12 +500,16 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     /// [`SessionError::QueueFull`] when the bounded queue is full right
     /// now, [`SessionError::WorkerGone`] when the session has died.
     pub fn try_add(&self, e: Edge) -> Result<(), SessionError> {
-        self.try_submit(Command::Mutate(QueuedMutation {
-            edge: e,
-            add: true,
-            submitted: Instant::now(),
-            deadline: None,
-        }))
+        self.try_submit(
+            Command::Mutate(QueuedMutation {
+                edge: e,
+                add: true,
+                submitted: Instant::now(),
+                deadline: None,
+                trace: telemetry::TraceCtx::disabled(),
+            }),
+            telemetry::TraceCtx::disabled(),
+        )
     }
 
     /// Non-blocking deletion.
@@ -499,19 +518,24 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// See [`StreamSession::try_add`].
     pub fn try_delete(&self, e: Edge) -> Result<(), SessionError> {
-        self.try_submit(Command::Mutate(QueuedMutation {
-            edge: e,
-            add: false,
-            submitted: Instant::now(),
-            deadline: None,
-        }))
+        self.try_submit(
+            Command::Mutate(QueuedMutation {
+                edge: e,
+                add: false,
+                submitted: Instant::now(),
+                deadline: None,
+                trace: telemetry::TraceCtx::disabled(),
+            }),
+            telemetry::TraceCtx::disabled(),
+        )
     }
 
     /// Records a submit-side deadline shed: the request never consumed
-    /// queue capacity.
-    fn shed_before_enqueue() -> SessionError {
+    /// queue capacity, and its span tree (if any) completes as shed.
+    fn shed_before_enqueue(trace: telemetry::TraceCtx) -> SessionError {
         telemetry::metrics().deadline_shed.inc();
         trace::emit(|| TraceEvent::DeadlineShed { stage: "submit" });
+        telemetry::span::shed(trace, "deadline_shed");
         SessionError::DeadlineExceeded
     }
 
@@ -519,7 +543,11 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     /// submissions are shed before consuming queue capacity, and a full
     /// bounded queue is retried (short sleeps) only until the deadline.
     /// The deadline travels with the mutation — if it expires while
-    /// queued, the worker sheds it at dequeue.
+    /// queued, the worker sheds it at dequeue. With no deadline the
+    /// submit blocks under backpressure (the front door's traced
+    /// equivalent of [`StreamSession::add`] / [`StreamSession::delete`]).
+    /// The mutation carries `trace`, so its queue-wait and service time
+    /// land in the request's span tree when it becomes visible.
     ///
     /// # Errors
     ///
@@ -530,21 +558,27 @@ impl<A: Algorithm + 'static> StreamSession<A> {
         &self,
         e: Edge,
         add: bool,
-        deadline: Instant,
+        deadline: Option<Instant>,
+        trace: telemetry::TraceCtx,
     ) -> Result<(), SessionError> {
         let m = QueuedMutation {
             edge: e,
             add,
             submitted: Instant::now(),
-            deadline: Some(deadline),
+            deadline,
+            trace,
+        };
+        telemetry::span::note_enqueued(trace);
+        let Some(deadline) = deadline else {
+            return self.submit(Command::Mutate(m));
         };
         // The vendored channel has no deadline-aware blocking send, so
         // backpressure inside the budget is a try/sleep loop.
         loop {
             if Instant::now() >= deadline {
-                return Err(Self::shed_before_enqueue());
+                return Err(Self::shed_before_enqueue(trace));
             }
-            match self.try_submit(Command::Mutate(m)) {
+            match self.try_submit(Command::Mutate(m), trace) {
                 Err(SessionError::QueueFull) => {
                     std::thread::sleep(Duration::from_micros(100));
                 }
@@ -567,21 +601,24 @@ impl<A: Algorithm + 'static> StreamSession<A> {
         e: Edge,
         add: bool,
         deadline: Option<Instant>,
+        trace: telemetry::TraceCtx,
     ) -> Result<(), SessionError> {
         let m = QueuedMutation {
             edge: e,
             add,
             submitted: Instant::now(),
             deadline,
+            trace,
         };
+        telemetry::span::note_enqueued(trace);
         let Some(deadline) = deadline else {
             return self.submit(Command::Singleton(m));
         };
         loop {
             if Instant::now() >= deadline {
-                return Err(Self::shed_before_enqueue());
+                return Err(Self::shed_before_enqueue(trace));
             }
-            match self.try_submit(Command::Singleton(m)) {
+            match self.try_submit(Command::Singleton(m), trace) {
                 Err(SessionError::QueueFull) => {
                     std::thread::sleep(Duration::from_micros(100));
                 }
@@ -596,7 +633,7 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     ///
     /// [`SessionError::WorkerGone`] when the session has died.
     pub fn query(&self) -> Result<Vec<A::Value>, SessionError> {
-        self.query_within(None)
+        self.query_within(None, telemetry::TraceCtx::disabled())
     }
 
     /// [`StreamSession::query`] with a deadline: an already-expired
@@ -610,14 +647,16 @@ impl<A: Algorithm + 'static> StreamSession<A> {
     pub fn query_within(
         &self,
         deadline: Option<Instant>,
+        trace: telemetry::TraceCtx,
     ) -> Result<Vec<A::Value>, SessionError> {
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            return Err(Self::shed_before_enqueue());
+            return Err(Self::shed_before_enqueue(trace));
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.submit(Command::Query {
             reply: reply_tx,
             deadline,
+            trace,
         })?;
         match deadline {
             Some(d) => reply_rx.recv_deadline(d).map_err(|e| match e {
@@ -679,15 +718,26 @@ struct WorkerState<A: Algorithm> {
     stats: SessionStats,
     dead_letters: Vec<DeadLetter>,
     pending: MutationBatch,
-    /// Submission timestamps of the mutations in `pending`, recorded
-    /// into the ingest→visible histogram once a query-consistent state
-    /// reflecting them is reached (dropped on quarantine — those
-    /// mutations never became visible).
-    pending_stamps: Vec<Instant>,
+    /// Submission/dequeue timestamps and trace contexts of the
+    /// mutations in `pending`: recorded into the ingest→visible
+    /// histogram and each mutation's span tree (queue vs. service
+    /// decomposition) once a query-consistent state reflecting them is
+    /// reached. On quarantine the traces are completed as quarantined —
+    /// those mutations never became visible.
+    pending_stamps: Vec<PendingStamp>,
     batches_since_checkpoint: usize,
     checkpoint_seq: u64,
     /// Shared queue-occupancy counter (see [`StreamSession::depth`]).
     depth: Arc<WorkCounter>,
+}
+
+/// Lifecycle timestamps of one pending mutation, plus the causal trace
+/// its queue/service spans are recorded against at visibility.
+#[derive(Debug, Clone, Copy)]
+struct PendingStamp {
+    submitted: Instant,
+    dequeued: Instant,
+    trace: telemetry::TraceCtx,
 }
 
 /// True when `deadline` has passed at dequeue time, or the
@@ -734,6 +784,7 @@ impl<A: Algorithm> WorkerState<A> {
     fn buffer_mutation(&mut self, m: QueuedMutation) {
         if deadline_expired(m.deadline) {
             self.shed_deadline("mutation");
+            telemetry::span::shed(m.trace, "deadline_shed");
             return;
         }
         if m.add {
@@ -741,7 +792,11 @@ impl<A: Algorithm> WorkerState<A> {
         } else {
             self.pending.delete(m.edge);
         }
-        self.pending_stamps.push(m.submitted);
+        self.pending_stamps.push(PendingStamp {
+            submitted: m.submitted,
+            dequeued: Instant::now(),
+            trace: m.trace,
+        });
     }
 
     /// Fast path for singleton updates: flush the backlog, then apply
@@ -750,6 +805,7 @@ impl<A: Algorithm> WorkerState<A> {
     fn apply_singleton(&mut self, m: QueuedMutation, config: &SessionConfig<A>) {
         if deadline_expired(m.deadline) {
             self.shed_deadline("singleton");
+            telemetry::span::shed(m.trace, "deadline_shed");
             return;
         }
         self.apply_pending(config);
@@ -758,23 +814,31 @@ impl<A: Algorithm> WorkerState<A> {
         } else {
             self.pending.delete(m.edge);
         }
-        self.pending_stamps.push(m.submitted);
+        self.pending_stamps.push(PendingStamp {
+            submitted: m.submitted,
+            dequeued: Instant::now(),
+            trace: m.trace,
+        });
         self.stats.singletons += 1;
         telemetry::metrics().singleton_fast_path.inc();
         self.apply_pending(config);
     }
 
     /// Records submit→visible latency for mutations whose effect (apply
-    /// or normalize-away) is now reflected in the served state.
-    fn record_visible(stamps: Vec<Instant>) {
+    /// or normalize-away) is now reflected in the served state, and
+    /// closes each mutation's span tree with its queue-wait (submit →
+    /// dequeue) and service (dequeue → visible) spans.
+    fn record_visible(stamps: Vec<PendingStamp>) {
         if stamps.is_empty() {
             return;
         }
         let m = telemetry::metrics();
         let now = Instant::now();
-        for submitted in stamps {
-            m.ingest_visible_latency_ns
-                .record(telemetry::saturating_nanos(now.saturating_duration_since(submitted)));
+        for stamp in stamps {
+            m.ingest_visible_latency_ns.record(telemetry::saturating_nanos(
+                now.saturating_duration_since(stamp.submitted),
+            ));
+            telemetry::span::queue_service(stamp.trace, stamp.submitted, stamp.dequeued, now);
         }
     }
 
@@ -800,18 +864,27 @@ impl<A: Algorithm> WorkerState<A> {
             mutations,
             queue_depth,
         });
+        // The refinement batch gets its own trace: many request traces
+        // fan into one batch, recorded as follows-from links. While it
+        // is the thread's current batch, refinement-phase and edge_map
+        // samples attribute to it.
+        let follows: Vec<telemetry::TraceCtx> = stamps.iter().map(|s| s.trace).collect();
+        let batch_trace = telemetry::span::begin_batch(&follows);
         let engine = &mut self.engine;
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| engine.apply_batch(&batch)));
         match outcome {
             Ok(Ok(_report)) => {
                 self.stats.mutations_applied += batch.len();
                 Self::record_visible(stamps);
-                self.maybe_checkpoint(config);
+                self.maybe_checkpoint(config, batch_trace);
+                telemetry::span::end_batch(batch_trace, "ok");
             }
             Ok(Err(err)) => {
                 // Normalization should prevent this; quarantine rather
                 // than trust a batch the engine rejected. The stamps are
-                // dropped — quarantined mutations never become visible.
+                // dropped — quarantined mutations never become visible,
+                // so their traces complete as quarantined instead.
+                Self::complete_quarantined(&stamps, batch_trace);
                 self.quarantine(batch, err.to_string(), config.max_dead_letters);
             }
             Err(payload) => {
@@ -826,6 +899,10 @@ impl<A: Algorithm> WorkerState<A> {
                     mutations,
                     reason: reason.clone(),
                 });
+                // Close the batch trace (triggering a flight dump)
+                // before run_initial, so the rebuild's edge_map samples
+                // don't attribute to the dead batch.
+                Self::complete_quarantined(&stamps, batch_trace);
                 self.quarantine(batch, reason, config.max_dead_letters);
                 self.engine.run_initial();
                 trace::emit(|| TraceEvent::SessionRebuilt);
@@ -838,7 +915,17 @@ impl<A: Algorithm> WorkerState<A> {
         }
     }
 
-    fn maybe_checkpoint(&mut self, config: &SessionConfig<A>) {
+    /// Completes the span trees of a quarantined batch: every mutation
+    /// trace and the batch trace itself end with `quarantined` status
+    /// (which also triggers an automatic flight-recorder dump).
+    fn complete_quarantined(stamps: &[PendingStamp], batch_trace: telemetry::TraceCtx) {
+        for stamp in stamps {
+            telemetry::span::complete(stamp.trace, "quarantined");
+        }
+        telemetry::span::end_batch(batch_trace, "quarantined");
+    }
+
+    fn maybe_checkpoint(&mut self, config: &SessionConfig<A>, batch_trace: telemetry::TraceCtx) {
         let Some(policy) = &config.checkpoint else {
             return;
         };
@@ -856,7 +943,11 @@ impl<A: Algorithm> WorkerState<A> {
         self.checkpoint_seq += 1;
         let seq = self.checkpoint_seq;
         let start = std::time::Instant::now();
-        match (policy.write)(&policy.dir, &self.engine, seq) {
+        let outcome = (policy.write)(&policy.dir, &self.engine, seq);
+        // The checkpoint stall lands in the batch's span tree either
+        // way — a failed write still spent the wall clock.
+        telemetry::span::batch_checkpoint(batch_trace, start, Instant::now());
+        match outcome {
             Ok(_) => {
                 let nanos = telemetry::saturating_nanos(start.elapsed());
                 self.stats.checkpoints_written += 1;
@@ -910,9 +1001,10 @@ fn worker_loop<A: Algorithm>(
         match cmd {
             Command::Mutate(m) => ws.buffer_mutation(m),
             Command::Singleton(m) => ws.apply_singleton(m, &config),
-            Command::Query { reply, deadline } => {
+            Command::Query { reply, deadline, trace } => {
                 if deadline_expired(deadline) {
                     ws.shed_deadline("query");
+                    telemetry::span::shed(trace, "deadline_shed");
                     let _ = reply.send(Err(SessionError::DeadlineExceeded));
                 } else {
                     ws.apply_pending(&config);
@@ -1278,11 +1370,11 @@ mod tests {
         let session = StreamSession::spawn(engine());
         let past = Instant::now() - Duration::from_millis(10);
         assert_eq!(
-            session.mutate_within(Edge::new(0, 3, 1.0), true, past),
+            session.mutate_within(Edge::new(0, 3, 1.0), true, Some(past), telemetry::TraceCtx::disabled()),
             Err(SessionError::DeadlineExceeded)
         );
         assert_eq!(
-            session.query_within(Some(past)),
+            session.query_within(Some(past), telemetry::TraceCtx::disabled()),
             Err(SessionError::DeadlineExceeded)
         );
         let outcome = session.finish().unwrap();
@@ -1377,7 +1469,7 @@ mod tests {
         // bare `recv()` here blocked until refinement finished.
         session.add(Edge::new(0, 2, 1.0)).unwrap();
         let waited = Instant::now();
-        let result = session.query_within(Some(waited + Duration::from_millis(30)));
+        let result = session.query_within(Some(waited + Duration::from_millis(30)), telemetry::TraceCtx::disabled());
         assert_eq!(result, Err(SessionError::DeadlineExceeded));
         assert!(
             waited.elapsed() < Duration::from_millis(400),
@@ -1393,9 +1485,9 @@ mod tests {
         let session = StreamSession::spawn(engine());
         let deadline = Instant::now() + Duration::from_secs(30);
         session
-            .mutate_within(Edge::new(0, 3, 1.0), true, deadline)
+            .mutate_within(Edge::new(0, 3, 1.0), true, Some(deadline), telemetry::TraceCtx::disabled())
             .unwrap();
-        let values = session.query_within(Some(deadline)).unwrap();
+        let values = session.query_within(Some(deadline), telemetry::TraceCtx::disabled()).unwrap();
         assert_eq!(values.len(), 5);
         let outcome = session.finish().unwrap();
         assert!(outcome.engine.graph().has_edge(0, 3));
@@ -1405,12 +1497,13 @@ mod tests {
     #[test]
     fn singleton_fast_path_applies_immediately() {
         let session = StreamSession::spawn(engine());
-        session.singleton(Edge::new(0, 3, 1.0), true, None).unwrap();
+        session.singleton(Edge::new(0, 3, 1.0), true, None, telemetry::TraceCtx::disabled()).unwrap();
         session
             .singleton(
                 Edge::new(4, 0, 1.0),
                 false,
                 Some(Instant::now() + Duration::from_secs(30)),
+                telemetry::TraceCtx::disabled(),
             )
             .unwrap();
         session.flush().unwrap();

@@ -260,10 +260,16 @@ impl<A: Algorithm> StreamingEngine<A> {
             return;
         }
         self.degrade = to;
-        // lint:allow(panic-reachability) — false edge: `.set` here is
-        // the telemetry `Gauge::set` (atomic store), which name-based
-        // resolution confuses with `DependencyStore::set`.
+        // lint:allow(panic-reachability) — false edge: the `.set` calls
+        // here are the telemetry `Gauge::set` (atomic stores), which
+        // name-based resolution confuses with `DependencyStore::set`.
         telemetry::metrics().degrade_level.set(u64::from(to.index()));
+        // Degrade transitions change the footprint step-wise (pruning or
+        // dropping the store), so re-publish it at the transition rather
+        // than waiting for the next batch commit.
+        telemetry::metrics()
+            .store_bytes
+            .set(self.dependency_memory_bytes() as u64);
         trace::emit(|| TraceEvent::DegradeChanged {
             from: from.index(),
             to: to.index(),
@@ -415,10 +421,10 @@ impl<A: Algorithm> StreamingEngine<A> {
         m.mutations_applied.add(mutations as u64);
         m.batch_refine_ns.record_duration(report.duration);
         self.publish_work_telemetry(spent);
-        // lint:allow(panic-reachability) — false edge: `.record` here is
-        // the telemetry `Histogram::record`, which name-based resolution
-        // confuses with `DependencyStore::record`.
-        m.store_bytes.record(self.dependency_memory_bytes() as u64);
+        // lint:allow(panic-reachability) — false edge: `.set` here is
+        // the telemetry `Gauge::set` (atomic store), which name-based
+        // resolution confuses with `DependencyStore::set`.
+        m.store_bytes.set(self.dependency_memory_bytes() as u64);
         trace::emit(|| TraceEvent::BatchApplied {
             mutations,
             nanos: telemetry::saturating_nanos(report.duration),

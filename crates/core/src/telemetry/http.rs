@@ -152,6 +152,11 @@ pub fn route_observability(path: &str) -> Option<(&'static str, &'static str, St
             Some(("200 OK", "application/json", metrics().render_json()))
         }
         "/healthz" => Some(("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())),
+        // Flight recorder: recently completed span trees plus orphan /
+        // eviction bookkeeping (the CI overload gate scrapes this).
+        "/debug/flight" => Some(("200 OK", "application/json", super::span::flight_json())),
+        // Latest per-batch critical-path attribution.
+        "/debug/critical" => Some(("200 OK", "application/json", super::span::critical_json())),
         _ => None,
     }
 }

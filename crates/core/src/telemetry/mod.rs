@@ -22,6 +22,7 @@
 pub mod encode;
 pub mod hist;
 pub mod http;
+pub mod span;
 pub mod trace;
 
 use std::sync::OnceLock;
@@ -31,6 +32,7 @@ use graphbolt_engine::parallel::WorkCounter;
 use graphbolt_engine::profile;
 
 pub use hist::{BucketCount, Histogram, HistogramSnapshot};
+pub use span::TraceCtx;
 pub use trace::{JsonlSink, RefinePhase, RingBufferSink, TraceEvent, TraceSubscriber};
 
 /// A monotonically increasing counter with a registered name.
@@ -191,6 +193,16 @@ pub struct MetricsRegistry {
     pub deadline_shed: Counter,
     /// Singleton updates served by the batch-bypass fast path.
     pub singleton_fast_path: Counter,
+    /// Trace events silently evicted by a wrapping `RingBufferSink`.
+    pub trace_dropped: Counter,
+    /// Span trees completed into the flight recorder.
+    pub span_trees_completed: Counter,
+    /// Span recordings that referenced a trace no longer (or never)
+    /// active — should stay zero; the CI overload gate asserts on it.
+    pub span_orphans: Counter,
+    /// Automatic flight-recorder dumps triggered (quarantine, shed
+    /// spike, SLO breach).
+    pub span_flight_dumps: Counter,
 
     /// Commands currently queued for the session worker.
     pub queue_occupancy: Gauge,
@@ -200,6 +212,13 @@ pub struct MetricsRegistry {
     pub dependency_store_bytes: Gauge,
     /// Aggregation records currently held by the dependency store.
     pub stored_aggregations: Gauge,
+    /// Per-session dependency-store footprint in bytes, updated on
+    /// batch commit and on degrade transitions (ROADMAP item 5's
+    /// measurement hook).
+    pub store_bytes: Gauge,
+    /// Wall-clock-dominant refinement phase of the latest batch
+    /// (0 tag, 1 propagate, 2 apply), from the critical-path report.
+    pub span_critical_phase: Gauge,
 
     /// Per-batch end-to-end refinement latency (ns).
     pub batch_refine_ns: Histogram,
@@ -217,8 +236,12 @@ pub struct MetricsRegistry {
     pub queue_depth: Histogram,
     /// Per-checkpoint serialize + persist latency (ns).
     pub checkpoint_write_ns: Histogram,
-    /// Dependency-store bytes sampled after each batch.
-    pub store_bytes: Histogram,
+    /// Per-mutation time spent waiting in the session queue (ns), from
+    /// the span layer's queue/service decomposition.
+    pub span_queue_ns: Histogram,
+    /// Per-mutation service time — worker dequeue to value visible
+    /// (ns), from the span layer's queue/service decomposition.
+    pub span_service_ns: Histogram,
     /// End-to-end submit-accepted → value-visible latency (ns) per
     /// mutation; the SLO the overload CI gate enforces at p99.
     pub ingest_visible_latency_ns: Histogram,
@@ -333,6 +356,22 @@ impl MetricsRegistry {
                 "graphbolt_singleton_fast_path_total",
                 "Singleton updates served by the batch-bypass fast path",
             ),
+            trace_dropped: Counter::new(
+                "graphbolt_trace_dropped_total",
+                "Trace events evicted by a wrapping ring-buffer sink",
+            ),
+            span_trees_completed: Counter::new(
+                "graphbolt_span_trees_completed_total",
+                "Span trees completed into the flight recorder",
+            ),
+            span_orphans: Counter::new(
+                "graphbolt_span_orphans_total",
+                "Span recordings referencing a trace no longer active",
+            ),
+            span_flight_dumps: Counter::new(
+                "graphbolt_span_flight_dumps_total",
+                "Automatic flight-recorder dumps triggered",
+            ),
             queue_occupancy: Gauge::new(
                 "graphbolt_queue_occupancy",
                 "Commands currently queued for the session worker",
@@ -348,6 +387,14 @@ impl MetricsRegistry {
             stored_aggregations: Gauge::new(
                 "graphbolt_stored_aggregations",
                 "Aggregation records held by the dependency store",
+            ),
+            store_bytes: Gauge::new(
+                "graphbolt_store_bytes",
+                "Per-session dependency-store footprint in bytes",
+            ),
+            span_critical_phase: Gauge::new(
+                "graphbolt_span_critical_phase",
+                "Dominant refinement phase of the latest batch (0 tag, 1 propagate, 2 apply)",
             ),
             batch_refine_ns: Histogram::new(
                 "graphbolt_batch_refine_ns",
@@ -381,9 +428,13 @@ impl MetricsRegistry {
                 "graphbolt_checkpoint_write_ns",
                 "Per-checkpoint serialize and persist latency in nanoseconds",
             ),
-            store_bytes: Histogram::new(
-                "graphbolt_store_bytes",
-                "Dependency-store bytes sampled after each batch",
+            span_queue_ns: Histogram::new(
+                "graphbolt_span_queue_ns",
+                "Per-mutation session-queue wait in nanoseconds",
+            ),
+            span_service_ns: Histogram::new(
+                "graphbolt_span_service_ns",
+                "Per-mutation dequeue-to-visible service time in nanoseconds",
             ),
             ingest_visible_latency_ns: Histogram::new(
                 "graphbolt_ingest_visible_latency_ns",
@@ -393,7 +444,7 @@ impl MetricsRegistry {
     }
 
     /// All counters, registration order.
-    pub fn counters(&self) -> [&Counter; 25] {
+    pub fn counters(&self) -> [&Counter; 29] {
         [
             &self.batches_applied,
             &self.mutations_applied,
@@ -420,21 +471,27 @@ impl MetricsRegistry {
             &self.retry_after[2],
             &self.deadline_shed,
             &self.singleton_fast_path,
+            &self.trace_dropped,
+            &self.span_trees_completed,
+            &self.span_orphans,
+            &self.span_flight_dumps,
         ]
     }
 
     /// All gauges, registration order.
-    pub fn gauges(&self) -> [&Gauge; 4] {
+    pub fn gauges(&self) -> [&Gauge; 6] {
         [
             &self.queue_occupancy,
             &self.degrade_level,
             &self.dependency_store_bytes,
             &self.stored_aggregations,
+            &self.store_bytes,
+            &self.span_critical_phase,
         ]
     }
 
     /// All histograms, registration order.
-    pub fn histograms(&self) -> [&Histogram; 10] {
+    pub fn histograms(&self) -> [&Histogram; 11] {
         [
             &self.batch_refine_ns,
             &self.edge_map_ns,
@@ -444,7 +501,8 @@ impl MetricsRegistry {
             &self.refine_apply_ns,
             &self.queue_depth,
             &self.checkpoint_write_ns,
-            &self.store_bytes,
+            &self.span_queue_ns,
+            &self.span_service_ns,
             &self.ingest_visible_latency_ns,
         ]
     }
@@ -505,6 +563,12 @@ pub fn metrics() -> &'static MetricsRegistry {
 fn record_edge_map_sample(sample: profile::EdgeMapSample) {
     let m = metrics();
     m.edge_map_ns.record(sample.nanos);
+    // Critical-path attribution piggybacks on the same hook, so the
+    // engine hot path gains no new instrumentation site; when span
+    // recording is off this is one load-and-branch.
+    if span::enabled() {
+        span::edge_map_note(&sample);
+    }
     if sample.dense {
         m.edge_map_dense.inc();
     } else {

@@ -322,6 +322,10 @@ impl TraceSubscriber for RingBufferSink {
         if g.len() == self.capacity {
             g.pop_front();
             self.dropped.add(1);
+            // Loss accounting: a wrapped ring is silent data loss from
+            // the operator's point of view, so every eviction is also
+            // visible process-wide (`gbolt stats`, /metrics).
+            crate::telemetry::metrics().trace_dropped.inc();
         }
         g.push_back(event.clone());
     }

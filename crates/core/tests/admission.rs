@@ -83,7 +83,7 @@ proptest! {
             }
             let class = class_of(class_idx);
             submitted[class.index()] += 1;
-            let _ = ctl.admit_at(class, cost, now);
+            let _ = ctl.admit_at(class, cost, now, graphbolt_core::telemetry::TraceCtx::disabled());
         }
         let snap = ctl.snapshot();
         for class in graphbolt_core::admission::CLASSES {
@@ -120,7 +120,7 @@ proptest! {
                 scope.spawn(move || {
                     for i in 0..per_thread {
                         let class = class_of(t.wrapping_add(i as u8));
-                        let _ = ctl.admit(class, 1.0);
+                        let _ = ctl.admit(class, 1.0, graphbolt_core::telemetry::TraceCtx::disabled());
                     }
                 });
             }
@@ -150,7 +150,8 @@ proptest! {
             let result = session.mutate_within(
                 Edge::new(*src, *dst, *w),
                 !deletes,
-                Instant::now(),
+                Some(Instant::now()),
+                graphbolt_core::telemetry::TraceCtx::disabled(),
             );
             prop_assert_eq!(result, Err(SessionError::DeadlineExceeded));
         }
@@ -182,7 +183,7 @@ proptest! {
                 0 => drop(session.add(e)),
                 1 => drop(session.delete(e)),
                 2 => drop(session.try_add(e)),
-                3 => drop(session.mutate_within(e, true, Instant::now())),
+                3 => drop(session.mutate_within(e, true, Some(Instant::now()), graphbolt_core::telemetry::TraceCtx::disabled())),
                 _ => drop(session.flush()),
             }
             prop_assert!(

@@ -1,0 +1,318 @@
+//! Span-tree integrity suite: every admitted front-door request yields
+//! exactly one rooted, cycle-free span tree in the flight recorder,
+//! with queue and service time separately attributed and summing
+//! within the root span (DESIGN.md §10.3) — including through the
+//! fault-injected quarantine → rebuild path.
+//!
+//! The span recorder is process-global, so every test holds
+//! `telemetry::test_trace_lock()` for its full duration and calls
+//! `span::reset()` before exercising it.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use graphbolt_core::admission::{AdmissionConfig, AdmissionController};
+use graphbolt_core::doctest_support::DocRank;
+use graphbolt_core::telemetry::span::{self, CompletedTrace, TraceKind};
+use graphbolt_core::telemetry::{self};
+use graphbolt_core::{EngineOptions, FrontDoor, FrontDoorConfig, StreamSession, StreamingEngine};
+use graphbolt_graph::GraphBuilder;
+
+fn engine() -> StreamingEngine<DocRank> {
+    let g = GraphBuilder::new(6)
+        .add_edge(0, 1, 1.0)
+        .add_edge(1, 2, 1.0)
+        .add_edge(2, 3, 1.0)
+        .add_edge(3, 4, 1.0)
+        .add_edge(4, 5, 1.0)
+        .add_edge(5, 0, 1.0)
+        .build();
+    let mut e = StreamingEngine::new(g, DocRank, EngineOptions::with_iterations(8));
+    e.run_initial();
+    e
+}
+
+fn door() -> (FrontDoor, Arc<StreamSession<DocRank>>) {
+    let session = Arc::new(StreamSession::spawn(engine()));
+    let controller = Arc::new(AdmissionController::new(AdmissionConfig::default()));
+    let door = FrontDoor::bind(
+        "127.0.0.1:0",
+        Arc::clone(&session),
+        controller,
+        FrontDoorConfig::default(),
+    )
+    .expect("bind front door");
+    (door, session)
+}
+
+fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+fn post(addr: SocketAddr, path: &str, headers: &str, body: &str) -> String {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\n{headers}Content-Length: {}\r\n\r\n{body}",
+            body.len(),
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+/// Structural integrity of one completed tree: exactly one root (span 1,
+/// parent 0), every other span parented on an already-allocated span —
+/// sequential ids make any cycle impossible to express — and every
+/// span's interval contained in the root's. When the request carried at
+/// most one mutation the queue + service decomposition also sums within
+/// the root span; multi-mutation requests accumulate one queue/service
+/// pair per mutation and those waits overlap, so only containment (not
+/// the sum) is a wall-clock invariant there.
+fn assert_tree_integrity(t: &CompletedTrace) {
+    let roots: Vec<_> = t.spans.iter().filter(|s| s.parent_span_id == 0).collect();
+    assert_eq!(roots.len(), 1, "trace {} has {} roots", t.trace_id, roots.len());
+    let root = roots[0];
+    assert_eq!(root.span_id, 1, "root of trace {} is span 1", t.trace_id);
+
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(1u64);
+    for s in t.spans.iter().skip(1) {
+        assert!(
+            s.parent_span_id < s.span_id,
+            "trace {}: span {} parents forward onto {} (cycle)",
+            t.trace_id,
+            s.span_id,
+            s.parent_span_id
+        );
+        assert!(
+            seen.contains(&s.parent_span_id),
+            "trace {}: span {} has unknown parent {}",
+            t.trace_id,
+            s.span_id,
+            s.parent_span_id
+        );
+        assert!(s.end_ns >= s.start_ns, "span {} ends before it starts", s.span_id);
+        assert!(
+            s.start_ns >= root.start_ns && s.end_ns <= root.end_ns,
+            "trace {}: span {} [{}, {}] escapes the root [{}, {}]",
+            t.trace_id,
+            s.span_id,
+            s.start_ns,
+            s.end_ns,
+            root.start_ns,
+            root.end_ns
+        );
+        seen.insert(s.span_id);
+    }
+
+    let services = t.spans.iter().filter(|s| s.name == "service").count();
+    if services <= 1 {
+        assert!(
+            t.queue_ns + t.service_ns <= t.total_ns,
+            "trace {}: queue {} + service {} exceeds root total {}",
+            t.trace_id,
+            t.queue_ns,
+            t.service_ns,
+            t.total_ns
+        );
+    }
+}
+
+#[test]
+fn every_admitted_update_yields_one_rooted_cycle_free_tree() {
+    let _guard = telemetry::test_trace_lock();
+    span::enable();
+    span::reset();
+    let orphans_before = telemetry::metrics().span_orphans.get();
+
+    let (door, session) = door();
+    let addr = door.local_addr();
+    for (id, dst) in [("alpha", 2), ("beta", 3), ("gamma", 4)] {
+        let up = post(
+            addr,
+            "/update",
+            &format!("X-Request-Id: {id}\r\n"),
+            &format!("{{\"src\":0,\"dst\":{dst}}}"),
+        );
+        assert!(up.starts_with("HTTP/1.1 202"), "{up}");
+    }
+    let q = get(addr, "/query");
+    assert!(q.starts_with("HTTP/1.1 200"), "{q}");
+    door.shutdown();
+    drop(Arc::into_inner(session).expect("sole owner").finish().expect("finish"));
+
+    let traces = span::flight_traces();
+    // Three updates plus the query, each a request-kind tree.
+    let requests = traces.iter().filter(|t| t.kind == TraceKind::Request).count();
+    assert_eq!(
+        requests,
+        4,
+        "one tree per admitted request; ring holds: {:?}",
+        traces.iter().map(|t| (t.kind.name(), t.status)).collect::<Vec<_>>()
+    );
+    // An `X-Request-Id` maps to its trace id by a pure hash, so
+    // re-minting the same ids recovers each update's trace exactly.
+    let updates: Vec<&CompletedTrace> = ["alpha", "beta", "gamma"]
+        .iter()
+        .map(|id| {
+            let ctx = span::mint(Some(id));
+            let matches: Vec<_> = traces.iter().filter(|t| t.trace_id == ctx.trace_id).collect();
+            assert_eq!(matches.len(), 1, "exactly one tree for request id {id}");
+            matches[0]
+        })
+        .collect();
+
+    for t in &traces {
+        assert_tree_integrity(t);
+    }
+    for t in &updates {
+        assert_eq!(t.status, "ok");
+        assert!(t.service_ns > 0, "service time attributed");
+        assert!(
+            t.spans.iter().any(|s| s.name == "queue"),
+            "queue wait attributed as its own span"
+        );
+        assert!(
+            t.spans.iter().any(|s| s.name == "admit"),
+            "admission hop recorded"
+        );
+    }
+    assert_eq!(
+        telemetry::metrics().span_orphans.get(),
+        orphans_before,
+        "no span may land on an unknown trace"
+    );
+    span::reset();
+}
+
+#[test]
+fn batch_fan_in_links_follow_from_each_request_once() {
+    let _guard = telemetry::test_trace_lock();
+    span::enable();
+    span::reset();
+
+    let (door, session) = door();
+    let addr = door.local_addr();
+    let resp = post(
+        addr,
+        "/batch",
+        "X-Request-Id: fan-in\r\n",
+        "{\"mutations\":[{\"src\":0,\"dst\":2},{\"src\":1,\"dst\":3},{\"src\":2,\"dst\":4}]}",
+    );
+    assert!(resp.starts_with("HTTP/1.1 202"), "{resp}");
+    let q = get(addr, "/query");
+    assert!(q.starts_with("HTTP/1.1 200"), "{q}");
+    door.shutdown();
+    drop(Arc::into_inner(session).expect("sole owner").finish().expect("finish"));
+
+    let traces = span::flight_traces();
+    let ctx = span::mint(Some("fan-in"));
+    let request = traces
+        .iter()
+        .find(|t| t.trace_id == ctx.trace_id)
+        .expect("the batch request's tree completed");
+    assert_eq!(request.kind, TraceKind::Request);
+    assert_tree_integrity(request);
+
+    // The refinement batch coalesced three mutations from one request:
+    // its own trace links the request once (deduped), as follows-from
+    // rather than as a parent.
+    let batches: Vec<_> = traces.iter().filter(|t| t.kind == TraceKind::Batch).collect();
+    assert!(!batches.is_empty(), "refinement produced a batch trace");
+    let linked: Vec<_> = batches
+        .iter()
+        .filter(|b| b.follows_from.contains(&request.trace_id))
+        .collect();
+    assert!(!linked.is_empty(), "some batch must serve the request");
+    for b in &linked {
+        assert_eq!(
+            b.follows_from.iter().filter(|&&id| id == request.trace_id).count(),
+            1,
+            "fan-in link is per request, not per mutation"
+        );
+        assert_tree_integrity(b);
+    }
+    // Request trees never carry follows-from links themselves.
+    assert!(request.follows_from.is_empty());
+    span::reset();
+}
+
+#[cfg(feature = "fault-injection")]
+mod quarantine {
+    use super::*;
+    use graphbolt_core::fault::{arm, FaultAction};
+    use graphbolt_core::telemetry::span::FlightConfig;
+    use graphbolt_graph::Edge;
+
+    /// A panicking batch completes its request trees with `quarantined`
+    /// status and auto-dumps the flight ring, and the session's rebuild
+    /// leaves later requests tracing normally.
+    #[test]
+    fn quarantined_batch_completes_trees_and_dumps_flight_ring() {
+        let _guard = telemetry::test_trace_lock();
+        span::enable();
+        span::reset();
+        let dumps_before = telemetry::metrics().span_flight_dumps.get();
+
+        let dump_path = std::env::temp_dir().join(format!(
+            "gb-span-integrity-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&dump_path);
+        span::configure(FlightConfig {
+            dump_path: Some(dump_path.clone()),
+            ..FlightConfig::default()
+        });
+
+        let session = StreamSession::spawn(engine());
+        let doomed = span::mint(Some("doomed"));
+        arm("refine::start", FaultAction::Panic, 1);
+        session
+            .mutate_within(Edge::new(0, 3, 1.0), true, None, doomed)
+            .expect("enqueue");
+        session.flush().expect("flush");
+        // The rebuilt session serves a traced mutation normally.
+        let healthy = span::mint(Some("healthy"));
+        session
+            .mutate_within(Edge::new(1, 4, 1.0), true, None, healthy)
+            .expect("enqueue after rebuild");
+        let outcome = session.finish().expect("finish");
+        assert_eq!(outcome.stats.panics_recovered, 1);
+
+        let traces = span::flight_traces();
+        let doomed_tree = traces
+            .iter()
+            .find(|t| t.trace_id == doomed.trace_id)
+            .expect("quarantined request tree completed");
+        assert_eq!(doomed_tree.status, "quarantined");
+        assert_tree_integrity(doomed_tree);
+
+        let healthy_tree = traces
+            .iter()
+            .find(|t| t.trace_id == healthy.trace_id)
+            .expect("post-rebuild request tree completed");
+        assert_eq!(healthy_tree.status, "ok");
+        assert_tree_integrity(healthy_tree);
+        assert!(healthy_tree.service_ns > 0);
+
+        assert!(
+            telemetry::metrics().span_flight_dumps.get() > dumps_before,
+            "quarantine triggers an automatic dump"
+        );
+        let dumped = std::fs::read_to_string(&dump_path).expect("dump file written");
+        assert!(
+            dumped.lines().any(|l| l.contains("\"dump_reason\":\"quarantine\"")),
+            "dump lines are tagged with the trigger: {dumped}"
+        );
+        let _ = std::fs::remove_file(&dump_path);
+        span::configure(FlightConfig::default());
+    }
+}

@@ -482,8 +482,8 @@ impl CallGraph {
         let mut paths: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         for &r in roots {
-            if !paths.contains_key(&r) {
-                paths.insert(r, vec![r]);
+            if let std::collections::btree_map::Entry::Vacant(e) = paths.entry(r) {
+                e.insert(vec![r]);
                 queue.push_back(r);
             }
         }
@@ -498,10 +498,10 @@ impl CallGraph {
                     continue;
                 }
                 for target in self.resolve(cur, &site) {
-                    if !paths.contains_key(&target) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = paths.entry(target) {
                         let mut p = path.clone();
                         p.push(target);
-                        paths.insert(target, p);
+                        e.insert(p);
                         queue.push_back(target);
                     }
                 }
@@ -521,7 +521,7 @@ impl CallGraph {
             }
         };
         if path.len() <= 5 {
-            path.iter().map(|i| label(i)).collect::<Vec<_>>().join(" → ")
+            path.iter().map(label).collect::<Vec<_>>().join(" → ")
         } else {
             let head: Vec<String> = path[..2].iter().map(label).collect();
             let tail: Vec<String> = path[path.len() - 2..].iter().map(label).collect();

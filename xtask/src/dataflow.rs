@@ -190,8 +190,8 @@ fn prove_literal(toks: &[Token], open: usize, literal: &str) -> Result<(), Strin
         if tok.kind != TokKind::Ident || tok.text != base {
             continue;
         }
-        if !toks.get(i + 1).is_some_and(|t| t.text == ":")
-            || !toks.get(i + 2).is_some_and(|t| t.text == "[")
+        if toks.get(i + 1).is_none_or(|t| t.text != ":")
+            || toks.get(i + 2).is_none_or(|t| t.text != "[")
         {
             continue;
         }
@@ -477,7 +477,7 @@ pub fn lock_sites(scanned: &Scanned, body: (usize, usize)) -> Vec<LockSite> {
             || tok.text != "lock"
             || i == 0
             || toks[i - 1].text != "."
-            || !toks.get(i + 1).is_some_and(|t| t.text == "(")
+            || toks.get(i + 1).is_none_or(|t| t.text != "(")
         {
             continue;
         }

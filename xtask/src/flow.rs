@@ -330,7 +330,7 @@ pub fn atomic_accesses(scanned: &Scanned, impls: &[ImplBlock]) -> Vec<AtomicAcce
         if tok.kind != TokKind::Ident
             || i == 0
             || toks[i - 1].text != "."
-            || !toks.get(i + 1).is_some_and(|t| t.text == "(")
+            || toks.get(i + 1).is_none_or(|t| t.text != "(")
         {
             continue;
         }

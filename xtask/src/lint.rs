@@ -363,7 +363,7 @@ pub fn render_json_report(findings: &[Finding], stats: &LintStats) -> String {
 
 /// Renders findings as SARIF 2.1.0 (the format GitHub code scanning
 /// ingests, turning findings into PR annotations). One run, one rule
-/// table (all sixteen, appended in declaration order so the `ruleIndex`
+/// table (all seventeen, appended in declaration order so the `ruleIndex`
 /// of pre-existing rules stays stable), one result per finding.
 /// Graph-rule findings carry their witness chain as `codeFlows`, so
 /// code scanning shows the panic/lock/deadline path, not just the sink

@@ -1,4 +1,4 @@
-//! The sixteen workspace invariants enforced by `cargo xtask lint`.
+//! The seventeen workspace invariants enforced by `cargo xtask lint`.
 //!
 //! Policy lives here as code: the sanctioned-module tables below are the
 //! single source of truth for where `unsafe`, raw atomics, and thread
@@ -65,11 +65,15 @@ pub enum RuleId {
     /// Every waiver / `bounds:` / `ordering:` comment / `PANIC_ISOLATED`
     /// entry still suppresses a live finding; dead ones are errors.
     DeadAnnotation,
+    /// Every function reachable from a frontdoor request handler that
+    /// emits a `TraceEvent` must accept a `TraceCtx`, so the causal span
+    /// tree never loses a hop on the request path.
+    SpanDiscipline,
 }
 
-/// All rules, in reporting order. The four dataflow rules are appended
-/// so the SARIF `ruleIndex` of the first twelve stays stable.
-pub const ALL_RULES: [RuleId; 16] = [
+/// All rules, in reporting order. Later additions are appended so the
+/// SARIF `ruleIndex` of pre-existing rules stays stable.
+pub const ALL_RULES: [RuleId; 17] = [
     RuleId::SafetyComment,
     RuleId::UnsafeConfined,
     RuleId::ServiceNoPanic,
@@ -86,6 +90,7 @@ pub const ALL_RULES: [RuleId; 16] = [
     RuleId::LockOrder,
     RuleId::DeadlinePropagation,
     RuleId::DeadAnnotation,
+    RuleId::SpanDiscipline,
 ];
 
 impl RuleId {
@@ -108,6 +113,7 @@ impl RuleId {
             RuleId::LockOrder => "lock-order",
             RuleId::DeadlinePropagation => "deadline-propagation",
             RuleId::DeadAnnotation => "dead-annotation",
+            RuleId::SpanDiscipline => "span-discipline",
         }
     }
 
@@ -171,6 +177,10 @@ impl RuleId {
                 "no waiver, bounds/ordering comment, or PANIC_ISOLATED entry that suppresses \
                  nothing"
             }
+            RuleId::SpanDiscipline => {
+                "every TraceEvent-emitting function reachable from a frontdoor handler \
+                 accepts a TraceCtx"
+            }
         }
     }
 
@@ -187,6 +197,7 @@ impl RuleId {
                 | RuleId::LockOrder
                 | RuleId::DeadlinePropagation
                 | RuleId::DeadAnnotation
+                | RuleId::SpanDiscipline
         )
     }
 }
@@ -380,6 +391,11 @@ pub(crate) const DEADLINE_ROOTS: &[(&str, &str)] = &[
     ("crates/core/src/frontdoor.rs", "serve_batch"),
     ("crates/core/src/frontdoor.rs", "serve_query"),
 ];
+
+/// Path fragments exempt from `span-discipline`: the telemetry plumbing
+/// itself (the trace/span recorders construct and route `TraceEvent`s —
+/// they are the sink, not an attribution-losing hop on a request path).
+pub(crate) const SPAN_PLUMBING_OK: &[&str] = &["crates/core/src/telemetry/"];
 
 pub(crate) fn path_matches(path: &str, table: &[&str]) -> bool {
     table.iter().any(|ok| path == *ok || path.ends_with(ok))

@@ -1,0 +1,19 @@
+//! Negative fixture: `admit` emits a TraceEvent two calls below a
+//! request handler but accepts no TraceCtx, so the span tree loses
+//! the admission hop.
+
+pub fn serve_update() -> Result<(), Error> {
+    gate(1.0)
+}
+
+fn gate(cost: f64) -> Result<(), Error> {
+    admit(cost)
+}
+
+fn admit(cost: f64) -> Result<(), Error> {
+    if cost > 1.0 {
+        trace::emit(|| TraceEvent::RequestShed { cost });
+        return Err(Error::Shed);
+    }
+    Ok(())
+}

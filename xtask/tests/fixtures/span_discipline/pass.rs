@@ -1,0 +1,24 @@
+//! Every TraceEvent-emitting function below the request handlers
+//! threads the request's TraceCtx, so the span tree keeps every hop.
+
+pub fn serve_update(ctx: TraceCtx) -> Result<(), Error> {
+    admit(1.0, ctx)
+}
+
+fn admit(cost: f64, trace: TraceCtx) -> Result<(), Error> {
+    if cost > 1.0 {
+        trace::emit(|| TraceEvent::RequestShed { cost });
+        span::shed(trace, "admission_shed");
+        return Err(Error::Shed);
+    }
+    Ok(())
+}
+
+/// Emits nothing: needs no context, and must not be flagged.
+fn classify(cost: f64) -> u8 {
+    if cost > 1.0 {
+        1
+    } else {
+        0
+    }
+}

@@ -1,4 +1,4 @@
-//! Fixture-backed tests for the sixteen lint rules: each rule has one
+//! Fixture-backed tests for the seventeen lint rules: each rule has one
 //! passing and one violating fixture with an exact expected finding
 //! count, plus `--allow` behavior, the `--changed` restriction, and a
 //! whole-tree cleanliness check. The call-graph rules run through the
@@ -695,6 +695,60 @@ fn deadline_propagation_scoped_to_frontdoor_roots() {
     assert!(f.is_empty(), "{f:?}");
 }
 
+#[test]
+fn span_discipline_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        RuleId::SpanDiscipline,
+        "span_discipline",
+        "pass.rs",
+        "crates/core/src/frontdoor.rs",
+    );
+    assert!(f.is_empty(), "{}", render_text(&f));
+}
+
+#[test]
+fn span_discipline_fail_fixture_flags_the_contextless_emit() {
+    let f = lint_fixture(
+        RuleId::SpanDiscipline,
+        "span_discipline",
+        "fail.rs",
+        "crates/core/src/frontdoor.rs",
+    );
+    assert_eq!(f.len(), 1, "{}", render_text(&f));
+    assert_eq!(f[0].line, 15, "the emit inside the contextless callee");
+    assert!(f[0].message.contains("TraceCtx"), "{f:?}");
+    assert!(f[0].message.contains("serve_update"), "{f:?}");
+    // enter serve_update → enter gate → enter admit → the emit site.
+    assert_eq!(f[0].flow.len(), 4, "{:?}", f[0].flow);
+    assert_eq!(f[0].flow[3].line, 15);
+}
+
+#[test]
+fn span_discipline_scoped_to_frontdoor_roots() {
+    // The same contextless emit under a path with no request-handler
+    // roots is not this rule's business.
+    let f = lint_fixture(
+        RuleId::SpanDiscipline,
+        "span_discipline",
+        "fail.rs",
+        "crates/engine/src/edge_map.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn span_discipline_exempts_the_telemetry_plumbing() {
+    // The recorder plumbing constructs TraceEvents by design; linted
+    // under a telemetry path the same fixture stays clean.
+    let f = lint_fixture(
+        RuleId::SpanDiscipline,
+        "span_discipline",
+        "fail.rs",
+        "crates/core/src/telemetry/trace.rs",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
 fn lint_dead_annotation(name: &str) -> Vec<Finding> {
     // The dead-annotation rule needs the waived rule enabled to judge
     // waiver liveness: service-no-panic rides along.
@@ -796,7 +850,7 @@ fn sarif_code_flows_for_graph_findings() {
 }
 
 /// The first twelve rules keep their SARIF `ruleIndex` positions — CI
-/// dashboards key on them — and the four dataflow rules extend the
+/// dashboards key on them — and the five dataflow rules extend the
 /// table rather than reshuffling it.
 #[test]
 fn rule_index_table_is_stable() {
@@ -817,6 +871,7 @@ fn rule_index_table_is_stable() {
         (RuleId::LockOrder, 13),
         (RuleId::DeadlinePropagation, 14),
         (RuleId::DeadAnnotation, 15),
+        (RuleId::SpanDiscipline, 16),
     ];
     assert_eq!(ALL_RULES.len(), expected.len());
     for (rule, idx) in expected {
@@ -828,7 +883,7 @@ fn rule_index_table_is_stable() {
 fn allow_disables_each_rule() {
     // `--allow <rule>` maps to removing the rule from the enabled set;
     // with its rule disabled, every fail fixture lints clean.
-    let cases: [(RuleId, &str, &str); 16] = [
+    let cases: [(RuleId, &str, &str); 17] = [
         (
             RuleId::SafetyComment,
             "safety_comment",
@@ -908,6 +963,11 @@ fn allow_disables_each_rule() {
             RuleId::DeadAnnotation,
             "dead_annotation",
             "crates/core/src/checkpoint.rs",
+        ),
+        (
+            RuleId::SpanDiscipline,
+            "span_discipline",
+            "crates/core/src/frontdoor.rs",
         ),
     ];
     for (rule, dir, path) in cases {

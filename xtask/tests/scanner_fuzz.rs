@@ -205,7 +205,7 @@ fn character_soup_never_panics_and_stays_monotonic() {
             assert!(t.line <= total_lines, "seed {seed}: line past EOF: {t:?}");
             prev = t.line;
         }
-        for (line, _) in &scanned.comments {
+        for line in scanned.comments.keys() {
             assert!(*line >= 1 && *line <= total_lines, "seed {seed}");
         }
     }
